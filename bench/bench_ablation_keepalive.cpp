@@ -1,0 +1,115 @@
+// Ablation (DESIGN.md decision 2): the CONNECT_PULSE keepalive period
+// versus the NAT binding timeout. Sweeps the pulse period across a 60 s
+// UDP binding timeout and measures the fraction of one-way probe frames
+// that still cross the tunnel, plus the control-plane cost. The paper
+// picks 5 s — "short enough in comparison with NAT's timeout" — and this
+// table quantifies how much headroom that choice has and what it costs.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "wavnet/bridge.hpp"
+#include "overlay/rendezvous.hpp"
+
+namespace {
+
+using namespace wav;
+
+struct Outcome {
+  double availability{0};  // fraction of periodic probes delivered
+  std::uint64_t pulses{0};
+  double overhead_bytes_per_min{0};
+};
+
+Outcome run(Duration pulse_period, Duration nat_timeout) {
+  sim::Simulation sim{5};
+  fabric::Network network{sim};
+  fabric::Wan wan{network};
+  fabric::SiteConfig sa;
+  sa.name = "A";
+  sa.nat.udp_binding_timeout = nat_timeout;
+  fabric::SiteConfig sb;
+  sb.name = "B";
+  sb.nat.udp_binding_timeout = nat_timeout;
+  auto& site_a = wan.add_site(sa);
+  auto& site_b = wan.add_site(sb);
+  auto& rv = wan.add_public_host("rendezvous");
+  fabric::PairPath path;
+  path.one_way = milliseconds(15);
+  wan.set_default_paths(path);
+  overlay::RendezvousServer rendezvous{rv};
+  rendezvous.bootstrap();
+
+  auto make_agent = [&](fabric::HostNode& host, const char* name) {
+    overlay::HostAgent::Config cfg;
+    cfg.name = name;
+    cfg.rendezvous = rendezvous.host_endpoint();
+    cfg.pulse_interval = pulse_period > kZeroDuration ? pulse_period : seconds(100000);
+    cfg.link_idle_timeout = seconds(3600);  // liveness is probed end-to-end below
+    cfg.auto_repunch = false;  // measuring the raw keepalive effect
+    return std::make_unique<overlay::HostAgent>(host, cfg);
+  };
+  auto a = make_agent(*site_a.hosts[0], "a");
+  auto b = make_agent(*site_b.hosts[0], "b");
+  a->start();
+  b->start();
+  sim.run_for(seconds(5));
+  a->connect_to(b->self_info());
+  sim.run_for(seconds(10));
+  if (!a->link_established(b->id())) return {};
+
+  const auto pulses_before = a->stats().pulses_sent;
+  // Let any initial punching traffic age out of the filters first.
+  sim.run_for(seconds(90));
+
+  // Ground-truth availability: a one-way application frame probe every
+  // 10 s for four minutes (probes are a->b only, so they refresh neither
+  // b's pulses nor b's NAT filter toward a).
+  net::EncapFrame probe;
+  probe.header_bytes = 4;
+  probe.frame = std::make_shared<const net::EthernetFrame>(net::EthernetFrame::make_arp(
+      net::MacAddress::broadcast(), wavnet::make_mac(1), net::ArpMessage{}));
+  std::size_t delivered = 0;
+  constexpr std::size_t kProbes = 24;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    const auto before = b->stats().frames_received;
+    a->send_frame(b->id(), probe);
+    sim.run_for(seconds(10));
+    if (b->stats().frames_received > before) ++delivered;
+  }
+
+  Outcome out;
+  out.availability = static_cast<double>(delivered) / kProbes;
+  out.pulses = a->stats().pulses_sent - pulses_before;
+  const double minutes = 90.0 / 60.0 + kProbes * 10.0 / 60.0;
+  // Pulse wire cost: 2 payload bytes + UDP/IP headers = 30 bytes.
+  out.overhead_bytes_per_min = static_cast<double>(out.pulses) * 30.0 / minutes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner(
+      "Ablation — CONNECT_PULSE period vs NAT binding timeout",
+      "Fraction of one-way probe frames delivered across the tunnel while\nonly CONNECT_PULSE refreshes the 60 s NAT state.");
+
+  TextTable table{"Keepalive period sweep (NAT UDP timeout fixed at 60 s)"};
+  table.header({"pulse period", "probe delivery", "pulses sent",
+                "overhead (bytes/min/link)"});
+  for (const std::int64_t period_s : {0, 1, 5, 15, 30, 45, 90}) {
+    const Outcome out = run(seconds(period_s), seconds(60));
+    table.row({period_s == 0 ? "none" : (std::to_string(period_s) + " s"),
+               fmt_f(out.availability * 100, 0) + "%",
+               fmt_int(static_cast<std::int64_t>(out.pulses)),
+               fmt_f(out.overhead_bytes_per_min, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: without pulses the tunnel is dead once the NAT filters age\n"
+      "out; any period below the timeout gives 100%% delivery; past the\n"
+      "timeout the tunnel is only intermittently open. The paper's 5 s choice\n"
+      "costs ~360 bytes/min per link — negligible even for the 2016 tunnels\n"
+      "of a 64-host full mesh (Fig 8).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation (DESIGN.md decision 4): what the pre-copy algorithm buys.
+//
+// Part 1 compares pre-copy against pure stop-and-copy (max_rounds = 1,
+// i.e. pause immediately after the first full pass... actually rounds=0:
+// pause first, then transfer everything) for a 256 MB VM on the
+// emulated WAN: total time is similar, but downtime differs by orders of
+// magnitude — the whole point of Clark et al.'s design.
+//
+// Part 2 sweeps the migration stream's TCP window to show why the
+// paper's Table V times grow with RTT (the Xen-era fixed-buffer
+// transport), reproducing the trend with a single knob.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+struct Outcome {
+  double total_s{-1};
+  double downtime_s{-1};
+  std::uint32_t rounds{0};
+  double mib_moved{0};
+};
+
+Outcome run(bool precopy, std::uint64_t window_bytes, double rtt_ms,
+            double dirty_pages_per_sec) {
+  benchx::World world{benchx::Plane::kWavnet, 3};
+  world.build_emulated(2, megabits_per_sec(100), milliseconds_f(rtt_ms));
+  world.deploy();
+
+  vm::VmConfig cfg;
+  cfg.name = "vm";
+  cfg.memory = mebibytes(256);
+  cfg.virtual_ip = net::Ipv4Address::parse("10.10.0.200").value();
+  cfg.hot_fraction = 0.02;
+  cfg.dirty_pages_per_sec = dirty_pages_per_sec;
+  vm::VirtualMachine vm1{world.sim(), cfg};
+  world.attach_vm(vm1, "h1");
+
+  vm::MigrationConfig mig;
+  mig.transport.receive_buffer = window_bytes;
+  mig.precopy = precopy;
+  std::optional<vm::MigrationResult> result;
+  auto handles =
+      world.migrate(vm1, "h1", "h2", mig, [&](const vm::MigrationResult& r) { result = r; });
+  world.sim().run_for(seconds(4000));
+
+  Outcome out;
+  if (result && result->ok) {
+    out.total_s = to_seconds(result->total_time);
+    out.downtime_s = to_seconds(result->downtime);
+    out.rounds = result->rounds;
+    out.mib_moved = result->bytes_transferred.mib();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner("Ablation — pre-copy vs stop-and-copy, and the migration TCP window",
+                 "256 MB VM, 100 Mbit/s emulated WAN.");
+
+  std::printf("\n(1) pre-copy vs stop-and-copy (RTT 2 ms, guest dirtying 400 pages/s):\n");
+  TextTable part1{""};
+  part1.header({"strategy", "total (s)", "downtime (s)", "rounds", "MiB moved"});
+  const Outcome pre = run(true, 128 * 1024, 2.0, 400);
+  const Outcome stop = run(false, 128 * 1024, 2.0, 400);
+  part1.row({"pre-copy", fmt_f(pre.total_s, 1), fmt_f(pre.downtime_s, 2),
+             fmt_int(pre.rounds), fmt_f(pre.mib_moved, 0)});
+  part1.row({"stop-and-copy", fmt_f(stop.total_s, 1), fmt_f(stop.downtime_s, 2),
+             fmt_int(stop.rounds), fmt_f(stop.mib_moved, 0)});
+  part1.print();
+
+  std::printf(
+      "\n(2) migration TCP window vs WAN RTT (pre-copy; total migration time, s):\n");
+  TextTable part2{""};
+  part2.header({"RTT", "64 KiB window", "128 KiB window", "256 KiB window", "1 MiB window"});
+  for (const double rtt : {2.0, 25.0, 75.0, 215.0}) {
+    std::vector<std::string> row{fmt_f(rtt, 0) + " ms"};
+    for (const std::uint64_t window :
+         {64ull * 1024, 128ull * 1024, 256ull * 1024, 1024ull * 1024}) {
+      row.push_back(fmt_f(run(true, window, rtt, 250).total_s, 1));
+    }
+    part2.row(row);
+  }
+  part2.print();
+
+  std::printf(
+      "\nReading: (1) both strategies move ~the same data in ~the same time,\n"
+      "but pre-copy's downtime is a fraction of a second versus the full\n"
+      "transfer time for stop-and-copy — the service-availability story of\n"
+      "Figures 9-10. (2) With era-typical fixed windows the migration time\n"
+      "scales with RTT even when bandwidth is plentiful, which is exactly\n"
+      "the Table V pattern; large windows would flatten the trend.\n");
+  return 0;
+}

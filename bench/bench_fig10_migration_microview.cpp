@@ -1,0 +1,128 @@
+// Figure 10 reproduction: micro-view of service quality while a web VM
+// live-migrates to HKU — ICMP RTT (with loss markers) and ApacheBench
+// HTTP throughput, sampled around the migration window, for the three
+// source sites AIST, SIAT and OffCam. The paper reports VM downtimes of
+// 2.1 s, 1.0 s and 0.6 s respectively.
+#include <cstdio>
+
+#include "apps/http.hpp"
+#include "apps/ping.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+void run_site(const char* site, double paper_downtime_s) {
+  benchx::World world{benchx::Plane::kWavnet, 10};
+  world.build_paper_testbed();
+  world.deploy();
+
+  vm::VmConfig cfg;
+  cfg.name = "vm";
+  cfg.memory = mebibytes(128);
+  cfg.virtual_ip = net::Ipv4Address::parse("10.10.0.100").value();
+  cfg.hot_fraction = 0.02;
+  cfg.dirty_pages_per_sec = 250;
+  vm::VirtualMachine vm1{world.sim(), cfg};
+  world.attach_vm(vm1, site);
+
+  tcp::TcpLayer vm_tcp{vm1.stack()};
+  apps::HttpServer server{vm_tcp, 80};
+  server.add_resource("/1k", kibibytes(1));
+
+  // Ping starts 30 s before migration; AB (concurrency 50) 10 s before.
+  auto& client = world.host("HKU1");
+  stack::IcmpLayer client_icmp{client.stack()};
+  apps::PingSession::Config ping_cfg;
+  ping_cfg.interval = milliseconds(500);
+  apps::PingSession ping{client_icmp, vm1.ip(), ping_cfg};
+  ping.start();
+  world.sim().run_for(seconds(20));
+
+  apps::ApacheBench::Config ab_cfg;
+  ab_cfg.concurrency = 50;
+  ab_cfg.total_requests = 0;
+  ab_cfg.duration = seconds(400);
+  ab_cfg.path = "/1k";
+  apps::ApacheBench ab{client.tcp(), vm1.ip(), ab_cfg};
+  ab.start();
+  world.sim().run_for(seconds(10));
+
+  const TimePoint migration_trigger = world.sim().now();
+  std::optional<vm::MigrationResult> result;
+  auto handles = world.migrate(vm1, site, "HKU2", {},
+                               [&](const vm::MigrationResult& r) { result = r; });
+  world.sim().run_for(seconds(300));
+  ab.stop();
+  ping.stop();
+  world.sim().run_for(seconds(3));
+
+  std::printf("\n--- %s -> HKU (paper VM downtime %.1f s) ---\n", site, paper_downtime_s);
+  if (!result || !result->ok) {
+    std::printf("migration failed!\n");
+    return;
+  }
+  std::printf("migration time %.1f s, VM downtime %.2f s, ICMP loss %.1f%%\n",
+              to_seconds(result->total_time), to_seconds(result->downtime),
+              ping.loss_rate() * 100.0);
+
+  // Timeline: time relative to the migration trigger; RTT mean and AB
+  // completion rate per 10 s window.
+  const auto ab_report = ab.report();
+  TextTable table{"t=0 at migration trigger; x = window contains ICMP loss"};
+  table.header({"window (s)", "ping RTT (ms)", "AB throughput (req/s)", "loss"});
+  const double t0 = to_seconds(migration_trigger);
+  const double migr_end = t0 + to_seconds(result->total_time);
+  for (double w = -20.0; w < to_seconds(result->total_time) + 40.0; w += 10.0) {
+    const double lo = t0 + w;
+    const double hi = lo + 10.0;
+    SampleSet rtts;
+    bool loss = false;
+    for (const auto& s : ping.samples()) {
+      const double at = to_seconds(s.sent);
+      if (at < lo || at >= hi) continue;
+      if (s.rtt) {
+        rtts.add(to_milliseconds(*s.rtt));
+      } else {
+        loss = true;
+      }
+    }
+    double reqs = 0;
+    std::size_t n = 0;
+    for (const auto& p : ab_report.completion_rate) {
+      const double at = to_seconds(p.at);
+      if (at >= lo && at < hi) {
+        reqs += p.value;
+        ++n;
+      }
+    }
+    std::string marker;
+    if (loss) marker = "x";
+    if (lo <= migr_end && migr_end < hi) marker += " <- VM resumes @HKU";
+    table.row({fmt_f(w, 0) + ".." + fmt_f(w + 10, 0),
+               rtts.count() ? fmt_f(rtts.mean(), 1) : "-",
+               n ? fmt_f(reqs / static_cast<double>(n), 0) : "-", marker});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner(
+      "Figure 10 — ICMP RTT and HTTP throughput during VM live migration",
+      "ping every 500 ms + ApacheBench (concurrency 50, 1 KB file) from HKU1\n"
+      "while the VM migrates to HKU2 from three different source sites.");
+
+  run_site("AIST", 2.1);
+  run_site("SIAT", 1.0);
+  run_site("OffCam", 0.6);
+
+  std::printf(
+      "\nShape check (paper): before migration RTT/throughput reflect the WAN\n"
+      "path; ICMP loss appears only in the downtime window; after resume the\n"
+      "RTT collapses to campus latency and throughput jumps several-fold.\n");
+  return 0;
+}

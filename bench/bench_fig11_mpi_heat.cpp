@@ -1,0 +1,123 @@
+// Figure 11 reproduction: MPI heat-distribution execution time with and
+// without VM live migration. Four VMs run the solver over WAVNet; three
+// sit in HKU and one in SIAT. In the "with migration" run the SIAT VM
+// migrates to HKU shortly after the program starts, removing the
+// HKU-SIAT WAN link (74 ms RTT, ~18 Mbit/s) from every halo exchange.
+// Paper: 397/1214/3798 s without migration vs 121/179/365 s with
+// (30.5%, 14.7%, 4.7%).
+#include <cstdio>
+
+#include "apps/mpi_apps.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+// Jacobi iteration counts scale with problem size (solving to a fixed
+// accuracy needs O(m^2) sweeps), which is what makes the paper's times
+// grow superlinearly in m. flops/cell calibrated to the testbed CPUs.
+constexpr double kFlopsPerCell = 500.0;
+std::size_t iterations_for(std::size_t m) {
+  switch (m) {
+    case 64: return 10000;
+    case 128: return 30000;
+    default: return 95000;
+  }
+}
+
+struct Run {
+  double elapsed_s{-1};
+  double migration_s{0};
+  double checksum{0};
+};
+
+Run run_heat(std::size_t m, bool migrate) {
+  benchx::World world{benchx::Plane::kWavnet, 17};
+  world.build_paper_testbed();
+  world.deploy();
+
+  // Four VMs: three in HKU (two on HKU1, one on HKU2), one in SIAT.
+  std::vector<std::unique_ptr<vm::VirtualMachine>> vms;
+  const char* placements[] = {"HKU1", "HKU1", "HKU2", "SIAT"};
+  for (std::size_t r = 0; r < 4; ++r) {
+    vm::VmConfig cfg;
+    cfg.name = "mpi-vm" + std::to_string(r);
+    cfg.memory = mebibytes(128);
+    cfg.virtual_ip =
+        net::Ipv4Address::from_octets(10, 10, 0, static_cast<std::uint8_t>(150 + r));
+    cfg.hot_fraction = 0.02;
+    cfg.dirty_pages_per_sec = 150;
+    vms.push_back(std::make_unique<vm::VirtualMachine>(world.sim(), cfg));
+    world.attach_vm(*vms.back(), placements[r]);
+  }
+
+  std::vector<apps::MpiCluster::RankEnv> envs;
+  for (auto& v : vms) {
+    auto* raw = v.get();
+    envs.push_back({&raw->stack(), [raw] { return raw->cpu_gflops(); }});
+  }
+  apps::MpiCluster mpi{std::move(envs)};
+  apps::HeatSolver solver{mpi, m, iterations_for(m), kFlopsPerCell};
+
+  Run run;
+  std::optional<vm::MigrationResult> migration;
+  benchx::World::MigrationHandles handles;
+  if (migrate) {
+    world.sim().schedule_after(seconds(10), [&] {
+      handles = world.migrate(*vms[3], "SIAT", "HKU2", {},
+                              [&](const vm::MigrationResult& r) { migration = r; });
+    });
+  }
+
+  std::optional<apps::HeatSolver::Result> result;
+  solver.run([&](const apps::HeatSolver::Result& r) { result = r; });
+  world.sim().run_for(seconds(12000));
+  if (result) {
+    run.elapsed_s = to_seconds(result->elapsed);
+    run.checksum = result->checksum;
+  }
+  if (migration && migration->ok) run.migration_s = to_seconds(migration->total_time);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner(
+      "Figure 11 — MPI heat-distribution time with/without VM migration",
+      "4 VMs over WAVNet (3 in HKU, 1 in SIAT); the SIAT VM migrates to HKU\n"
+      "10 s into the run. Iteration counts scale with the problem size.");
+
+  struct PaperRow {
+    std::size_t m;
+    double without_s;
+    double with_s;
+  };
+  constexpr PaperRow kPaper[] = {{64, 397, 121}, {128, 1214, 179}, {256, 3798, 365}};
+
+  TextTable table{"Execution time (s); paper values in parentheses"};
+  table.header({"Problem size", "w/o migration", "with migration", "ratio",
+                "migr. time (s)", "checksums match"});
+  for (const auto& row : kPaper) {
+    const Run without = run_heat(row.m, false);
+    const Run with = run_heat(row.m, true);
+    const double ratio = with.elapsed_s / without.elapsed_s;
+    const bool checks =
+        std::abs(without.checksum - with.checksum) < 1e-6 * std::abs(without.checksum);
+    table.row({std::to_string(row.m) + "x" + std::to_string(row.m),
+               fmt_f(without.elapsed_s, 0) + " (" + fmt_f(row.without_s, 0) + ")",
+               fmt_f(with.elapsed_s, 0) + " (" + fmt_f(row.with_s, 0) + ")",
+               fmt_f(ratio * 100, 1) + "% (" + fmt_f(row.with_s / row.without_s * 100, 1) +
+                   "%)",
+               fmt_f(with.migration_s, 1), checks ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: without migration every halo exchange crosses the 74 ms\n"
+      "HKU-SIAT WAN path and dominates the runtime; migrating the remote VM\n"
+      "into HKU collapses execution time several-fold, and the MPI run is\n"
+      "never disrupted (checksums identical).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 12 reproduction: the mutual-latency distribution of 400
+// (synthetic) PlanetLab hosts — ~80000 bidirectional measurements, shown
+// as the paper does in two views: the full range up to 10 s (12a) and
+// zoomed below 1 s (12b). Rendered as a text histogram.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "group/planetlab.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+void histogram(const std::vector<double>& values, const std::vector<double>& edges,
+               const char* unit) {
+  TextTable table{""};
+  table.header({"latency bucket", "pairs", "share", ""});
+  for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+    std::size_t count = 0;
+    for (const double v : values) {
+      if (v >= edges[b] && v < edges[b + 1]) ++count;
+    }
+    const double share =
+        static_cast<double>(count) / static_cast<double>(values.size()) * 100.0;
+    std::string bar(static_cast<std::size_t>(share), '#');
+    table.row({fmt_f(edges[b], 0) + ".." + fmt_f(edges[b + 1], 0) + " " + unit,
+               fmt_int(static_cast<std::int64_t>(count)), fmt_f(share, 1) + "%", bar});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner(
+      "Figure 12 — Network latency reported on PlanetLab (400 hosts)",
+      "Synthetic PlanetLab latency matrix (substitution documented in\n"
+      "DESIGN.md): clustered sites, continental base latencies, and a\n"
+      "heavy tail from overloaded hosts.");
+
+  const auto matrix = group::synthesize_planetlab({}, 2011);
+  const auto lats = matrix.pair_latencies();
+  std::printf("host pairs measured: %zu (paper: ~80000 of P^2_400 = 159600)\n\n",
+              lats.size());
+
+  SampleSet set;
+  for (const double l : lats) set.add(l);
+  std::printf("min %.1f ms | median %.1f ms | mean %.1f ms | p95 %.0f ms | max %.0f ms\n\n",
+              set.min(), set.median(), set.mean(), set.percentile(95), set.max());
+
+  std::printf("(a) full range, 10 s cap:\n");
+  histogram(lats, {0, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10001}, "ms");
+
+  std::printf("\n(b) zoom below 1 s:\n");
+  std::vector<double> sub;
+  for (const double l : lats) {
+    if (l < 1000.0) sub.push_back(l);
+  }
+  histogram(sub, {0, 50, 100, 150, 200, 250, 300, 350, 400, 600, 1000}, "ms");
+
+  std::printf(
+      "\nShape check (paper Fig 12): the vast majority of pairs sit below\n"
+      "~350 ms with visible clustering; a small fraction stretches out to\n"
+      "multiple seconds (overloaded PlanetLab nodes), capped at 10 s.\n");
+  return 0;
+}

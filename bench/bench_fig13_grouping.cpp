@@ -1,0 +1,89 @@
+// Figure 13 reproduction: average and maximum intra-cluster latency of
+// the virtual cluster selected by the locality-sensitive grouping
+// strategy, for cluster sizes 2..75 over the 400-host PlanetLab matrix.
+// Paper: avg 1.3/15.4/26.1/54.1 ms and max 1.9/25.4/44.8/67.3 ms at
+// k = 8/16/32/64.
+//
+// Also serves as the ablation for DESIGN.md decision 3: the same sweep
+// is reported for random selection, and brute force is compared on a
+// small instance to quantify the approximation gap.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "group/planetlab.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+}  // namespace
+
+int main() {
+  benchx::banner(
+      "Figure 13 — Average and maximum latency within the virtual cluster",
+      "Locality-sensitive grouping over the 400-host PlanetLab matrix.");
+
+  group::PlanetLabConfig cfg;
+  cfg.clusters = 40;  // ~10 hosts per site, so k>10 must span sites
+  cfg.intra_cluster_max_ms = 4.0;
+  const auto matrix = group::synthesize_planetlab(cfg, 2011);
+  const group::DistanceLocator locator{matrix};
+  Rng rng{5};
+
+  TextTable table{"Intra-cluster latency (ms) vs cluster size"};
+  table.header({"k", "locality avg", "locality max", "random avg", "random max",
+                "paper avg", "paper max"});
+  struct PaperPoint {
+    std::size_t k;
+    double avg;
+    double max;
+  };
+  const PaperPoint kPaper[] = {
+      {8, 1.3, 1.9}, {16, 15.4, 25.4}, {32, 26.1, 44.8}, {64, 54.1, 67.3}};
+  auto paper_for = [&](std::size_t k) -> const PaperPoint* {
+    for (const auto& p : kPaper) {
+      if (p.k == k) return &p;
+    }
+    return nullptr;
+  };
+
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 24u, 32u, 48u, 64u, 75u}) {
+    const auto local = locator.query(k);
+    if (!local) continue;
+    // Random baseline averaged over 10 draws.
+    double ravg = 0;
+    double rmax = 0;
+    for (int t = 0; t < 10; ++t) {
+      const auto r = group::random_group(matrix, k, rng);
+      ravg += r.average_latency_ms / 10.0;
+      rmax += r.max_latency_ms / 10.0;
+    }
+    const auto* paper = paper_for(k);
+    table.row({fmt_int(static_cast<std::int64_t>(k)), fmt_f(local->average_latency_ms, 1),
+               fmt_f(local->max_latency_ms, 1), fmt_f(ravg, 1), fmt_f(rmax, 1),
+               paper ? fmt_f(paper->avg, 1) : "-", paper ? fmt_f(paper->max, 1) : "-"});
+  }
+  table.print();
+
+  // Approximation-quality spot check vs brute force (small instance).
+  group::PlanetLabConfig small_cfg;
+  small_cfg.hosts = 18;
+  small_cfg.clusters = 5;
+  small_cfg.overloaded_host_fraction = 0.0;
+  const auto small = group::synthesize_planetlab(small_cfg, 7);
+  const auto exact = group::brute_force_group(small, 5);
+  const auto approx = group::locality_group(small, 5);
+  if (exact && approx) {
+    std::printf(
+        "\nApproximation check (N=18, k=5): brute force %.2f ms vs O(N*k) "
+        "algorithm %.2f ms (gap %.1f%%)\n",
+        exact->average_latency_ms, approx->average_latency_ms,
+        (approx->average_latency_ms / exact->average_latency_ms - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nShape check (paper): locality-selected clusters stay tight (avg ~1 ms\n"
+      "at k=8, growing to ~55 ms at k=64) and far below random selection,\n"
+      "which immediately lands in the hundreds of milliseconds.\n");
+  return 0;
+}

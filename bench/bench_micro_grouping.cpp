@@ -1,0 +1,82 @@
+// Microbenchmarks (google-benchmark) of the grouping algorithms: the
+// paper's O(N*k) locality query vs O(N^k)-style brute force, plus the
+// latency-matrix maintenance (row sorting) cost — quantifying the
+// complexity claim of paper §II.D.
+#include <benchmark/benchmark.h>
+
+#include "group/planetlab.hpp"
+
+namespace {
+
+using namespace wav;
+
+const group::LatencyMatrix& matrix_of(std::size_t n) {
+  static std::map<std::size_t, group::LatencyMatrix> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  group::PlanetLabConfig cfg;
+  cfg.hosts = n;
+  cfg.clusters = std::max<std::size_t>(4, n / 10);
+  return cache.emplace(n, group::synthesize_planetlab(cfg, 77)).first->second;
+}
+
+void BM_LocalityQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto& matrix = matrix_of(n);
+  const group::DistanceLocator locator{matrix};  // maintenance done up front
+  for (auto _ : state) {
+    auto result = locator.query(k);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("N=" + std::to_string(n) + " k=" + std::to_string(k));
+}
+BENCHMARK(BM_LocalityQuery)
+    ->Args({100, 8})
+    ->Args({100, 16})
+    ->Args({200, 16})
+    ->Args({400, 8})
+    ->Args({400, 16})
+    ->Args({400, 32})
+    ->Args({400, 64});
+
+void BM_BruteForce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto& matrix = matrix_of(n);
+  for (auto _ : state) {
+    auto result = group::brute_force_group(matrix, k);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("N=" + std::to_string(n) + " k=" + std::to_string(k) +
+                 " (C(N,k) combinations)");
+}
+// Brute force explodes combinatorially; only tiny instances terminate.
+BENCHMARK(BM_BruteForce)->Args({16, 4})->Args({20, 4})->Args({24, 4})->Args({20, 6});
+
+void BM_LocatorRefresh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& matrix = matrix_of(n);
+  group::DistanceLocator locator{matrix};
+  for (auto _ : state) {
+    locator.refresh();  // part 1 of the paper's algorithm: sorted rows
+  }
+  state.SetLabel("N=" + std::to_string(n));
+}
+BENCHMARK(BM_LocatorRefresh)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_PlanetLabSynthesis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  group::PlanetLabConfig cfg;
+  cfg.hosts = n;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto m = group::synthesize_planetlab(cfg, seed++);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PlanetLabSynthesis)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

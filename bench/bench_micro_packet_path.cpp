@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) of the WAVNet packet path and
+// codecs: frame serialization/parsing, bridge forwarding, simulation
+// event throughput, and TCP bulk transfer events — the constant factors
+// behind every experiment binary.
+#include <benchmark/benchmark.h>
+
+#include "fabric/host.hpp"
+#include "fabric/network.hpp"
+#include "net/codec.hpp"
+#include "tcp/tcp.hpp"
+#include "wavnet/bridge.hpp"
+
+namespace {
+
+using namespace wav;
+
+net::EthernetFrame sample_frame() {
+  net::IpPacket pkt;
+  pkt.src = net::Ipv4Address::parse("10.10.0.1").value();
+  pkt.dst = net::Ipv4Address::parse("10.10.0.2").value();
+  net::UdpDatagram dgram;
+  dgram.src_port = 7777;
+  dgram.dst_port = 7777;
+  dgram.payload = net::Chunk::from_bytes(ByteBuffer(1024));
+  pkt.body = std::move(dgram);
+  return net::EthernetFrame::make_ip(wavnet::make_mac(2), wavnet::make_mac(1),
+                                     std::move(pkt));
+}
+
+void BM_FrameSerialize(benchmark::State& state) {
+  const auto frame = sample_frame();
+  for (auto _ : state) {
+    auto wire = net::serialize_frame(frame);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_FrameSerialize);
+
+void BM_FrameParse(benchmark::State& state) {
+  const auto wire = net::serialize_frame(sample_frame()).value();
+  for (auto _ : state) {
+    auto frame = net::parse_frame(wire);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_FrameParse);
+
+void BM_Ipv4HeaderChecksum(benchmark::State& state) {
+  ByteBuffer buf;
+  for (auto _ : state) {
+    buf.clear();
+    net::encode_ipv4_header(buf, net::Ipv4Address{1}, net::Ipv4Address{2}, 6, 64, 1500);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_Ipv4HeaderChecksum);
+
+void BM_BridgeForwardLearned(benchmark::State& state) {
+  sim::Simulation sim;
+  wavnet::SoftwareBridge bridge{sim, seconds(300), kZeroDuration};
+  wavnet::VirtualNic a{wavnet::make_mac(1)};
+  wavnet::VirtualNic b{wavnet::make_mac(2)};
+  bridge.attach(a);
+  bridge.attach(b);
+  std::uint64_t delivered = 0;
+  b.set_receive_handler([&](const net::EthernetFrame&) { ++delivered; });
+  const auto frame = net::EthernetFrame::make_arp(b.mac(), a.mac(), net::ArpMessage{});
+  a.transmit(frame);  // teach the FDB
+  sim.run();
+  for (auto _ : state) {
+    a.transmit(frame);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_BridgeForwardLearned);
+
+void BM_SimulationEventChurn(benchmark::State& state) {
+  sim::Simulation sim;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_after(microseconds(i), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulationEventChurn);
+
+void BM_TcpBulkTransfer1MiB(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    fabric::Network network{sim};
+    auto& a = network.add_node<fabric::HostNode>("a");
+    auto& b = network.add_node<fabric::HostNode>("b");
+    fabric::LinkConfig cfg;
+    cfg.delay = milliseconds(1);
+    cfg.rate = gigabits_per_sec(1);
+    const net::Ipv4Subnet subnet{net::Ipv4Address::parse("10.0.0.0").value(), 24};
+    network.connect(a, {net::Ipv4Address::parse("10.0.0.1").value(), subnet}, b,
+                    {net::Ipv4Address::parse("10.0.0.2").value(), subnet}, cfg);
+    a.set_default_route(0);
+    b.set_default_route(0);
+    tcp::TcpLayer ta{a};
+    tcp::TcpLayer tb{b};
+    std::uint64_t received = 0;
+    tb.listen(5001, [&](tcp::TcpConnection::Ptr conn) {
+      conn->on_data([&received, conn](const std::vector<net::Chunk>& chunks) {
+        received += net::total_size(chunks);
+      });
+    });
+    auto conn = ta.connect({b.primary_address(), 5001});
+    conn->on_established([&] { conn->send_virtual(1 << 20); });
+    state.ResumeTiming();
+    sim.run_for(seconds(10));
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_TcpBulkTransfer1MiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

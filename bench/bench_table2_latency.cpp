@@ -1,0 +1,72 @@
+// Table II reproduction: ICMP round-trip time between HKU-SIAT, HKU-PU
+// and SIAT-PU on the physical network, over WAVNet, and over IPOP.
+// Paper finding: at WAN distances the virtualization overhead is
+// amortized — all three within ~1 ms of each other.
+#include <cstdio>
+
+#include "apps/ping.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+struct PairSpec {
+  const char* a;
+  const char* b;
+  double paper_physical;
+  double paper_wavnet;
+  double paper_ipop;
+};
+
+constexpr PairSpec kPairs[] = {
+    {"HKU1", "SIAT", 74.244, 74.207, 74.596},
+    {"HKU1", "PU", 30.233, 30.753, 31.187},
+    {"SIAT", "PU", 219.427, 219.783, 220.533},
+};
+
+double measure_pair(benchx::Plane plane, const char* a, const char* b) {
+  benchx::World world{plane, 2026};
+  world.build_paper_testbed();
+  world.deploy();
+
+  auto& src = world.host(a);
+  auto& dst = world.host(b);
+  stack::IcmpLayer icmp_src{src.stack()};
+  stack::IcmpLayer icmp_dst{dst.stack()};
+
+  apps::PingSession::Config cfg;
+  cfg.interval = seconds(1);
+  apps::PingSession ping{icmp_src, dst.address(), cfg};
+  ping.start();
+  // The paper pings for 10 minutes; so do we (simulated time is cheap).
+  world.sim().run_for(seconds(600));
+  ping.stop();
+  world.sim().run_for(seconds(3));
+  return ping.rtt_ms().mean();
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner("Table II — Network latency test by ICMP request/response",
+                 "Mean RTT (ms) per site pair; paper values in parentheses.");
+
+  TextTable table{"ICMP mean round-trip time (ms), 600 probes per cell"};
+  table.header({"Sites", "Physical", "WAVNet", "IPOP"});
+  for (const auto& pair : kPairs) {
+    const double physical = measure_pair(benchx::Plane::kPhysical, pair.a, pair.b);
+    const double wavnet = measure_pair(benchx::Plane::kWavnet, pair.a, pair.b);
+    const double ipop = measure_pair(benchx::Plane::kIpop, pair.a, pair.b);
+    table.row({std::string(pair.a) + "-" + pair.b,
+               fmt_f(physical, 3) + " (" + fmt_f(pair.paper_physical, 3) + ")",
+               fmt_f(wavnet, 3) + " (" + fmt_f(pair.paper_wavnet, 3) + ")",
+               fmt_f(ipop, 3) + " (" + fmt_f(pair.paper_ipop, 3) + ")"});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: WAVNet within ~1 ms of physical; IPOP adds its P2P\n"
+      "per-packet processing but stays close at WAN distances (paper S III.A).\n");
+  return 0;
+}

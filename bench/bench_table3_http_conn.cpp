@@ -1,0 +1,101 @@
+// Table III reproduction: HTTP connection time (min/mean/max) from the
+// Sinica and HKU1 clients to a web-server VM, before and after the VM
+// live-migrates from SIAT to HKU2 over WAVNet.
+// Paper: Sinica 99/107/148 -> 25/33/67 ms; HKU1 76/80/90 -> 0/7/16 ms.
+#include <cstdio>
+
+#include "apps/http.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace wav;
+
+struct ConnStats {
+  double min_ms{0};
+  double mean_ms{0};
+  double max_ms{0};
+};
+
+ConnStats measure_ab(benchx::World& world, const std::string& client_name,
+                     net::Ipv4Address vm_ip) {
+  auto& client = world.host(client_name);
+  apps::ApacheBench::Config cfg;
+  cfg.concurrency = 4;
+  cfg.total_requests = 100;
+  cfg.path = "/index.html";
+  apps::ApacheBench ab{client.tcp(), vm_ip, cfg};
+  std::optional<apps::ApacheBench::Report> report;
+  ab.start([&](const apps::ApacheBench::Report& r) { report = r; });
+  world.sim().run_for(seconds(120));
+  ConnStats s;
+  if (report && report->connect_ms.count() > 0) {
+    s.min_ms = report->connect_ms.min();
+    s.mean_ms = report->connect_ms.mean();
+    s.max_ms = report->connect_ms.max();
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner("Table III — HTTP connection time before/after VM migration",
+                 "ApacheBench against a 128 MB web-server VM; WAVNet plane;\n"
+                 "the VM migrates SIAT -> HKU2 mid-experiment.");
+
+  benchx::World world{benchx::Plane::kWavnet, 33};
+  world.build_paper_testbed();
+  world.deploy();
+
+  vm::VmConfig vm_cfg;
+  vm_cfg.name = "httpd-vm";
+  vm_cfg.memory = mebibytes(128);
+  vm_cfg.virtual_ip = net::Ipv4Address::parse("10.10.0.100").value();
+  vm_cfg.hot_fraction = 0.02;
+  vm_cfg.dirty_pages_per_sec = 200;
+  vm::VirtualMachine httpd_vm{world.sim(), vm_cfg};
+  world.attach_vm(httpd_vm, "SIAT");
+
+  tcp::TcpLayer vm_tcp{httpd_vm.stack()};
+  apps::HttpServer server{vm_tcp, 80};
+  server.add_resource("/index.html", kibibytes(1));
+
+  const ConnStats sinica_before = measure_ab(world, "Sinica", httpd_vm.ip());
+  const ConnStats hku_before = measure_ab(world, "HKU1", httpd_vm.ip());
+
+  std::optional<vm::MigrationResult> result;
+  auto handles = world.migrate(httpd_vm, "SIAT", "HKU2", {},
+                               [&](const vm::MigrationResult& r) { result = r; });
+  world.sim().run_for(seconds(400));
+  if (!result || !result->ok) {
+    std::printf("migration failed!\n");
+    return 1;
+  }
+  std::printf("VM migrated SIAT -> HKU2 in %.1f s (downtime %.2f s)\n",
+              to_seconds(result->total_time), to_seconds(result->downtime));
+
+  const ConnStats sinica_after = measure_ab(world, "Sinica", httpd_vm.ip());
+  const ConnStats hku_after = measure_ab(world, "HKU1", httpd_vm.ip());
+
+  TextTable table{"HTTP connection time (ms); paper values in parentheses"};
+  table.header({"Client and VM location", "Min", "Mean", "Max"});
+  table.row({"Sinica to VM@SIAT (before migr.)", fmt_f(sinica_before.min_ms, 0) + " (99)",
+             fmt_f(sinica_before.mean_ms, 0) + " (107)",
+             fmt_f(sinica_before.max_ms, 0) + " (148)"});
+  table.row({"Sinica to VM@HKU2 (after migr.)", fmt_f(sinica_after.min_ms, 0) + " (25)",
+             fmt_f(sinica_after.mean_ms, 0) + " (33)",
+             fmt_f(sinica_after.max_ms, 0) + " (67)"});
+  table.row({"HKU1 to VM@SIAT (before migr.)", fmt_f(hku_before.min_ms, 0) + " (76)",
+             fmt_f(hku_before.mean_ms, 0) + " (80)",
+             fmt_f(hku_before.max_ms, 0) + " (90)"});
+  table.row({"HKU1 to VM@HKU2 (after migr.)", fmt_f(hku_after.min_ms, 0) + " (0)",
+             fmt_f(hku_after.mean_ms, 0) + " (7)",
+             fmt_f(hku_after.max_ms, 0) + " (16)"});
+  table.print();
+  std::printf(
+      "\nShape check: connection time tracks the client-VM RTT; migrating the\n"
+      "VM next to its clients collapses it (Sinica ~100 -> ~25 ms, HKU ~75 -> ~1 ms).\n");
+  return 0;
+}

@@ -1,0 +1,268 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace wav::benchx {
+
+const char* to_string(Plane plane) noexcept {
+  switch (plane) {
+    case Plane::kPhysical: return "Physical";
+    case Plane::kWavnet: return "WAVNet";
+    case Plane::kIpop: return "IPOP";
+  }
+  return "?";
+}
+
+stack::IpLayer& Deployed::stack() {
+  if (wavnet) return wavnet->stack();
+  if (ipop) return ipop->stack();
+  return *node;
+}
+
+net::Ipv4Address Deployed::address() {
+  if (wavnet) return wavnet->virtual_ip();
+  if (ipop) return ipop->virtual_ip();
+  return node->primary_address();
+}
+
+wavnet::SoftwareBridge* Deployed::bridge() {
+  if (wavnet) return &wavnet->bridge();
+  if (ipop) return &ipop->bridge();
+  return nullptr;
+}
+
+tcp::TcpLayer& Deployed::tcp() {
+  if (!tcp_) tcp_ = std::make_unique<tcp::TcpLayer>(stack());
+  return *tcp_;
+}
+
+World::World(Plane plane, std::uint64_t seed)
+    : plane_(plane), sim_(seed), network_(sim_), wan_(std::make_unique<fabric::Wan>(network_)) {}
+
+World::~World() = default;
+
+std::string World::site_of(const std::string& host_name) const {
+  const auto it = host_site_.find(host_name);
+  if (it == host_site_.end()) throw std::invalid_argument("unknown host " + host_name);
+  return it->second;
+}
+
+void World::build_paper_testbed() {
+  paper_testbed_ = true;
+  using P = fabric::PaperTestbed;
+  if (plane_ == Plane::kPhysical) {
+    // Same sites, rates and paths, but hosts sit directly on the core.
+    struct SiteSpec {
+      const char* name;
+      std::size_t hosts;
+      double mbps;
+      double gflops;
+    };
+    static constexpr SiteSpec kSites[] = {
+        {P::kHku, 2, 95.0, 4.0},   {P::kOffCam, 1, 90.0, 2.8}, {P::kSiat, 1, 23.0, 2.8},
+        {P::kPu, 1, 45.0, 9.6},    {P::kSinica, 1, 47.0, 9.0}, {P::kAist, 1, 60.0, 3.7},
+        {P::kSdsc, 1, 30.0, 6.4},
+    };
+    for (const auto& spec : kSites) {
+      fabric::SiteConfig cfg;
+      cfg.name = spec.name;
+      cfg.host_count = spec.hosts;
+      cfg.access_rate = megabits_per_sec(spec.mbps);
+      cfg.cpu_gflops = spec.gflops;
+      cfg.public_hosts = true;
+      wan_->add_site(cfg);
+    }
+    const std::vector<std::string> names = {P::kHku, P::kOffCam, P::kSiat,  P::kPu,
+                                            P::kSinica, P::kAist, P::kSdsc};
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      for (std::size_t j = i + 1; j < names.size(); ++j) {
+        fabric::PairPath path;
+        path.one_way =
+            milliseconds_f(fabric::paper_rtt_ms(names[i], names[j]) / 2.0 - 0.4);
+        path.jitter_stddev = milliseconds_f(0.3);
+        wan_->set_path(names[i], names[j], path);
+      }
+    }
+  } else {
+    fabric::build_paper_testbed(*wan_);
+  }
+
+  auto add_host = [&](const std::string& name, const std::string& site,
+                      fabric::HostNode* node, double gflops) {
+    Deployed d;
+    d.node = node;
+    d.gflops = gflops;
+    d.virtual_ip = net::Ipv4Address::from_octets(
+        10, 10, 0, static_cast<std::uint8_t>(next_vip_++));
+    hosts_[name] = std::move(d);
+    host_site_[name] = site;
+  };
+  auto* hku = wan_->site(P::kHku);
+  add_host("HKU1", P::kHku, hku->hosts[0], hku->cpu_gflops);
+  add_host("HKU2", P::kHku, hku->hosts[1], hku->cpu_gflops);
+  for (const char* name :
+       {P::kOffCam, P::kSiat, P::kPu, P::kSinica, P::kAist, P::kSdsc}) {
+    auto* site = wan_->site(name);
+    add_host(name, name, site->hosts[0], site->cpu_gflops);
+  }
+}
+
+void World::build_emulated(std::size_t n, BitRate access_rate, Duration rtt) {
+  for (std::size_t i = 1; i <= n; ++i) {
+    fabric::SiteConfig cfg;
+    cfg.name = "s" + std::to_string(i);
+    cfg.access_rate = access_rate;
+    cfg.access_delay = microseconds(100);
+    cfg.public_hosts = plane_ == Plane::kPhysical;
+    cfg.cpu_gflops = 4.0;
+    auto& site = wan_->add_site(cfg);
+
+    Deployed d;
+    d.node = site.hosts[0];
+    d.gflops = cfg.cpu_gflops;
+    d.virtual_ip = net::Ipv4Address::from_octets(
+        10, 10, static_cast<std::uint8_t>(next_vip_ / 200),
+        static_cast<std::uint8_t>(next_vip_ % 200 + 10));
+    ++next_vip_;
+    const std::string name = "h" + std::to_string(i);
+    hosts_[name] = std::move(d);
+    host_site_[name] = cfg.name;
+  }
+  if (plane_ != Plane::kPhysical) wan_->add_public_host("rendezvous");
+
+  fabric::PairPath path;
+  path.one_way = rtt / 2 - microseconds(200);
+  if (path.one_way < kZeroDuration) path.one_way = microseconds(50);
+  wan_->set_default_paths(path);
+}
+
+void World::deploy() {
+  switch (plane_) {
+    case Plane::kPhysical:
+      return;  // underlay stacks are ready as soon as the fabric exists
+    case Plane::kWavnet:
+      deploy_wavnet();
+      return;
+    case Plane::kIpop:
+      deploy_ipop();
+      return;
+  }
+}
+
+void World::deploy_wavnet() {
+  auto* rv_host = wan_->public_host("rendezvous");
+  if (rv_host == nullptr) rv_host = &wan_->add_public_host("rendezvous");
+  rendezvous_ = std::make_unique<overlay::RendezvousServer>(*rv_host);
+  rendezvous_->bootstrap();
+
+  for (auto& [name, d] : hosts_) {
+    wavnet::WavnetHost::Config cfg;
+    cfg.agent.name = name;
+    cfg.agent.rendezvous = rendezvous_->host_endpoint();
+    cfg.virtual_ip = d.virtual_ip;
+    d.wavnet = std::make_unique<wavnet::WavnetHost>(*d.node, cfg);
+    d.wavnet->start();
+  }
+  sim_.run_for(seconds(5));
+
+  // Full mesh of direct tunnels (the deployment knows its members).
+  std::vector<std::string> names = host_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      auto& a = hosts_[names[i]];
+      auto& b = hosts_[names[j]];
+      a.wavnet->connect(b.wavnet->agent().self_info());
+    }
+  }
+  sim_.run_for(seconds(15));
+}
+
+void World::deploy_ipop() {
+  auto* rv_host = wan_->public_host("rendezvous");
+  if (rv_host == nullptr) rv_host = &wan_->add_public_host("rendezvous");
+  rendezvous_ = std::make_unique<overlay::RendezvousServer>(*rv_host);
+  rendezvous_->bootstrap();
+
+  ipop::IpopOverlay ring{bindings_};
+  for (auto& [name, d] : hosts_) {
+    ipop::IpopHost::Config cfg;
+    cfg.agent.name = name;
+    cfg.agent.rendezvous = rendezvous_->host_endpoint();
+    cfg.virtual_ip = d.virtual_ip;
+    d.ipop = std::make_unique<ipop::IpopHost>(*d.node, bindings_, cfg);
+    d.ipop->start();
+  }
+  sim_.run_for(seconds(5));
+  for (auto& [name, d] : hosts_) ring.add(*d.ipop);
+  if (ipop_topology_ == IpopTopology::kFullMesh) {
+    ring.connect_full_mesh();
+  } else {
+    ring.connect_ring();
+  }
+  sim_.run_for(seconds(20));
+}
+
+Deployed& World::host(const std::string& name) {
+  const auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw std::invalid_argument("unknown host " + name);
+  return it->second;
+}
+
+std::vector<std::string> World::host_names() const {
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const auto& [name, d] : hosts_) names.push_back(name);
+  return names;
+}
+
+void World::set_site_rate(const std::string& site, BitRate rate) {
+  wan_->set_site_rate(site, rate);
+}
+
+void World::set_host_site_rate(const std::string& host_name, BitRate rate) {
+  wan_->set_site_rate(site_of(host_name), rate);
+}
+
+void World::attach_vm(vm::VirtualMachine& vmachine, const std::string& host_name) {
+  Deployed& d = host(host_name);
+  wavnet::SoftwareBridge* bridge = d.bridge();
+  if (bridge == nullptr) {
+    throw std::logic_error("VMs require an overlay plane (WAVNet or IPOP)");
+  }
+  bridge->attach(vmachine.nic());
+  vmachine.set_cpu_gflops(d.gflops);
+  if (plane_ == Plane::kIpop) {
+    d.ipop->bind_local_ip(vmachine.ip());
+  } else {
+    vmachine.stack().announce_gratuitous_arp();
+  }
+  sim_.run_for(seconds(1));
+}
+
+World::MigrationHandles World::migrate(vm::VirtualMachine& vmachine,
+                                       const std::string& from, const std::string& to,
+                                       vm::MigrationConfig config,
+                                       vm::MigrationTask::DoneHandler done) {
+  Deployed& src = host(from);
+  Deployed& dst = host(to);
+  if (src.bridge() == nullptr || dst.bridge() == nullptr) {
+    throw std::logic_error("migration requires an overlay plane");
+  }
+  MigrationHandles handles;
+  handles.task = std::make_unique<vm::MigrationTask>(
+      vmachine, *src.bridge(), *dst.bridge(), src.tcp(), dst.tcp(), dst.address(),
+      dst.gflops, config, std::move(done));
+  handles.task->start();
+  return handles;
+}
+
+void banner(const std::string& experiment, const std::string& description) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("=============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace wav::benchx

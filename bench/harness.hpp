@@ -1,0 +1,123 @@
+// Shared experiment harness for the benchmark binaries: builds complete
+// worlds (paper Table I testbed or emulated WAN) with one of three data
+// planes deployed —
+//   kPhysical : hosts sit directly on the Internet; workloads run on the
+//               underlay stacks (the paper's "Physical"/"LAN" baselines),
+//   kWavnet   : hosts behind NATs, full WAVNet deployment (rendezvous +
+//               hole-punched tunnels + WAV-Switch virtual LAN),
+//   kIpop     : hosts behind NATs, the IPOP-like ring overlay baseline.
+// Workloads address hosts by name and measure on whichever plane is
+// active, so each bench runs the same code three times.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fabric/wan.hpp"
+#include "ipop/ipop.hpp"
+#include "overlay/rendezvous.hpp"
+#include "vm/migration.hpp"
+#include "wavnet/host.hpp"
+
+namespace wav::benchx {
+
+enum class Plane { kPhysical, kWavnet, kIpop };
+
+[[nodiscard]] const char* to_string(Plane plane) noexcept;
+
+/// A deployed host on the measured plane.
+struct Deployed {
+  fabric::HostNode* node{nullptr};
+  std::unique_ptr<wavnet::WavnetHost> wavnet;  // plane == kWavnet
+  std::unique_ptr<ipop::IpopHost> ipop;        // plane == kIpop
+  net::Ipv4Address virtual_ip{};
+  double gflops{8.0};
+
+  /// The IP stack workloads bind to on the active plane.
+  [[nodiscard]] stack::IpLayer& stack();
+  /// The address peers dial on the active plane.
+  [[nodiscard]] net::Ipv4Address address();
+  /// The local virtual bridge (nullptr on the physical plane).
+  [[nodiscard]] wavnet::SoftwareBridge* bridge();
+  /// The host's single shared TCP layer on the active plane (created on
+  /// first use). A stack supports exactly one TcpLayer; everything —
+  /// workloads and migration alike — must go through this one.
+  [[nodiscard]] tcp::TcpLayer& tcp();
+
+ private:
+  std::unique_ptr<tcp::TcpLayer> tcp_;
+};
+
+class World {
+ public:
+  World(Plane plane, std::uint64_t seed);
+  ~World();
+
+  /// Builds the paper's seven-site Table I testbed; host names: "HKU1",
+  /// "HKU2", "OffCam", "SIAT", "PU", "Sinica", "AIST", "SDSC".
+  void build_paper_testbed();
+
+  /// Builds an emulated WAN: `n` single-host sites ("h1".."hN") with the
+  /// given access rate and uniform pairwise RTT.
+  void build_emulated(std::size_t n, BitRate access_rate, Duration rtt);
+
+  /// Deploys the plane (registration, hole punching, mesh/ring) and runs
+  /// the simulation until the control plane settles.
+  void deploy();
+
+  [[nodiscard]] Plane plane() const noexcept { return plane_; }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] fabric::Wan& wan() noexcept { return *wan_; }
+  [[nodiscard]] Deployed& host(const std::string& name);
+  [[nodiscard]] std::vector<std::string> host_names() const;
+  [[nodiscard]] ipop::BindingTable& bindings() noexcept { return bindings_; }
+
+  /// Sets the (site) access rate for the named host's site (Fig 7 sweep).
+  void set_site_rate(const std::string& site, BitRate rate);
+  /// Same, addressed by host name.
+  void set_host_site_rate(const std::string& host_name, BitRate rate);
+
+  enum class IpopTopology { kFullMesh, kRing };
+  /// Before deploy(): full mesh models IPOP with on-demand shortcuts for
+  /// all active flows (small deployments); ring models its bounded
+  /// connection set at scale (the Fig 8 degradation).
+  void set_ipop_topology(IpopTopology topology) noexcept { ipop_topology_ = topology; }
+
+  /// Migrates `vm` from host `from` to host `to` on the active plane.
+  /// On kIpop the binding table is deliberately NOT updated (the paper's
+  /// observation); call rebind_after_ipop_migration() to model restart.
+  struct MigrationHandles {
+    std::unique_ptr<vm::MigrationTask> task;
+  };
+  [[nodiscard]] MigrationHandles migrate(vm::VirtualMachine& vmachine,
+                                         const std::string& from, const std::string& to,
+                                         vm::MigrationConfig config,
+                                         vm::MigrationTask::DoneHandler done);
+
+  /// Attaches a VM to a host's bridge on the overlay planes (and binds
+  /// its IP on IPOP). On the physical plane this is unsupported.
+  void attach_vm(vm::VirtualMachine& vmachine, const std::string& host_name);
+
+ private:
+  void deploy_wavnet();
+  void deploy_ipop();
+  std::string site_of(const std::string& host_name) const;
+
+  Plane plane_;
+  sim::Simulation sim_;
+  fabric::Network network_;
+  std::unique_ptr<fabric::Wan> wan_;
+  std::unique_ptr<overlay::RendezvousServer> rendezvous_;
+  ipop::BindingTable bindings_;
+  std::map<std::string, Deployed> hosts_;
+  std::map<std::string, std::string> host_site_;
+  std::uint32_t next_vip_{10};
+  bool paper_testbed_{false};
+  IpopTopology ipop_topology_{IpopTopology::kFullMesh};
+};
+
+/// Prints a bench banner with the experiment id and setup notes.
+void banner(const std::string& experiment, const std::string& description);
+
+}  // namespace wav::benchx

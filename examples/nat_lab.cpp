@@ -1,0 +1,97 @@
+// NAT laboratory: what STUN sees, and which NAT pairs can hole-punch.
+//
+// Builds one site per NAT behaviour (full cone, restricted cone,
+// port-restricted cone, symmetric), runs the RFC 3489 classification
+// from each, then attempts direct connections between every pair and
+// reports the punching outcome — the ground truth behind WAVNet's
+// "suitable for UDP hole punching" decision (paper §II.B).
+//
+//   build/examples/nat_lab
+#include <cstdio>
+
+#include "fabric/wan.hpp"
+#include "overlay/host_agent.hpp"
+#include "overlay/rendezvous.hpp"
+#include "stun/stun.hpp"
+
+using namespace wav;
+
+int main() {
+  std::printf("=== NAT lab: STUN classification and hole-punching matrix ===\n\n");
+
+  sim::Simulation sim{11};
+  fabric::Network network{sim};
+  fabric::Wan wan{network};
+
+  const nat::NatType kTypes[] = {
+      nat::NatType::kFullCone, nat::NatType::kRestrictedCone,
+      nat::NatType::kPortRestrictedCone, nat::NatType::kSymmetric};
+  std::vector<fabric::Wan::Site*> sites;
+  for (const auto type : kTypes) {
+    fabric::SiteConfig cfg;
+    cfg.name = std::string("site-") + nat::to_string(type);
+    cfg.nat.type = type;
+    sites.push_back(&wan.add_site(cfg));
+  }
+  auto& rv_host = wan.add_public_host("rendezvous");
+  auto& stun_primary = wan.add_public_host("stun-primary");
+  auto& stun_alt = wan.add_public_host("stun-alt");
+  fabric::PairPath path;
+  path.one_way = milliseconds(12);
+  wan.set_default_paths(path);
+
+  overlay::RendezvousServer rendezvous{rv_host};
+  rendezvous.bootstrap();
+  stun::StunServer stun_server{stun_primary, stun_alt};
+
+  // One agent per site; STUN runs as part of start().
+  std::vector<std::unique_ptr<overlay::HostAgent>> agents;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    overlay::HostAgent::Config cfg;
+    cfg.name = nat::to_string(kTypes[i]);
+    cfg.rendezvous = rendezvous.host_endpoint();
+    cfg.stun = {{stun_server.primary_endpoint(), stun_server.alternate_endpoint()}};
+    agents.push_back(std::make_unique<overlay::HostAgent>(*sites[i]->hosts[0], cfg));
+    agents.back()->start();
+  }
+  sim.run_for(seconds(15));
+
+  std::printf("STUN classification results:\n");
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    std::printf("  host behind %-22s -> detected %-22s public %s\n",
+                nat::to_string(kTypes[i]),
+                nat::to_string(agents[i]->self_info().nat_type),
+                agents[i]->self_info().public_endpoint.to_string().c_str());
+  }
+
+  std::printf("\nhole-punching matrix (rows connect to columns):\n          ");
+  for (const auto type : kTypes) std::printf("%-12.12s", nat::to_string(type));
+  std::printf("\n");
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    for (std::size_t j = 0; j < agents.size(); ++j) {
+      if (i == j) continue;
+      agents[i]->connect_to(agents[j]->self_info());
+    }
+  }
+  sim.run_for(seconds(20));
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    std::printf("%-10.10s", nat::to_string(kTypes[i]));
+    for (std::size_t j = 0; j < agents.size(); ++j) {
+      if (i == j) {
+        std::printf("%-12s", "-");
+        continue;
+      }
+      const bool up = agents[i]->link_established(agents[j]->id());
+      const bool predicted =
+          nat::hole_punch_compatible(kTypes[i], kTypes[j]);
+      std::printf("%-12s", up ? (predicted ? "OK" : "OK(!)")
+                              : (predicted ? "FAIL(!)" : "blocked"));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n'blocked' pairs involve a symmetric NAT on at least one side with no\n"
+      "full-cone opposite — exactly the combinations STUN warns about, so the\n"
+      "WAVNet driver knows in advance which hosts cannot peer directly.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "apps/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace wav::apps {
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(n > 0 && (n & (n - 1)) == 0 && "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * std::numbers::pi * static_cast<double>(k * t) / static_cast<double>(n);
+      sum += data[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+double fft_flops(double n) { return 5.0 * n * std::log2(n); }
+
+}  // namespace wav::apps

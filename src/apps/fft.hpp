@@ -1,0 +1,24 @@
+// In-place radix-2 complex FFT — the numerical core behind the NAS FT
+// kernel reproduction. Real computation, unit-tested against a direct
+// DFT; the FT benchmark uses it for self-checks while modeling the
+// class-A/B problem sizes' compute time analytically.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace wav::apps {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative Cooley-Tukey FFT. data.size() must be a power of 2.
+void fft(std::vector<Complex>& data, bool inverse = false);
+
+/// O(n^2) reference DFT for validation.
+[[nodiscard]] std::vector<Complex> dft_reference(const std::vector<Complex>& data);
+
+/// Floating-point operation count of a radix-2 FFT of size n (the 5 n
+/// log2 n convention used by NAS).
+[[nodiscard]] double fft_flops(double n);
+
+}  // namespace wav::apps

@@ -1,0 +1,275 @@
+#include "apps/mpi_apps.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace wav::apps {
+namespace {
+
+constexpr std::uint32_t kHaloUpTag = 100;    // sent to the rank above
+constexpr std::uint32_t kHaloDownTag = 101;  // sent to the rank below
+
+/// Fixed Dirichlet boundary: top edge hot (1.0), other edges cold (0.0).
+double boundary_top() { return 1.0; }
+
+net::Chunk encode_row(const std::vector<double>& grid, std::size_t row_offset,
+                      std::size_t m) {
+  ByteBuffer buf;
+  ByteWriter w{buf};
+  for (std::size_t c = 0; c < m; ++c) w.f64(grid[row_offset + c]);
+  return net::Chunk::from_bytes(std::move(buf));
+}
+
+void decode_row(const std::vector<net::Chunk>& payload, std::vector<double>& grid,
+                std::size_t row_offset, std::size_t m) {
+  const ByteBuffer bytes = payload_bytes(payload);
+  ByteReader r{bytes};
+  for (std::size_t c = 0; c < m; ++c) {
+    grid[row_offset + c] = r.f64().value_or(0.0);
+  }
+}
+
+}  // namespace
+
+HeatSolver::HeatSolver(MpiCluster& mpi, std::size_t m, std::size_t iterations,
+                       double flops_per_cell)
+    : mpi_(mpi), m_(m), iterations_(iterations), flops_per_cell_(flops_per_cell) {
+  const std::size_t p = mpi.size();
+  states_.resize(p);
+  std::size_t row = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    RankState& st = states_[r];
+    st.row_begin = row;
+    st.rows = m / p + (r < m % p ? 1 : 0);
+    row += st.rows;
+    st.grid.assign((st.rows + 2) * m, 0.0);
+    st.next = st.grid;
+    // Top boundary condition lives in rank 0's upper ghost row.
+    if (r == 0) {
+      for (std::size_t c = 0; c < m; ++c) st.grid[c] = boundary_top();
+    }
+  }
+}
+
+double& HeatSolver::cell(RankState& st, std::size_t local_row, std::size_t col) {
+  return st.grid[local_row * m_ + col];
+}
+
+void HeatSolver::run(std::function<void(const Result&)> done) {
+  done_ = std::move(done);
+  started_ = mpi_.sim().now();
+  for (std::size_t r = 0; r < mpi_.size(); ++r) start_iteration(r);
+}
+
+void HeatSolver::start_iteration(std::size_t rank) {
+  RankState& st = states_[rank];
+  if (st.iteration >= iterations_) {
+    iteration_complete(rank);
+    return;
+  }
+  do_compute(rank);
+}
+
+void HeatSolver::do_compute(std::size_t rank) {
+  RankState& st = states_[rank];
+  const double flops =
+      static_cast<double>(st.rows) * static_cast<double>(m_) * flops_per_cell_;
+  mpi_.compute(rank, flops, [this, rank] {
+    RankState& state = states_[rank];
+    // Jacobi update (real arithmetic; ghost rows hold halos/boundaries).
+    for (std::size_t r = 1; r <= state.rows; ++r) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        const double left = c > 0 ? cell(state, r, c - 1) : 0.0;
+        const double right = c + 1 < m_ ? cell(state, r, c + 1) : 0.0;
+        const double up = cell(state, r - 1, c);
+        const double down = cell(state, r + 1, c);
+        state.next[r * m_ + c] = 0.25 * (left + right + up + down);
+      }
+    }
+    // Preserve ghost rows; swap interior.
+    for (std::size_t r = 1; r <= state.rows; ++r) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        cell(state, r, c) = state.next[r * m_ + c];
+      }
+    }
+    exchange_halos(rank);
+  });
+}
+
+void HeatSolver::exchange_halos(std::size_t rank) {
+  RankState& st = states_[rank];
+  const std::size_t p = mpi_.size();
+  const bool has_up = rank > 0;
+  const bool has_down = rank + 1 < p;
+
+  // Single-rank runs have no halos to exchange. Note: this must be
+  // decided *before* posting receives — a receive can match an
+  // already-arrived message synchronously and advance the iteration
+  // re-entrantly, so checking halo_pending afterwards would advance a
+  // second time.
+  if (!has_up && !has_down) {
+    ++st.iteration;
+    start_iteration(rank);
+    return;
+  }
+  st.halo_pending = (has_up ? 1u : 0u) + (has_down ? 1u : 0u);
+
+  if (has_up) {
+    mpi_.send(rank, rank - 1, kHaloUpTag, encode_row(st.grid, 1 * m_, m_));
+  }
+  if (has_down) {
+    mpi_.send(rank, rank + 1, kHaloDownTag, encode_row(st.grid, st.rows * m_, m_));
+  }
+  auto advance = [this, rank] {
+    RankState& state = states_[rank];
+    if (--state.halo_pending == 0) {
+      ++state.iteration;
+      start_iteration(rank);
+    }
+  };
+  if (has_up) {
+    mpi_.recv(rank, rank - 1, kHaloDownTag,
+              [this, rank, advance](std::vector<net::Chunk> payload) {
+                decode_row(payload, states_[rank].grid, 0, m_);
+                advance();
+              });
+  }
+  if (has_down) {
+    mpi_.recv(rank, rank + 1, kHaloUpTag,
+              [this, rank, advance](std::vector<net::Chunk> payload) {
+                RankState& state = states_[rank];
+                decode_row(payload, state.grid, (state.rows + 1) * m_, m_);
+                advance();
+              });
+  }
+}
+
+void HeatSolver::iteration_complete(std::size_t rank) {
+  RankState& st = states_[rank];
+  if (st.finished) return;
+  st.finished = true;
+  if (++ranks_done_ < mpi_.size()) return;
+
+  Result result;
+  result.elapsed = mpi_.sim().now() - started_;
+  result.iterations = iterations_;
+  for (auto& state : states_) {
+    for (std::size_t r = 1; r <= state.rows; ++r) {
+      for (std::size_t c = 0; c < m_; ++c) result.checksum += cell(state, r, c);
+    }
+  }
+  if (done_) done_(result);
+}
+
+double HeatSolver::serial_checksum(std::size_t m, std::size_t iterations) {
+  std::vector<double> grid((m + 2) * m, 0.0);
+  std::vector<double> next = grid;
+  for (std::size_t c = 0; c < m; ++c) grid[c] = boundary_top();
+  auto at = [&](std::vector<double>& g, std::size_t r, std::size_t c) -> double& {
+    return g[r * m + c];
+  };
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    for (std::size_t r = 1; r <= m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) {
+        const double left = c > 0 ? at(grid, r, c - 1) : 0.0;
+        const double right = c + 1 < m ? at(grid, r, c + 1) : 0.0;
+        next[r * m + c] = 0.25 * (left + right + at(grid, r - 1, c) + at(grid, r + 1, c));
+      }
+    }
+    for (std::size_t r = 1; r <= m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) at(grid, r, c) = next[r * m + c];
+    }
+  }
+  double sum = 0;
+  for (std::size_t r = 1; r <= m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) sum += at(grid, r, c);
+  }
+  return sum;
+}
+
+void EpKernel::run(std::function<void(const Result&)> done) {
+  const std::size_t p = mpi_.size();
+  const TimePoint started = mpi_.sim().now();
+  auto finished = std::make_shared<std::size_t>(0);
+  auto shared_done = std::make_shared<std::function<void(const Result&)>>(std::move(done));
+
+  const double flops_per_rank =
+      config_.total_samples * config_.flops_per_sample / static_cast<double>(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    mpi_.compute(r, flops_per_rank, [this, finished, shared_done, started, p] {
+      if (++*finished < p) return;
+      // One small allreduce of the per-rank pair counts, then done.
+      std::vector<double> counts(p, config_.total_samples / static_cast<double>(p) * 0.78);
+      mpi_.allreduce_sum(counts, [this, shared_done, started](double total) {
+        Result result;
+        result.elapsed = mpi_.sim().now() - started;
+        result.pair_count = total;
+        (*shared_done)(result);
+      });
+    });
+  }
+}
+
+void FtKernel::run(std::function<void(const Result&)> done) {
+  auto result = std::make_shared<Result>();
+  // Real self-check: FFT then inverse FFT must round-trip.
+  std::vector<Complex> check(config_.check_fft_size);
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    check[i] = Complex{std::sin(0.1 * static_cast<double>(i)),
+                       std::cos(0.07 * static_cast<double>(i))};
+  }
+  const std::vector<Complex> original = check;
+  fft(check, false);
+  fft(check, true);
+  result->self_check_ok = true;
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    if (std::abs(check[i] - original[i]) > 1e-9) result->self_check_ok = false;
+  }
+
+  run_iteration(0, result, std::move(done));
+}
+
+void FtKernel::run_iteration(std::size_t iter, std::shared_ptr<Result> result,
+                             std::function<void(const Result&)> done) {
+  if (iter >= config_.iterations) {
+    done(*result);
+    return;
+  }
+  const TimePoint started = mpi_.sim().now();
+  const std::size_t p = mpi_.size();
+
+  // Per-iteration compute: the rank's slab of the 3-D FFT.
+  const double flops = fft_flops(config_.grid_points) / static_cast<double>(p);
+  auto exchanged = std::make_shared<std::size_t>(0);
+  auto shared_done = std::make_shared<std::function<void(const Result&)>>(std::move(done));
+
+  const std::uint32_t tag = 200 + static_cast<std::uint32_t>(iter);
+  const std::uint64_t bytes_per_pair = static_cast<std::uint64_t>(
+      config_.grid_points * 16.0 / static_cast<double>(p) / static_cast<double>(p));
+
+  for (std::size_t r = 0; r < p; ++r) {
+    mpi_.compute(r, flops, [this, r, p, tag, bytes_per_pair, exchanged, iter, result,
+                            shared_done, started] {
+      // All-to-all transpose: send a slab slice to every other rank.
+      for (std::size_t peer = 0; peer < p; ++peer) {
+        if (peer == r) continue;
+        mpi_.send(r, peer, tag, net::Chunk::virtual_bytes(bytes_per_pair));
+      }
+      auto pending = std::make_shared<std::size_t>(p - 1);
+      for (std::size_t peer = 0; peer < p; ++peer) {
+        if (peer == r) continue;
+        mpi_.recv(r, peer, tag,
+                  [this, pending, exchanged, p, iter, result, shared_done,
+                   started](std::vector<net::Chunk>) {
+                    if (--*pending > 0) return;
+                    if (++*exchanged < p) return;
+                    result->elapsed += mpi_.sim().now() - started;
+                    run_iteration(iter + 1, result,
+                                  [shared_done](const Result& r2) { (*shared_done)(r2); });
+                  });
+      }
+    });
+  }
+}
+
+}  // namespace wav::apps

@@ -1,0 +1,108 @@
+// The paper's parallel workloads on the mini-MPI runtime:
+//   * HeatSolver — the MPI heat-distribution (Jacobi) program of
+//     Figure 11: row-partitioned m x m grid, per-iteration halo exchange.
+//     The numeric update is actually computed (verifiable), while compute
+//     *time* follows each rank's current host speed.
+//   * EpKernel — NAS EP: embarrassingly parallel Gaussian-pair counting;
+//     all compute, one allreduce at the end.
+//   * FtKernel — NAS FT: 3-D FFT dominated by the all-to-all transpose;
+//     per-iteration compute modeled with the 5 n log n convention and a
+//     real small FFT self-check.
+#pragma once
+
+#include "apps/fft.hpp"
+#include "apps/mpi.hpp"
+
+namespace wav::apps {
+
+class HeatSolver {
+ public:
+  struct Result {
+    Duration elapsed{};
+    double checksum{0};        // sum of all cells after the final iteration
+    std::size_t iterations{0};
+  };
+
+  HeatSolver(MpiCluster& mpi, std::size_t m, std::size_t iterations,
+             double flops_per_cell = 10.0);
+
+  void run(std::function<void(const Result&)> done);
+
+  /// Serial reference for verification.
+  [[nodiscard]] static double serial_checksum(std::size_t m, std::size_t iterations);
+
+ private:
+  struct RankState {
+    std::size_t row_begin{0};
+    std::size_t rows{0};
+    std::vector<double> grid;      // (rows + 2 ghost) x m
+    std::vector<double> next;
+    std::size_t iteration{0};
+    std::size_t halo_pending{0};
+    bool finished{false};
+  };
+
+  void start_iteration(std::size_t rank);
+  void do_compute(std::size_t rank);
+  void exchange_halos(std::size_t rank);
+  void iteration_complete(std::size_t rank);
+  [[nodiscard]] double& cell(RankState& st, std::size_t local_row, std::size_t col);
+
+  MpiCluster& mpi_;
+  std::size_t m_;
+  std::size_t iterations_;
+  double flops_per_cell_;
+  std::vector<RankState> states_;
+  std::size_t ranks_done_{0};
+  TimePoint started_{};
+  std::function<void(const Result&)> done_;
+};
+
+class EpKernel {
+ public:
+  struct Config {
+    double total_samples{1 << 24};  // class-scaled
+    double flops_per_sample{60.0};
+  };
+
+  struct Result {
+    Duration elapsed{};
+    double pair_count{0};
+  };
+
+  EpKernel(MpiCluster& mpi, Config config) : mpi_(mpi), config_(config) {}
+
+  void run(std::function<void(const Result&)> done);
+
+ private:
+  MpiCluster& mpi_;
+  Config config_;
+};
+
+class FtKernel {
+ public:
+  struct Config {
+    double grid_points{1 << 22};  // total complex points (class-scaled)
+    std::size_t iterations{6};
+    /// Self-check FFT size actually computed per iteration (real math).
+    std::size_t check_fft_size{256};
+  };
+
+  struct Result {
+    Duration elapsed{};
+    bool self_check_ok{false};
+  };
+
+  FtKernel(MpiCluster& mpi, Config config) : mpi_(mpi), config_(config) {}
+
+  void run(std::function<void(const Result&)> done);
+
+ private:
+  void run_iteration(std::size_t iter, std::shared_ptr<Result> result,
+                     std::function<void(const Result&)> done);
+
+  MpiCluster& mpi_;
+  Config config_;
+};
+
+}  // namespace wav::apps

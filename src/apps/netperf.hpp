@@ -1,0 +1,108 @@
+// Bulk TCP throughput tools:
+//   * NetperfStream — netperf TCP_STREAM equivalent: saturate a TCP
+//     connection for a fixed duration, polling throughput every 500 ms
+//     (Figures 7, 8, 9 and the Table IV/V bandwidth columns).
+//   * TtcpTransfer — ttcp equivalent: move a fixed byte count and report
+//     the transfer rate (Figure 6).
+// Each object orchestrates both endpoints; the bytes cross the simulated
+// network through real TCP connections.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "tcp/tcp.hpp"
+
+namespace wav::apps {
+
+class NetperfStream {
+ public:
+  struct Config {
+    std::uint16_t port{12865};
+    Duration duration{seconds(10)};
+    Duration poll_interval{milliseconds(500)};
+    std::uint64_t write_chunk{128 * 1024};
+  };
+
+  struct Report {
+    ByteSize bytes_received{};
+    Duration elapsed{};
+    BitRate throughput{};
+    std::vector<TimeSeriesPoint> poll_mbps;  // per-interval Mbit/s
+  };
+
+  using DoneHandler = std::function<void(const Report&)>;
+
+  /// Streams from `sender` to `receiver` (the server listens on
+  /// receiver_ip:port).
+  NetperfStream(tcp::TcpLayer& sender, tcp::TcpLayer& receiver,
+                net::Ipv4Address receiver_ip, Config config);
+  ~NetperfStream();
+
+  NetperfStream(const NetperfStream&) = delete;
+  NetperfStream& operator=(const NetperfStream&) = delete;
+
+  void start(DoneHandler done = {});
+  /// Ends the stream early (report covers the elapsed portion).
+  void stop();
+
+  [[nodiscard]] Report report() const;
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  void pump();
+  void finish();
+
+  tcp::TcpLayer& sender_;
+  tcp::TcpLayer& receiver_;
+  net::Ipv4Address receiver_ip_;
+  Config config_;
+  DoneHandler done_;
+
+  tcp::TcpConnection::Ptr conn_;
+  std::uint64_t received_{0};
+  TimePoint started_{};
+  TimePoint finished_at_{};
+  bool started_flag_{false};
+  bool finished_{false};
+  std::unique_ptr<IntervalSeries> series_;
+  sim::OneShotTimer deadline_;
+};
+
+class TtcpTransfer {
+ public:
+  struct Config {
+    std::uint16_t port{5010};
+    std::uint64_t total_bytes{64ull * 1024 * 1024};
+    std::uint64_t buffer_bytes{16384};  // the paper's ttcp buf size
+  };
+
+  struct Report {
+    ByteSize bytes{};
+    Duration elapsed{};
+    /// KB/s, matching Figure 6's y-axis.
+    double rate_kbps{0};
+  };
+
+  using DoneHandler = std::function<void(const Report&)>;
+
+  TtcpTransfer(tcp::TcpLayer& sender, tcp::TcpLayer& receiver,
+               net::Ipv4Address receiver_ip, Config config);
+  ~TtcpTransfer();
+
+  void start(DoneHandler done);
+
+ private:
+  tcp::TcpLayer& sender_;
+  tcp::TcpLayer& receiver_;
+  net::Ipv4Address receiver_ip_;
+  Config config_;
+  DoneHandler done_;
+  tcp::TcpConnection::Ptr conn_;
+  std::uint64_t received_{0};
+  std::uint64_t queued_{0};
+  TimePoint started_{};
+  bool finished_{false};
+};
+
+}  // namespace wav::apps

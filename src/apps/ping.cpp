@@ -1,0 +1,62 @@
+#include "apps/ping.hpp"
+
+namespace wav::apps {
+
+PingSession::PingSession(stack::IcmpLayer& icmp, net::Ipv4Address target)
+    : PingSession(icmp, target, Config{}) {}
+
+PingSession::PingSession(stack::IcmpLayer& icmp, net::Ipv4Address target, Config config)
+    : icmp_(icmp),
+      target_(target),
+      config_(config),
+      id_(icmp.allocate_id()),
+      timer_(icmp_.sim(), config.interval, [this] { send_probe(); }) {
+  icmp_.on_reply(id_, [this](net::Ipv4Address from, const net::IcmpMessage& reply) {
+    if (from != target_) return;
+    if (reply.seq < samples_.size() && !samples_[reply.seq].rtt) {
+      const Duration rtt = icmp_.sim().now() - samples_[reply.seq].sent;
+      if (rtt <= config_.timeout) samples_[reply.seq].rtt = rtt;
+    }
+  });
+}
+
+PingSession::~PingSession() {
+  stop();
+  icmp_.remove_handler(id_);
+}
+
+void PingSession::start() { timer_.start_after(kZeroDuration); }
+
+void PingSession::stop() { timer_.stop(); }
+
+void PingSession::send_probe() {
+  const std::uint16_t seq = next_seq_++;
+  samples_.push_back(Sample{icmp_.sim().now(), std::nullopt});
+  icmp_.send_echo_request(target_, id_, seq, config_.payload_bytes);
+}
+
+SampleSet PingSession::rtt_ms() const {
+  SampleSet set;
+  for (const auto& s : samples_) {
+    if (s.rtt) set.add(to_milliseconds(*s.rtt));
+  }
+  return set;
+}
+
+double PingSession::loss_rate() const {
+  const TimePoint now = icmp_.sim().now();
+  std::size_t answered = 0;
+  std::size_t lost = 0;
+  for (const auto& s : samples_) {
+    if (s.rtt) {
+      ++answered;
+    } else if (now - s.sent > config_.timeout) {
+      ++lost;
+    }
+  }
+  const std::size_t resolved = answered + lost;
+  return resolved == 0 ? 0.0
+                       : static_cast<double>(lost) / static_cast<double>(resolved);
+}
+
+}  // namespace wav::apps

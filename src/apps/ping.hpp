@@ -1,0 +1,59 @@
+// ICMP echo measurement session — the tool behind Table II (RTT), the
+// Figure 10 time series (RTT + packet loss during migration), and the
+// latency matrix maintenance of the distance locator.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "stack/icmp.hpp"
+
+namespace wav::apps {
+
+class PingSession {
+ public:
+  struct Config {
+    Duration interval{seconds(1)};
+    std::uint64_t payload_bytes{56};
+    Duration timeout{seconds(2)};
+  };
+
+  PingSession(stack::IcmpLayer& icmp, net::Ipv4Address target, Config config);
+  PingSession(stack::IcmpLayer& icmp, net::Ipv4Address target);
+  ~PingSession();
+
+  PingSession(const PingSession&) = delete;
+  PingSession& operator=(const PingSession&) = delete;
+
+  void start();
+  void stop();
+
+  struct Sample {
+    TimePoint sent{};
+    std::optional<Duration> rtt;  // nullopt = lost (no reply within timeout)
+  };
+
+  /// All probes sent so far; unanswered probes younger than the timeout
+  /// are still pending and excluded from loss accounting.
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// Successful RTTs in milliseconds.
+  [[nodiscard]] SampleSet rtt_ms() const;
+  /// Lost / (lost + answered), ignoring still-pending probes.
+  [[nodiscard]] double loss_rate() const;
+  [[nodiscard]] std::size_t sent_count() const noexcept { return samples_.size(); }
+
+ private:
+  void send_probe();
+
+  stack::IcmpLayer& icmp_;
+  net::Ipv4Address target_;
+  Config config_;
+  std::uint16_t id_;
+  std::uint16_t next_seq_{0};
+  std::vector<Sample> samples_;  // index = seq
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace wav::apps

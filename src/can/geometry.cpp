@@ -1,0 +1,176 @@
+#include "can/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wav::can {
+
+Point Point::random(Rng& rng, std::size_t dims) {
+  Point p;
+  p.coords.resize(dims);
+  for (auto& c : p.coords) c = rng.uniform();
+  return p;
+}
+
+std::string Point::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", coords[i]);
+    out += buf;
+    if (i + 1 < coords.size()) out += ", ";
+  }
+  return out + ")";
+}
+
+Zone Zone::whole(std::size_t dims) {
+  Zone z;
+  z.lo.assign(dims, 0.0);
+  z.hi.assign(dims, 1.0);
+  return z;
+}
+
+bool Zone::contains(const Point& p) const noexcept {
+  if (p.dims() != dims()) return false;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    if (p.coords[i] < lo[i] || p.coords[i] >= hi[i]) return false;
+  }
+  return true;
+}
+
+double Zone::volume() const noexcept {
+  double v = 1.0;
+  for (std::size_t i = 0; i < dims(); ++i) v *= hi[i] - lo[i];
+  return v;
+}
+
+double Zone::distance_sq(const Point& p) const noexcept {
+  // Zones are half-open boxes [lo, hi). A point sitting exactly on an
+  // upper face is *not* contained, so it must rank at a small positive
+  // distance — otherwise greedy routing can tie at zero among several
+  // boundary zones and dead-end before reaching the true owner.
+  constexpr double kHalfOpenEpsilon = 1e-9;
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    double d = 0.0;
+    if (p.coords[i] < lo[i]) {
+      d = lo[i] - p.coords[i];
+    } else if (p.coords[i] >= hi[i]) {
+      d = p.coords[i] - hi[i] + kHalfOpenEpsilon;
+    }
+    d2 += d * d;
+  }
+  return d2;
+}
+
+bool Zone::is_neighbor(const Zone& other) const noexcept {
+  if (other.dims() != dims()) return false;
+  std::size_t abutting = 0;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    const bool touches = hi[i] == other.lo[i] || other.hi[i] == lo[i];
+    const bool overlaps = lo[i] < other.hi[i] && other.lo[i] < hi[i];
+    if (touches && !overlaps) {
+      ++abutting;
+    } else if (!overlaps) {
+      return false;  // separated in this dimension
+    }
+  }
+  return abutting == 1;
+}
+
+std::pair<Zone, Zone> Zone::split() const {
+  std::size_t dim = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    const double extent = hi[i] - lo[i];
+    if (extent > best) {
+      best = extent;
+      dim = i;
+    }
+  }
+  const double mid = lo[dim] + (hi[dim] - lo[dim]) / 2.0;
+  Zone lower = *this;
+  Zone upper = *this;
+  lower.hi[dim] = mid;
+  upper.lo[dim] = mid;
+  return {lower, upper};
+}
+
+std::optional<Zone> Zone::merged_with(const Zone& other) const {
+  if (other.dims() != dims()) return std::nullopt;
+  // They must be identical in all dimensions except one, where they abut.
+  std::optional<std::size_t> differing;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    if (lo[i] == other.lo[i] && hi[i] == other.hi[i]) continue;
+    if (differing) return std::nullopt;
+    differing = i;
+  }
+  if (!differing) return std::nullopt;
+  const std::size_t d = *differing;
+  Zone merged = *this;
+  if (hi[d] == other.lo[d]) {
+    merged.hi[d] = other.hi[d];
+  } else if (other.hi[d] == lo[d]) {
+    merged.lo[d] = other.lo[d];
+  } else {
+    return std::nullopt;
+  }
+  return merged;
+}
+
+std::string Zone::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f..%.3f", lo[i], hi[i]);
+    out += buf;
+    if (i + 1 < dims()) out += " x ";
+  }
+  return out + "]";
+}
+
+void encode_point(ByteWriter& w, const Point& p) {
+  w.u8(static_cast<std::uint8_t>(p.dims()));
+  for (const double c : p.coords) w.f64(c);
+}
+
+std::optional<Point> parse_point(ByteReader& r) {
+  const auto dims = r.u8();
+  if (!dims) return std::nullopt;
+  Point p;
+  p.coords.reserve(*dims);
+  for (std::size_t i = 0; i < *dims; ++i) {
+    const auto c = r.f64();
+    if (!c) return std::nullopt;
+    p.coords.push_back(*c);
+  }
+  return p;
+}
+
+void encode_zone(ByteWriter& w, const Zone& z) {
+  w.u8(static_cast<std::uint8_t>(z.dims()));
+  for (const double c : z.lo) w.f64(c);
+  for (const double c : z.hi) w.f64(c);
+}
+
+std::optional<Zone> parse_zone(ByteReader& r) {
+  const auto dims = r.u8();
+  if (!dims) return std::nullopt;
+  Zone z;
+  z.lo.reserve(*dims);
+  z.hi.reserve(*dims);
+  for (std::size_t i = 0; i < *dims; ++i) {
+    const auto c = r.f64();
+    if (!c) return std::nullopt;
+    z.lo.push_back(*c);
+  }
+  for (std::size_t i = 0; i < *dims; ++i) {
+    const auto c = r.f64();
+    if (!c) return std::nullopt;
+    z.hi.push_back(*c);
+  }
+  return z;
+}
+
+}  // namespace wav::can

@@ -1,0 +1,68 @@
+// Pure geometry of the Content-Addressable Network coordinate space
+// (Ratnasamy et al., SIGCOMM 2001), which WAVNet uses to organize its
+// rendezvous servers: a d-dimensional unit hypercube partitioned into
+// axis-aligned zones, one per node. Splitting, adjacency and point
+// routing distance are all here, independent of any networking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace wav::can {
+
+/// A point in [0,1)^d.
+struct Point {
+  std::vector<double> coords;
+
+  [[nodiscard]] std::size_t dims() const noexcept { return coords.size(); }
+  [[nodiscard]] static Point random(Rng& rng, std::size_t dims);
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Axis-aligned box [lo, hi) per dimension.
+struct Zone {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  [[nodiscard]] static Zone whole(std::size_t dims);
+
+  [[nodiscard]] std::size_t dims() const noexcept { return lo.size(); }
+  [[nodiscard]] bool contains(const Point& p) const noexcept;
+  [[nodiscard]] double volume() const noexcept;
+
+  /// Squared Euclidean distance from the zone (as a solid box) to `p`;
+  /// zero when the point lies inside. Greedy CAN routing forwards to the
+  /// neighbor minimizing this.
+  [[nodiscard]] double distance_sq(const Point& p) const noexcept;
+
+  /// True when the zones share a (d-1)-dimensional face: they abut in
+  /// exactly one dimension and overlap in all others. This is CAN's
+  /// neighbor relation.
+  [[nodiscard]] bool is_neighbor(const Zone& other) const noexcept;
+
+  /// Splits along the dimension with the largest extent (ties: lowest
+  /// index), halving it. Returns {lower half, upper half}.
+  [[nodiscard]] std::pair<Zone, Zone> split() const;
+
+  /// True when `other` is the sibling produced by split() (merging them
+  /// yields a valid box) — used for node-departure zone takeover.
+  [[nodiscard]] std::optional<Zone> merged_with(const Zone& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Zone&) const = default;
+};
+
+void encode_point(ByteWriter& w, const Point& p);
+[[nodiscard]] std::optional<Point> parse_point(ByteReader& r);
+void encode_zone(ByteWriter& w, const Zone& z);
+[[nodiscard]] std::optional<Zone> parse_zone(ByteReader& r);
+
+}  // namespace wav::can

@@ -1,0 +1,663 @@
+#include "can/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace wav::can {
+namespace {
+
+constexpr std::uint8_t kMaxHops = 64;
+
+void encode_endpoint(ByteWriter& w, const net::Endpoint& ep) {
+  w.u32(ep.ip.value);
+  w.u16(ep.port);
+}
+
+std::optional<net::Endpoint> parse_endpoint(ByteReader& r) {
+  const auto ip = r.u32();
+  const auto port = r.u16();
+  if (!ip || !port) return std::nullopt;
+  return net::Endpoint{net::Ipv4Address{*ip}, *port};
+}
+
+/// Items travel with their *remaining* TTL in milliseconds (0 = never
+/// expires), so transfers during join/leave preserve expiry semantics.
+void encode_items(ByteWriter& w, const std::vector<Item>& items, TimePoint now) {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    encode_point(w, item.point);
+    std::uint32_t ttl_ms = 0;
+    if (item.expires < kTimeInfinity) {
+      const Duration remaining = item.expires - now;
+      ttl_ms = remaining > kZeroDuration
+                   ? static_cast<std::uint32_t>(
+                         std::min<double>(to_milliseconds(remaining), 4e9))
+                   : 1;
+    }
+    w.u32(ttl_ms);
+    w.u32(static_cast<std::uint32_t>(item.payload.size()));
+    w.raw(item.payload);
+  }
+}
+
+std::optional<std::vector<Item>> parse_items(ByteReader& r, TimePoint now) {
+  const auto count = r.u32();
+  if (!count) return std::nullopt;
+  std::vector<Item> items;
+  items.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto point = parse_point(r);
+    if (!point) return std::nullopt;
+    const auto ttl_ms = r.u32();
+    const auto len = r.u32();
+    if (!ttl_ms || !len) return std::nullopt;
+    const auto payload = r.raw(*len);
+    if (!payload) return std::nullopt;
+    Item item{*point, ByteBuffer{payload->begin(), payload->end()}, kTimeInfinity};
+    if (*ttl_ms != 0) item.expires = now + milliseconds(*ttl_ms);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+double point_distance_sq(const Point& a, const Point& b) {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.dims() && i < b.dims(); ++i) {
+    const double d = a.coords[i] - b.coords[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+}  // namespace
+
+CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn send)
+    : CanNode(sim, id, self, std::move(send), Config{}) {}
+
+CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn send,
+                 Config config)
+    : sim_(sim),
+      id_(id),
+      self_(self),
+      send_(std::move(send)),
+      config_(config),
+      zone_(Zone::whole(config.dims)),
+      hello_timer_(sim, config.hello_interval, [this] {
+        prune_expired_items();
+        announce_to_neighbors();
+        // Drop neighbors that have gone silent for several periods.
+        const TimePoint now = sim_.now();
+        for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+          if (now - it->second.last_seen > config_.hello_interval * 3) {
+            it = neighbors_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }) {}
+
+void CanNode::bootstrap() {
+  zone_ = Zone::whole(config_.dims);
+  joined_ = true;
+  hello_timer_.start();
+}
+
+void CanNode::join(const net::Endpoint& seed) {
+  const Point target = Point::random(sim_.rng(), config_.dims);
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kJoinRequest));
+  w.u8(0);  // hops
+  w.u64(id_);
+  encode_endpoint(w, self_);
+  encode_point(w, target);
+  send(seed, net::Chunk::from_bytes(std::move(out)));
+}
+
+void CanNode::send(const net::Endpoint& to, net::Chunk msg) {
+  ++stats_.messages_sent;
+  send_(to, std::move(msg));
+}
+
+bool CanNode::route(const Point& target, const net::Chunk& msg, std::uint8_t hops) {
+  if (hops >= kMaxHops) {
+    ++stats_.routed_dead_end;
+    return false;
+  }
+  const double my_dist = zone_.distance_sq(target);
+  const NeighborInfo* best = nullptr;
+  double best_dist = my_dist;
+  for (const auto& [nid, info] : neighbors_) {
+    const double d = info.zone.distance_sq(target);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &info;
+    }
+  }
+  if (best == nullptr) {
+    ++stats_.routed_dead_end;
+    log::debug("can", "node {} dead-ends routing to {}", id_, target.to_string());
+    return false;
+  }
+  net::Chunk fwd = msg;
+  fwd.real[1] = static_cast<std::byte>(hops + 1);
+  ++stats_.routed_forwarded;
+  send(best->endpoint, std::move(fwd));
+  return true;
+}
+
+void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
+  ++stats_.messages_received;
+  if (msg.real.size() < 2) return;
+  ByteReader r{msg.real};
+  const auto type_raw = r.u8();
+  const auto hops = r.u8();
+  if (!type_raw || !hops) return;
+  const auto type = static_cast<MsgType>(*type_raw);
+
+  switch (type) {
+    case MsgType::kJoinRequest: {
+      // Peek the target to decide routing before full parsing.
+      ByteReader peek{msg.real};
+      (void)peek.u8();
+      (void)peek.u8();
+      (void)peek.u64();
+      (void)parse_endpoint(peek);
+      const auto target = parse_point(peek);
+      if (!target) return;
+      if (!zone_.contains(*target)) {
+        route(*target, msg, *hops);
+        return;
+      }
+      stats_.total_delivery_hops += *hops;
+      ++stats_.routed_delivered;
+      handle_join_request(msg);
+      return;
+    }
+    case MsgType::kStore:
+    case MsgType::kErase: {
+      ByteReader peek{msg.real};
+      (void)peek.u8();
+      (void)peek.u8();
+      const auto target = parse_point(peek);
+      if (!target) return;
+      if (!zone_.contains(*target)) {
+        route(*target, msg, *hops);
+        return;
+      }
+      stats_.total_delivery_hops += *hops;
+      ++stats_.routed_delivered;
+      if (type == MsgType::kStore) {
+        handle_store(msg);
+      } else {
+        handle_erase(msg);
+      }
+      return;
+    }
+    case MsgType::kQuery: {
+      ByteReader peek{msg.real};
+      (void)peek.u8();
+      (void)peek.u8();
+      (void)peek.u64();
+      (void)parse_endpoint(peek);
+      const auto target = parse_point(peek);
+      if (!target) return;
+      if (!zone_.contains(*target)) {
+        route(*target, msg, *hops);
+        return;
+      }
+      stats_.total_delivery_hops += *hops;
+      ++stats_.routed_delivered;
+      handle_query(msg);
+      return;
+    }
+    case MsgType::kJoinResponse: {
+      const auto zone = parse_zone(r);
+      if (!zone) return;
+      const auto n_neighbors = r.u16();
+      if (!n_neighbors) return;
+      zone_ = *zone;
+      joined_ = true;
+      neighbors_.clear();
+      for (std::uint16_t i = 0; i < *n_neighbors; ++i) {
+        const auto nid = r.u64();
+        const auto ep = parse_endpoint(r);
+        const auto nzone = parse_zone(r);
+        if (!nid || !ep || !nzone) return;
+        if (zone_.is_neighbor(*nzone)) {
+          neighbors_[*nid] = NeighborInfo{*nid, *ep, *nzone, sim_.now()};
+        }
+      }
+      auto items = parse_items(r, sim_.now());
+      if (items) {
+        for (auto& item : *items) {
+          if (item_observer_) item_observer_(item);
+          items_.push_back(std::move(item));
+        }
+      }
+      announce_to_neighbors();
+      hello_timer_.start();
+      return;
+    }
+    case MsgType::kNeighborHello: {
+      const auto nid = r.u64();
+      const auto ep = parse_endpoint(r);
+      const auto nzone = parse_zone(r);
+      if (!nid || !ep || !nzone || *nid == id_) return;
+      refresh_neighbor(*nid, *ep, *nzone);
+      return;
+    }
+    case MsgType::kNeighborBye: {
+      const auto nid = r.u64();
+      if (nid) neighbors_.erase(*nid);
+      return;
+    }
+    case MsgType::kNeighborProbe: {
+      const auto agg_id = r.u64();
+      const auto owner_ep = parse_endpoint(r);
+      const auto point = parse_point(r);
+      const auto k = r.u16();
+      if (!agg_id || !owner_ep || !point || !k) return;
+      std::vector<Item> found;
+      add_items_sorted_by_distance(*point, found, *k);
+      ByteBuffer out;
+      ByteWriter w{out};
+      w.u8(static_cast<std::uint8_t>(MsgType::kNeighborProbeReply));
+      w.u8(0);
+      w.u64(*agg_id);
+      encode_items(w, found, sim_.now());
+      send(*owner_ep, net::Chunk::from_bytes(std::move(out)));
+      return;
+    }
+    case MsgType::kNeighborProbeReply: {
+      const auto agg_id = r.u64();
+      if (!agg_id) return;
+      const auto it = aggregations_.find(*agg_id);
+      if (it == aggregations_.end()) return;
+      auto items = parse_items(r, sim_.now());
+      if (items) {
+        for (auto& item : *items) it->second.collected.push_back(std::move(item));
+      }
+      if (it->second.outstanding > 0) --it->second.outstanding;
+      if (it->second.outstanding == 0) finish_aggregation(*agg_id);
+      return;
+    }
+    case MsgType::kQueryReply: {
+      const auto query_id = r.u64();
+      if (!query_id) return;
+      const auto it = pending_queries_.find(*query_id);
+      if (it == pending_queries_.end()) return;
+      auto items = parse_items(r, sim_.now());
+      auto callback = std::move(it->second.callback);
+      pending_queries_.erase(it);
+      callback(items ? std::move(*items) : std::vector<Item>{});
+      return;
+    }
+    case MsgType::kZoneTakeover: {
+      const auto departing = r.u64();
+      const auto zone = parse_zone(r);
+      if (!departing || !zone) return;
+      const auto merged = zone_.merged_with(*zone);
+      if (merged) {
+        zone_ = *merged;
+      } else {
+        log::warn("can", "node {} received unmergeable takeover zone", id_);
+      }
+      auto items = parse_items(r, sim_.now());
+      if (items) {
+        for (auto& item : *items) {
+          if (item_observer_) item_observer_(item);
+          items_.push_back(std::move(item));
+        }
+      }
+      neighbors_.erase(*departing);
+      // Inherit the departing node's neighbors that now abut our grown
+      // zone, so nodes that were adjacent only to the old zone learn us.
+      const auto inherited = r.u16();
+      if (inherited) {
+        for (std::uint16_t i = 0; i < *inherited; ++i) {
+          const auto nid = r.u64();
+          const auto ep = parse_endpoint(r);
+          const auto nzone = parse_zone(r);
+          if (!nid || !ep || !nzone) break;
+          if (*nid != id_ && zone_.is_neighbor(*nzone) && !neighbors_.contains(*nid)) {
+            neighbors_[*nid] = NeighborInfo{*nid, *ep, *nzone, sim_.now()};
+          }
+        }
+      }
+      announce_to_neighbors();
+      prune_non_adjacent();
+      return;
+    }
+  }
+  (void)from;
+}
+
+void CanNode::handle_join_request(const net::Chunk& msg) {
+  ByteReader r{msg.real};
+  (void)r.u8();
+  (void)r.u8();
+  const auto joiner_id = r.u64();
+  const auto joiner_ep = parse_endpoint(r);
+  const auto target = parse_point(r);
+  if (!joiner_id || !joiner_ep || !target) return;
+  if (*joiner_id == id_) return;
+
+  auto [lower, upper] = zone_.split();
+  const bool joiner_gets_lower = lower.contains(*target);
+  const Zone joiner_zone = joiner_gets_lower ? lower : upper;
+  const Zone my_zone = joiner_gets_lower ? upper : lower;
+
+  // Partition items.
+  std::vector<Item> transferred;
+  std::vector<Item> kept;
+  for (auto& item : items_) {
+    if (joiner_zone.contains(item.point)) {
+      transferred.push_back(std::move(item));
+    } else {
+      kept.push_back(std::move(item));
+    }
+  }
+  items_ = std::move(kept);
+
+  // Build the join response: assigned zone + my neighbor table + myself.
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kJoinResponse));
+  w.u8(0);
+  encode_zone(w, joiner_zone);
+  w.u16(static_cast<std::uint16_t>(neighbors_.size() + 1));
+  w.u64(id_);
+  encode_endpoint(w, self_);
+  encode_zone(w, my_zone);
+  for (const auto& [nid, info] : neighbors_) {
+    w.u64(nid);
+    encode_endpoint(w, info.endpoint);
+    encode_zone(w, info.zone);
+  }
+  encode_items(w, transferred, sim_.now());
+
+  zone_ = my_zone;
+  neighbors_[*joiner_id] = NeighborInfo{*joiner_id, *joiner_ep, joiner_zone, sim_.now()};
+  // Announce the shrunken zone to the *old* neighbor set first so nodes
+  // that are no longer adjacent drop us; then prune them locally.
+  announce_to_neighbors();
+  prune_non_adjacent();
+
+  send(*joiner_ep, net::Chunk::from_bytes(std::move(out)));
+}
+
+void CanNode::handle_store(const net::Chunk& msg) {
+  ByteReader r{msg.real};
+  (void)r.u8();
+  (void)r.u8();
+  const auto point = parse_point(r);
+  if (!point) return;
+  const auto ttl_ms = r.u32();
+  const auto len = r.u32();
+  if (!ttl_ms || !len) return;
+  const auto payload = r.raw(*len);
+  if (!payload) return;
+  Item item{*point, ByteBuffer{payload->begin(), payload->end()}, kTimeInfinity};
+  if (*ttl_ms != 0) item.expires = sim_.now() + milliseconds(*ttl_ms);
+  // Replace an existing record with identical payload location semantics
+  // (same point + same leading 8 payload bytes act as the record key).
+  if (item_observer_) item_observer_(item);
+  items_.push_back(std::move(item));
+}
+
+void CanNode::handle_erase(const net::Chunk& msg) {
+  ByteReader r{msg.real};
+  (void)r.u8();
+  (void)r.u8();
+  const auto point = parse_point(r);
+  if (!point) return;
+  const auto len = r.u32();
+  if (!len) return;
+  const auto payload = r.raw(*len);
+  if (!payload) return;
+  const ByteBuffer needle{payload->begin(), payload->end()};
+  std::erase_if(items_, [&](const Item& item) {
+    return item.point == *point && item.payload == needle;
+  });
+}
+
+void CanNode::handle_query(const net::Chunk& msg) {
+  ByteReader r{msg.real};
+  (void)r.u8();
+  (void)r.u8();
+  const auto query_id = r.u64();
+  const auto requester = parse_endpoint(r);
+  const auto point = parse_point(r);
+  const auto k = r.u16();
+  if (!query_id || !requester || !point || !k) return;
+
+  std::vector<Item> found;
+  add_items_sorted_by_distance(*point, found, *k);
+
+  const bool need_expansion =
+      found.size() < *k && config_.neighbor_expansion > 0 && !neighbors_.empty();
+  if (!need_expansion) {
+    ByteBuffer out;
+    ByteWriter w{out};
+    w.u8(static_cast<std::uint8_t>(MsgType::kQueryReply));
+    w.u8(0);
+    w.u64(*query_id);
+    encode_items(w, found, sim_.now());
+    send(*requester, net::Chunk::from_bytes(std::move(out)));
+    return;
+  }
+
+  const std::uint64_t agg_id = next_agg_id_++;
+  Aggregation agg;
+  agg.query_id = *query_id;
+  agg.requester = *requester;
+  agg.point = *point;
+  agg.k = *k;
+  agg.collected = std::move(found);
+  agg.outstanding = neighbors_.size();
+  agg.deadline = sim_.schedule_after(config_.query_timeout,
+                                     [this, agg_id] { finish_aggregation(agg_id); });
+  aggregations_[agg_id] = std::move(agg);
+
+  for (const auto& [nid, info] : neighbors_) {
+    ByteBuffer probe;
+    ByteWriter w{probe};
+    w.u8(static_cast<std::uint8_t>(MsgType::kNeighborProbe));
+    w.u8(0);
+    w.u64(agg_id);
+    encode_endpoint(w, self_);
+    encode_point(w, *point);
+    w.u16(static_cast<std::uint16_t>(*k));
+    send(info.endpoint, net::Chunk::from_bytes(std::move(probe)));
+  }
+}
+
+void CanNode::finish_aggregation(std::uint64_t agg_id) {
+  const auto it = aggregations_.find(agg_id);
+  if (it == aggregations_.end()) return;
+  Aggregation agg = std::move(it->second);
+  aggregations_.erase(it);
+  sim_.cancel(agg.deadline);
+
+  std::sort(agg.collected.begin(), agg.collected.end(),
+            [&](const Item& a, const Item& b) {
+              return point_distance_sq(a.point, agg.point) <
+                     point_distance_sq(b.point, agg.point);
+            });
+  // De-duplicate identical records picked up from both owner and probes.
+  agg.collected.erase(
+      std::unique(agg.collected.begin(), agg.collected.end(),
+                  [](const Item& a, const Item& b) {
+                    return a.point == b.point && a.payload == b.payload;
+                  }),
+      agg.collected.end());
+  if (agg.collected.size() > agg.k) agg.collected.resize(agg.k);
+
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kQueryReply));
+  w.u8(0);
+  w.u64(agg.query_id);
+  encode_items(w, agg.collected, sim_.now());
+  send(agg.requester, net::Chunk::from_bytes(std::move(out)));
+}
+
+void CanNode::store(const Point& point, ByteBuffer payload, Duration ttl) {
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kStore));
+  w.u8(0);
+  encode_point(w, point);
+  w.u32(ttl > kZeroDuration
+            ? static_cast<std::uint32_t>(std::min<double>(to_milliseconds(ttl), 4e9))
+            : 0);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  const net::Chunk msg = net::Chunk::from_bytes(std::move(out));
+  if (zone_.contains(point)) {
+    stats_.total_delivery_hops += 0;
+    ++stats_.routed_delivered;
+    handle_store(msg);
+  } else {
+    route(point, msg, 0);
+  }
+}
+
+void CanNode::erase(const Point& point, ByteBuffer payload_equals) {
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kErase));
+  w.u8(0);
+  encode_point(w, point);
+  w.u32(static_cast<std::uint32_t>(payload_equals.size()));
+  w.raw(payload_equals);
+  const net::Chunk msg = net::Chunk::from_bytes(std::move(out));
+  if (zone_.contains(point)) {
+    handle_erase(msg);
+  } else {
+    route(point, msg, 0);
+  }
+}
+
+void CanNode::query(const Point& point, std::size_t k, QueryCallback callback) {
+  const std::uint64_t qid = next_query_id_++;
+  pending_queries_[qid] = PendingQuery{std::move(callback)};
+
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kQuery));
+  w.u8(0);
+  w.u64(qid);
+  encode_endpoint(w, self_);
+  encode_point(w, point);
+  w.u16(static_cast<std::uint16_t>(k));
+  const net::Chunk msg = net::Chunk::from_bytes(std::move(out));
+  if (zone_.contains(point)) {
+    handle_query(msg);
+  } else if (!route(point, msg, 0)) {
+    // Dead end: answer with nothing rather than hang the caller.
+    const auto it = pending_queries_.find(qid);
+    if (it != pending_queries_.end()) {
+      auto cb = std::move(it->second.callback);
+      pending_queries_.erase(it);
+      cb({});
+    }
+  }
+}
+
+bool CanNode::leave() {
+  const NeighborInfo* sibling = nullptr;
+  for (const auto& [nid, info] : neighbors_) {
+    if (zone_.merged_with(info.zone)) {
+      sibling = &info;
+      break;
+    }
+  }
+  if (sibling == nullptr) return false;
+
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kZoneTakeover));
+  w.u8(0);
+  w.u64(id_);
+  encode_zone(w, zone_);
+  encode_items(w, items_, sim_.now());
+  w.u16(static_cast<std::uint16_t>(neighbors_.size()));
+  for (const auto& [nid, info] : neighbors_) {
+    w.u64(nid);
+    encode_endpoint(w, info.endpoint);
+    encode_zone(w, info.zone);
+  }
+  send(sibling->endpoint, net::Chunk::from_bytes(std::move(out)));
+
+  for (const auto& [nid, info] : neighbors_) {
+    if (nid == sibling->id) continue;
+    ByteBuffer bye;
+    ByteWriter bw{bye};
+    bw.u8(static_cast<std::uint8_t>(MsgType::kNeighborBye));
+    bw.u8(0);
+    bw.u64(id_);
+    send(info.endpoint, net::Chunk::from_bytes(std::move(bye)));
+  }
+
+  joined_ = false;
+  hello_timer_.stop();
+  neighbors_.clear();
+  items_.clear();
+  return true;
+}
+
+void CanNode::announce_to_neighbors() {
+  for (const auto& [nid, info] : neighbors_) {
+    ByteBuffer out;
+    ByteWriter w{out};
+    w.u8(static_cast<std::uint8_t>(MsgType::kNeighborHello));
+    w.u8(0);
+    w.u64(id_);
+    encode_endpoint(w, self_);
+    encode_zone(w, zone_);
+    send(info.endpoint, net::Chunk::from_bytes(std::move(out)));
+  }
+}
+
+void CanNode::refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone) {
+  if (zone_.is_neighbor(zone)) {
+    neighbors_[nid] = NeighborInfo{nid, ep, zone, sim_.now()};
+  } else {
+    neighbors_.erase(nid);
+  }
+}
+
+void CanNode::prune_non_adjacent() {
+  for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+    if (!zone_.is_neighbor(it->second.zone)) {
+      it = neighbors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CanNode::prune_expired_items() {
+  const TimePoint now = sim_.now();
+  std::erase_if(items_, [now](const Item& item) { return item.expires <= now; });
+}
+
+void CanNode::add_items_sorted_by_distance(const Point& p, std::vector<Item>& out,
+                                           std::size_t k) const {
+  const TimePoint now = sim_.now();
+  out.clear();
+  for (const auto& item : items_) {
+    if (item.expires > now) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end(), [&](const Item& a, const Item& b) {
+    return point_distance_sq(a.point, p) < point_distance_sq(b.point, p);
+  });
+  if (out.size() > k) out.resize(k);
+}
+
+}  // namespace wav::can

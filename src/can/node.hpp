@@ -1,0 +1,176 @@
+// A CAN (Content-Addressable Network) node: zone ownership, greedy point
+// routing, join/leave with zone split/merge, neighbor maintenance, and a
+// point-indexed item store with k-nearest queries.
+//
+// The node is transport-agnostic: it emits wire-encoded control messages
+// through a send callback and consumes them via on_message(). WAVNet's
+// rendezvous servers (overlay module) bind this to UDP sockets on the
+// simulated Internet; unit tests bind it to an in-memory loopback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "can/geometry.hpp"
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace wav::can {
+
+using NodeId = std::uint64_t;
+
+struct NeighborInfo {
+  NodeId id{0};
+  net::Endpoint endpoint{};
+  Zone zone;
+  TimePoint last_seen{};
+};
+
+struct Item {
+  Point point;
+  ByteBuffer payload;
+  /// Absolute expiry; owners prune expired items (kTimeInfinity = never).
+  /// Registrations carry a TTL so records of crashed publishers (or of
+  /// rendezvous servers that died with their hosts' state) age out.
+  TimePoint expires{kTimeInfinity};
+};
+
+struct CanStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_received{0};
+  std::uint64_t routed_forwarded{0};
+  std::uint64_t routed_delivered{0};
+  std::uint64_t routed_dead_end{0};
+  std::uint64_t total_delivery_hops{0};
+};
+
+class CanNode {
+ public:
+  using SendFn = std::function<void(const net::Endpoint&, net::Chunk)>;
+  using QueryCallback = std::function<void(std::vector<Item>)>;
+  /// Invoked when this node becomes responsible for an item (stored
+  /// locally or transferred during join/leave).
+  using ItemObserver = std::function<void(const Item&)>;
+
+  struct Config {
+    std::size_t dims{2};
+    Duration hello_interval{seconds(10)};
+    Duration query_timeout{milliseconds(800)};
+    std::size_t neighbor_expansion{1};  // extra neighbor hop for short queries
+  };
+
+  CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn send,
+          Config config);
+  CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn send);
+
+  /// First node of the overlay: owns the whole space immediately.
+  void bootstrap();
+
+  /// Joins via any existing overlay member. Zone assignment arrives
+  /// asynchronously; `joined()` flips once complete.
+  void join(const net::Endpoint& seed);
+
+  [[nodiscard]] bool joined() const noexcept { return joined_; }
+  [[nodiscard]] const Zone& zone() const noexcept { return zone_; }
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const net::Endpoint& endpoint() const noexcept { return self_; }
+  [[nodiscard]] const std::map<NodeId, NeighborInfo>& neighbors() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] const std::vector<Item>& items() const noexcept { return items_; }
+  [[nodiscard]] const CanStats& stats() const noexcept { return stats_; }
+
+  /// Routes a store request toward the owner of `point`. A non-zero TTL
+  /// bounds the record's lifetime unless re-stored.
+  void store(const Point& point, ByteBuffer payload, Duration ttl = kZeroDuration);
+
+  /// Removes any stored items at exactly `point` whose payload matches
+  /// the predicate — routed to the owner. Used for host deregistration.
+  void erase(const Point& point, ByteBuffer payload_equals);
+
+  /// K-nearest query: routed to the owner of `point`; the owner answers
+  /// with its own items and (when short of k) polls its direct neighbors
+  /// before replying to this node.
+  void query(const Point& point, std::size_t k, QueryCallback callback);
+
+  /// Graceful departure: merges the zone into the sibling neighbor when
+  /// possible and transfers items. Returns false if no mergeable
+  /// neighbor exists (caller should retry later; CAN background zone
+  /// reassignment is out of scope).
+  bool leave();
+
+  /// Feeds a received control message into the node.
+  void on_message(const net::Endpoint& from, const net::Chunk& msg);
+
+  void set_item_observer(ItemObserver obs) { item_observer_ = std::move(obs); }
+
+ private:
+  enum class MsgType : std::uint8_t {
+    kJoinRequest = 1,
+    kJoinResponse,
+    kNeighborHello,
+    kNeighborBye,
+    kStore,
+    kErase,
+    kQuery,
+    kNeighborProbe,   // owner asking a neighbor for items near a point
+    kNeighborProbeReply,
+    kQueryReply,
+    kZoneTakeover,
+  };
+
+  struct PendingQuery {
+    QueryCallback callback;
+  };
+
+  /// Aggregation state while the owner waits for neighbor probe replies.
+  struct Aggregation {
+    std::uint64_t query_id{0};
+    net::Endpoint requester{};
+    Point point;
+    std::size_t k{0};
+    std::vector<Item> collected;
+    std::size_t outstanding{0};
+    sim::EventId deadline{};
+  };
+
+  void send(const net::Endpoint& to, net::Chunk msg);
+  /// Greedy geographic routing; returns false on dead end.
+  bool route(const Point& target, const net::Chunk& msg, std::uint8_t hops);
+  void handle_join_request(const net::Chunk& msg);
+  void handle_store(const net::Chunk& msg);
+  void handle_erase(const net::Chunk& msg);
+  void handle_query(const net::Chunk& msg);
+  void finish_aggregation(std::uint64_t agg_id);
+  void announce_to_neighbors();
+  void prune_expired_items();
+  void refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone);
+  void prune_non_adjacent();
+  void add_items_sorted_by_distance(const Point& p, std::vector<Item>& out,
+                                    std::size_t k) const;
+
+  sim::Simulation& sim_;
+  NodeId id_;
+  net::Endpoint self_;
+  SendFn send_;
+  Config config_;
+
+  bool joined_{false};
+  Zone zone_;
+  std::map<NodeId, NeighborInfo> neighbors_;
+  std::vector<Item> items_;
+  CanStats stats_;
+
+  std::uint64_t next_query_id_{1};
+  std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
+  std::unordered_map<std::uint64_t, Aggregation> aggregations_;
+  std::uint64_t next_agg_id_{1};
+  sim::PeriodicTimer hello_timer_;
+  ItemObserver item_observer_;
+};
+
+}  // namespace wav::can

@@ -1,0 +1,29 @@
+#include "common/bytes.hpp"
+
+namespace wav {
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8) |
+           static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i + 1]));
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+ByteBuffer to_bytes(std::string_view s) {
+  ByteBuffer out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string bytes_to_string(std::span<const std::byte> b) {
+  return std::string{reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace wav

@@ -1,0 +1,146 @@
+// Byte-level serialization helpers. All protocol codecs (Ethernet, ARP,
+// IPv4, UDP, TCP, ICMP, WAVNet encapsulation, CAN control messages) write
+// and parse real network-byte-order bytes through these two classes, so
+// the on-wire formats in this repository are genuine and testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wav {
+
+using ByteBuffer = std::vector<std::byte>;
+
+/// Appends big-endian (network order) fields to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(ByteBuffer& out) noexcept : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(static_cast<std::byte>(v)); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void raw(std::span<const std::byte> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u16) UTF-8 string; strings longer than 65535 bytes
+  /// are truncated — control-plane strings are short identifiers.
+  void str(std::string_view s) {
+    const auto n = static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 0xFFFF));
+    u16(n);
+    raw(std::as_bytes(std::span{s.data(), n}));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
+
+ private:
+  ByteBuffer* out_;
+};
+
+/// Reads big-endian fields from a buffer. All accessors are bounds-checked
+/// and return nullopt past the end; callers treat that as a malformed
+/// packet (drop), never UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() {
+    if (pos_ >= data_.size()) return std::nullopt;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::optional<std::uint16_t> u16() {
+    const auto hi = u8();
+    const auto lo = u8();
+    if (!hi || !lo) return std::nullopt;
+    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(*hi) << 8) | *lo);
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> u32() {
+    const auto hi = u16();
+    const auto lo = u16();
+    if (!hi || !lo) return std::nullopt;
+    return (static_cast<std::uint32_t>(*hi) << 16) | *lo;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> u64() {
+    const auto hi = u32();
+    const auto lo = u32();
+    if (!hi || !lo) return std::nullopt;
+    return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+  }
+
+  [[nodiscard]] std::optional<double> f64() {
+    const auto bits = u64();
+    if (!bits) return std::nullopt;
+    double v = 0;
+    std::memcpy(&v, &*bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::span<const std::byte>> raw(std::size_t n) {
+    if (pos_ + n > data_.size()) return std::nullopt;
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::optional<std::string> str() {
+    const auto n = u16();
+    if (!n) return std::nullopt;
+    const auto body = raw(*n);
+    if (!body) return std::nullopt;
+    return std::string{reinterpret_cast<const char*>(body->data()), body->size()};
+  }
+
+  /// Remaining unread bytes.
+  [[nodiscard]] std::span<const std::byte> rest() const { return data_.subspan(pos_); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  bool skip(std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_{0};
+};
+
+/// RFC 1071 Internet checksum over a byte span (used by IPv4/ICMP codecs).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+/// Converts string literals to byte buffers in tests and app payloads.
+[[nodiscard]] ByteBuffer to_bytes(std::string_view s);
+[[nodiscard]] std::string bytes_to_string(std::span<const std::byte> b);
+
+}  // namespace wav

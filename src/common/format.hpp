@@ -1,0 +1,46 @@
+// Minimal type-safe "{}" formatter (GCC 12 in this environment ships no
+// <format>). Supports positional "{}" placeholders only; each argument is
+// rendered via operator<< . Unmatched placeholders render literally.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace wav {
+
+namespace detail {
+
+inline void append_one(std::string& out, std::string_view fmt, std::size_t& pos) {
+  out.append(fmt.substr(pos));
+  pos = fmt.size();
+}
+
+template <typename Arg>
+void append_one(std::string& out, std::string_view fmt, std::size_t& pos, Arg&& arg) {
+  const std::size_t brace = fmt.find("{}", pos);
+  if (brace == std::string_view::npos) {
+    out.append(fmt.substr(pos));
+    pos = fmt.size();
+    return;
+  }
+  out.append(fmt.substr(pos, brace - pos));
+  std::ostringstream os;
+  os << std::forward<Arg>(arg);
+  out += os.str();
+  pos = brace + 2;
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format_str(std::string_view fmt, Args&&... args) {
+  std::string out;
+  out.reserve(fmt.size() + sizeof...(args) * 8);
+  std::size_t pos = 0;
+  (detail::append_one(out, fmt, pos, std::forward<Args>(args)), ...);
+  if (pos < fmt.size()) out.append(fmt.substr(pos));
+  return out;
+}
+
+}  // namespace wav

@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace wav::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+bool enabled(Level lvl) noexcept { return static_cast<int>(lvl) >= static_cast<int>(level()); }
+
+namespace detail {
+
+void emit(Level lvl, std::string_view component, std::string_view message) {
+  const std::scoped_lock lock{g_emit_mutex};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace wav::log

@@ -1,0 +1,55 @@
+// Minimal leveled logger. The simulator is deterministic and single
+// threaded per Simulation, but benches run simulations on a thread pool,
+// so emission is serialized with a mutex. Logging defaults to `warn` so
+// tests and benches stay quiet; examples turn on `info`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace wav::log {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are discarded cheaply.
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+
+/// True when a message at `lvl` would be emitted.
+[[nodiscard]] bool enabled(Level lvl) noexcept;
+
+namespace detail {
+void emit(Level lvl, std::string_view component, std::string_view message);
+}
+
+template <typename... Args>
+void write(Level lvl, std::string_view component, std::string_view fmt,
+           Args&&... args) {
+  if (!enabled(lvl)) return;
+  detail::emit(lvl, component, format_str(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void trace(std::string_view component, std::string_view fmt, Args&&... args) {
+  write(Level::kTrace, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(std::string_view component, std::string_view fmt, Args&&... args) {
+  write(Level::kDebug, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(std::string_view component, std::string_view fmt, Args&&... args) {
+  write(Level::kInfo, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(std::string_view component, std::string_view fmt, Args&&... args) {
+  write(Level::kWarn, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(std::string_view component, std::string_view fmt, Args&&... args) {
+  write(Level::kError, component, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace wav::log

@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace wav {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+  mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  stats_.add(x);
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+IntervalSeries::IntervalSeries(TimePoint start, Duration interval)
+    : start_(start), interval_(interval) {}
+
+void IntervalSeries::add(TimePoint t, double amount) {
+  if (t < start_ || interval_ <= kZeroDuration) return;
+  const auto idx =
+      static_cast<std::size_t>((t - start_).count() / interval_.count());
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += amount;
+}
+
+std::vector<TimeSeriesPoint> IntervalSeries::rate_series(TimePoint end) const {
+  auto points = sum_series(end);
+  const double secs = to_seconds(interval_);
+  for (auto& p : points) p.value /= secs;
+  return points;
+}
+
+std::vector<TimeSeriesPoint> IntervalSeries::sum_series(TimePoint end) const {
+  std::vector<TimeSeriesPoint> out;
+  if (end <= start_) return out;
+  const auto n_buckets = static_cast<std::size_t>(
+      (end - start_ + interval_ - Duration{1}).count() / interval_.count());
+  out.reserve(n_buckets);
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    const TimePoint at = start_ + interval_ * static_cast<std::int64_t>(i);
+    const double v = i < buckets_.size() ? buckets_[i] : 0.0;
+    out.push_back({at, v});
+  }
+  return out;
+}
+
+}  // namespace wav

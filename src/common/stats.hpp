@@ -1,0 +1,99 @@
+// Small statistics toolkit used by the measurement apps and benches:
+// online mean/variance (Welford), min/max, percentiles over retained
+// samples, and fixed-interval time series for "polled every 500 ms"
+// style plots (Figures 9 and 10 in the paper).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace wav {
+
+/// Welford online accumulator; O(1) memory, numerically stable.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0};
+  double m2_{0};
+  double min_{0};
+  double max_{0};
+  double sum_{0};
+};
+
+/// Retains every sample; supports exact percentiles. Fine for the sample
+/// counts in this repository (<= a few hundred thousand).
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return stats_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  [[nodiscard]] double sum() const noexcept { return stats_.sum(); }
+
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+  OnlineStats stats_;
+};
+
+/// A point in a measured time series (e.g. throughput per 500 ms poll).
+struct TimeSeriesPoint {
+  TimePoint at;
+  double value{0};
+};
+
+/// Fixed-interval series builder: feed raw increments (bytes received,
+/// requests completed) and it buckets them by poll interval.
+class IntervalSeries {
+ public:
+  IntervalSeries(TimePoint start, Duration interval);
+
+  /// Records `amount` occurring at time `t` (t >= start).
+  void add(TimePoint t, double amount);
+
+  /// Closes all buckets up to `end` and returns one point per interval
+  /// whose value is the per-second rate within that interval.
+  [[nodiscard]] std::vector<TimeSeriesPoint> rate_series(TimePoint end) const;
+
+  /// Same buckets but raw sums rather than rates.
+  [[nodiscard]] std::vector<TimeSeriesPoint> sum_series(TimePoint end) const;
+
+  [[nodiscard]] Duration interval() const noexcept { return interval_; }
+  [[nodiscard]] TimePoint start() const noexcept { return start_; }
+
+ private:
+  TimePoint start_;
+  Duration interval_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace wav

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace wav {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& r : rows_) columns = std::max(columns, r.cells.size());
+  if (columns == 0) return title_ + "\n";
+
+  std::vector<std::size_t> width(columns, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) measure(r.cells);
+  }
+
+  std::string out;
+  auto rule = [&] {
+    for (std::size_t i = 0; i < columns; ++i) {
+      out += '+';
+      out.append(width[i] + 2, '-');
+    }
+    out += "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      out += "| ";
+      out += cell;
+      out.append(width[i] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      rule();
+    } else {
+      emit(r.cells);
+    }
+  }
+  rule();
+  return out;
+}
+
+void TextTable::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_f(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace wav

@@ -1,0 +1,45 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// reprints the paper's table/figure as aligned text so the paper-vs-
+// measured comparison is readable directly from `build/bench/...` output.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace wav {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+  /// Appends a data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+  /// Appends a horizontal separator between data rows.
+  void separator();
+
+  /// Renders to a string with box-drawing-free ASCII (portable in logs).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator{false};
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt_f(double v, int precision = 2);
+[[nodiscard]] std::string fmt_int(std::int64_t v);
+
+}  // namespace wav

@@ -1,0 +1,45 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wav {
+namespace {
+
+std::string format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) {
+  const double ns = static_cast<double>(d.count());
+  const double abs_ns = std::abs(ns);
+  if (abs_ns < 1e3) return format("%.0f ns", ns);
+  if (abs_ns < 1e6) return format("%.2f us", ns / 1e3);
+  if (abs_ns < 1e9) return format("%.3f ms", ns / 1e6);
+  return format("%.3f s", ns / 1e9);
+}
+
+std::string to_string(TimePoint t) { return "t=" + to_string(t.since_start); }
+
+std::string to_string(BitRate r) {
+  if (r.is_unlimited()) return "unlimited";
+  const double bps = static_cast<double>(r.bits_per_sec);
+  if (bps < 1e3) return format("%.0f bit/s", bps);
+  if (bps < 1e6) return format("%.2f Kbit/s", bps / 1e3);
+  if (bps < 1e9) return format("%.2f Mbit/s", bps / 1e6);
+  return format("%.2f Gbit/s", bps / 1e9);
+}
+
+std::string to_string(ByteSize s) {
+  const double b = static_cast<double>(s.bytes);
+  if (b < 1024.0) return format("%.0f B", b);
+  if (b < 1024.0 * 1024.0) return format("%.1f KiB", b / 1024.0);
+  if (b < 1024.0 * 1024.0 * 1024.0) return format("%.1f MiB", b / (1024.0 * 1024.0));
+  return format("%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace wav

@@ -1,0 +1,151 @@
+// Strong unit types used across the simulator: simulated time, durations,
+// data rates and data sizes. Keeping these distinct (rather than raw
+// integers) prevents the classic bits-vs-bytes and ms-vs-us mistakes in
+// network arithmetic.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace wav {
+
+/// Duration of simulated time. Nanosecond resolution is enough to express
+/// sub-microsecond packet processing costs while still covering ~292 years
+/// in a signed 64-bit count.
+using Duration = std::chrono::nanoseconds;
+
+inline constexpr Duration kZeroDuration = Duration::zero();
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t n) { return Duration{n * 1000}; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t n) { return Duration{n * 1000'000}; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) { return Duration{n * 1000'000'000}; }
+
+/// Converts a floating-point quantity of seconds/milliseconds to Duration,
+/// rounding to the nearest nanosecond.
+[[nodiscard]] constexpr Duration seconds_f(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+[[nodiscard]] constexpr Duration milliseconds_f(double ms) { return seconds_f(ms * 1e-3); }
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-9;
+}
+[[nodiscard]] constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-6;
+}
+[[nodiscard]] constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-3;
+}
+
+/// A point on the simulated clock, measured since simulation start.
+/// Distinct from Duration so that `time + time` does not compile.
+struct TimePoint {
+  Duration since_start{0};
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint& operator+=(Duration d) {
+    since_start += d;
+    return *this;
+  }
+};
+
+[[nodiscard]] constexpr TimePoint operator+(TimePoint t, Duration d) {
+  return TimePoint{t.since_start + d};
+}
+[[nodiscard]] constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+[[nodiscard]] constexpr Duration operator-(TimePoint a, TimePoint b) {
+  return a.since_start - b.since_start;
+}
+[[nodiscard]] constexpr TimePoint operator-(TimePoint t, Duration d) {
+  return TimePoint{t.since_start - d};
+}
+
+inline constexpr TimePoint kSimStart{};
+/// Sentinel "never" timestamp, safely far in the future.
+inline constexpr TimePoint kTimeInfinity{Duration{INT64_MAX / 2}};
+
+[[nodiscard]] constexpr double to_seconds(TimePoint t) { return to_seconds(t.since_start); }
+[[nodiscard]] constexpr double to_milliseconds(TimePoint t) {
+  return to_milliseconds(t.since_start);
+}
+
+/// Link/network data rate. Stored in bits per second, the unit every
+/// networking paper quotes; helpers convert to the byte-based arithmetic
+/// the simulator needs internally.
+struct BitRate {
+  std::uint64_t bits_per_sec{0};
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+  [[nodiscard]] constexpr double megabits_per_sec() const {
+    return static_cast<double>(bits_per_sec) / 1e6;
+  }
+  [[nodiscard]] constexpr double bytes_per_sec() const {
+    return static_cast<double>(bits_per_sec) / 8.0;
+  }
+  [[nodiscard]] constexpr bool is_unlimited() const { return bits_per_sec == 0; }
+
+  /// Time to serialize `bytes` onto a link of this rate. An unlimited
+  /// (zero) rate serializes instantaneously.
+  [[nodiscard]] constexpr Duration transmit_time(std::uint64_t bytes) const {
+    if (is_unlimited()) return kZeroDuration;
+    const double secs = static_cast<double>(bytes) * 8.0 / static_cast<double>(bits_per_sec);
+    return seconds_f(secs);
+  }
+};
+
+[[nodiscard]] constexpr BitRate bits_per_sec(std::uint64_t b) { return BitRate{b}; }
+[[nodiscard]] constexpr BitRate kilobits_per_sec(double k) {
+  return BitRate{static_cast<std::uint64_t>(k * 1e3)};
+}
+[[nodiscard]] constexpr BitRate megabits_per_sec(double m) {
+  return BitRate{static_cast<std::uint64_t>(m * 1e6)};
+}
+[[nodiscard]] constexpr BitRate gigabits_per_sec(double g) {
+  return BitRate{static_cast<std::uint64_t>(g * 1e9)};
+}
+/// A zero rate means "no serialization delay" throughout the simulator.
+inline constexpr BitRate kUnlimitedRate{0};
+
+/// Data size in bytes with convenience constructors for the usual suffixes.
+struct ByteSize {
+  std::uint64_t bytes{0};
+
+  constexpr auto operator<=>(const ByteSize&) const = default;
+
+  [[nodiscard]] constexpr double kib() const { return static_cast<double>(bytes) / 1024.0; }
+  [[nodiscard]] constexpr double mib() const {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+
+  constexpr ByteSize& operator+=(ByteSize o) {
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+[[nodiscard]] constexpr ByteSize bytes(std::uint64_t n) { return ByteSize{n}; }
+[[nodiscard]] constexpr ByteSize kibibytes(std::uint64_t n) { return ByteSize{n * 1024}; }
+[[nodiscard]] constexpr ByteSize mebibytes(std::uint64_t n) { return ByteSize{n * 1024 * 1024}; }
+
+[[nodiscard]] constexpr ByteSize operator+(ByteSize a, ByteSize b) {
+  return ByteSize{a.bytes + b.bytes};
+}
+
+/// Throughput achieved when `size` is moved in `elapsed` simulated time.
+[[nodiscard]] constexpr BitRate rate_of(ByteSize size, Duration elapsed) {
+  if (elapsed <= kZeroDuration) return kUnlimitedRate;
+  const double bps = static_cast<double>(size.bytes) * 8.0 / to_seconds(elapsed);
+  return BitRate{static_cast<std::uint64_t>(bps)};
+}
+
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+[[nodiscard]] std::string to_string(BitRate r);
+[[nodiscard]] std::string to_string(ByteSize s);
+
+}  // namespace wav

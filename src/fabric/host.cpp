@@ -1,0 +1,17 @@
+#include "fabric/host.hpp"
+
+#include "fabric/network.hpp"
+
+namespace wav::fabric {
+
+HostNode::HostNode(Network& network, std::string name)
+    : Node(network, std::move(name)), stack::IpLayer(network.sim()) {}
+
+bool HostNode::send_ip(net::IpPacket pkt) { return originate(std::move(pkt)); }
+
+void HostNode::deliver_local(const net::IpPacket& pkt, Link& from) {
+  (void)from;
+  deliver_up(pkt);
+}
+
+}  // namespace wav::fabric

@@ -1,0 +1,21 @@
+// An end host on the physical underlay: a Node whose locally addressed
+// packets are delivered into a protocol stack via the IpLayer seam.
+#pragma once
+
+#include "fabric/node.hpp"
+#include "stack/ip_layer.hpp"
+
+namespace wav::fabric {
+
+class HostNode : public Node, public stack::IpLayer {
+ public:
+  HostNode(Network& network, std::string name);
+
+  bool send_ip(net::IpPacket pkt) override;
+  [[nodiscard]] net::Ipv4Address ip_address() const override { return primary_address(); }
+
+ protected:
+  void deliver_local(const net::IpPacket& pkt, Link& from) override;
+};
+
+}  // namespace wav::fabric

@@ -1,0 +1,79 @@
+#include "fabric/internet.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "fabric/network.hpp"
+
+namespace wav::fabric {
+
+InternetNode::InternetNode(Network& network, std::string name)
+    : Node(network, std::move(name)) {}
+
+void InternetNode::set_path(std::size_t iface_a, std::size_t iface_b, PathSpec spec) {
+  paths_[key(iface_a, iface_b)] = spec;
+}
+
+PathSpec InternetNode::path(std::size_t iface_a, std::size_t iface_b) const {
+  const auto it = paths_.find(key(iface_a, iface_b));
+  return it == paths_.end() ? PathSpec{} : it->second;
+}
+
+std::size_t InternetNode::iface_index_of(const Link& link) const {
+  const auto& ifaces = interfaces();
+  for (std::size_t i = 0; i < ifaces.size(); ++i) {
+    if (ifaces[i].link == &link) return i;
+  }
+  assert(false && "packet arrived over an unattached link");
+  return 0;
+}
+
+void InternetNode::forward(net::IpPacket pkt, Link& from) {
+  if (pkt.ttl <= 1) {
+    ++stats_.dropped_ttl;
+    return;
+  }
+  pkt.ttl = static_cast<std::uint8_t>(pkt.ttl - 1);
+
+  const Interface* out = route_lookup(pkt.dst);
+  if (out == nullptr) {
+    ++stats_.dropped_no_route;
+    log::trace("internet", "unroutable dst {}", pkt.dst.to_string());
+    return;
+  }
+  const std::size_t in_idx = iface_index_of(from);
+  const auto& ifaces = interfaces();
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < ifaces.size(); ++i) {
+    if (&ifaces[i] == out) {
+      out_idx = i;
+      break;
+    }
+  }
+
+  const PathSpec spec = path(in_idx, out_idx);
+  if (spec.loss_probability > 0.0 && sim().rng().chance(spec.loss_probability)) return;
+
+  Duration extra = spec.one_way;
+  if (spec.jitter_stddev > kZeroDuration) {
+    const double jitter_s = sim().rng().normal(0.0, to_seconds(spec.jitter_stddev));
+    extra = seconds_f(std::max(0.0, to_seconds(extra) + jitter_s));
+  }
+
+  ++stats_.forwarded;
+  if (extra <= kZeroDuration) {
+    transmit(*out, std::move(pkt));
+    return;
+  }
+  // FIFO clamp: jittered core delay must not reorder a directed flow.
+  const std::uint64_t dir_key = (static_cast<std::uint64_t>(in_idx) << 32) | out_idx;
+  TimePoint depart = sim().now() + extra;
+  TimePoint& last = last_forward_[dir_key];
+  if (depart < last) depart = last;
+  last = depart;
+  sim().schedule_at(depart, [this, out, pkt = std::move(pkt)]() mutable {
+    transmit(*out, std::move(pkt));
+  });
+}
+
+}  // namespace wav::fabric

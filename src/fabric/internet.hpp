@@ -1,0 +1,49 @@
+// The Internet core of the simulated WAN.
+//
+// Site gateways attach to the core via short access links that carry each
+// site's bandwidth cap; the core itself adds per-site-pair propagation
+// delay, jitter and loss. This decomposition lets us reproduce the
+// paper's testbed, where pairwise RTTs are *not* additive (HKU-SIAT
+// 74.2 ms + HKU-PU 30.2 ms, yet SIAT-PU is 219.4 ms — Table II).
+#pragma once
+
+#include <unordered_map>
+
+#include "fabric/node.hpp"
+
+namespace wav::fabric {
+
+struct PathSpec {
+  Duration one_way{kZeroDuration};  // extra core delay per direction
+  Duration jitter_stddev{kZeroDuration};
+  double loss_probability{0.0};
+};
+
+class InternetNode : public Node {
+ public:
+  InternetNode(Network& network, std::string name);
+
+  /// Declares the path characteristics between the sites reachable via
+  /// two of this node's interfaces (symmetric).
+  void set_path(std::size_t iface_a, std::size_t iface_b, PathSpec spec);
+
+  [[nodiscard]] PathSpec path(std::size_t iface_a, std::size_t iface_b) const;
+
+ protected:
+  void forward(net::IpPacket pkt, Link& from) override;
+
+ private:
+  [[nodiscard]] std::size_t iface_index_of(const Link& link) const;
+
+  static constexpr std::uint64_t key(std::size_t a, std::size_t b) noexcept {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<std::uint64_t, PathSpec> paths_;
+  // FIFO clamp per directed (in,out) interface pair: core jitter must
+  // not reorder packets of one flow.
+  std::unordered_map<std::uint64_t, TimePoint> last_forward_;
+};
+
+}  // namespace wav::fabric

@@ -1,0 +1,64 @@
+#include "fabric/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "fabric/node.hpp"
+
+namespace wav::fabric {
+
+Link::Link(sim::Simulation& sim, Node& a, Node& b, LinkConfig config)
+    : sim_(sim), a_(&a), b_(&b), config_(config) {}
+
+Node& Link::peer(const Node& n) const {
+  assert(has_endpoint(n));
+  return &n == a_ ? *b_ : *a_;
+}
+
+void Link::transmit(const Node& from, net::IpPacket pkt) {
+  assert(has_endpoint(from));
+  DirectionState& dir = (&from == a_) ? toward_b_ : toward_a_;
+  Node& dest = peer(from);
+
+  const TimePoint now = sim_.now();
+  const std::uint64_t size = pkt.wire_size();
+
+  // Drop-tail queue: refuse packets whose queueing delay would exceed the
+  // backlog bound.
+  const TimePoint start = std::max(now, dir.busy_until);
+  if (start - now > config_.max_backlog) {
+    ++stats_.dropped_queue;
+    log::trace("link", "queue drop {} -> {} ({} B)", from.name(), dest.name(), size);
+    return;
+  }
+  const Duration tx_time = config_.rate.transmit_time(size);
+  dir.busy_until = start + tx_time;
+
+  // Random wire loss (applied after consuming serialization time, like a
+  // corrupted frame on a real wire).
+  if (config_.loss_probability > 0.0 && sim_.rng().chance(config_.loss_probability)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  Duration delay = config_.delay;
+  if (config_.jitter_stddev > kZeroDuration) {
+    const double jitter_s =
+        sim_.rng().normal(0.0, to_seconds(config_.jitter_stddev));
+    delay += seconds_f(std::max(0.0, to_seconds(delay) + jitter_s)) - delay;
+  }
+
+  // Jitter varies delay but a link is a FIFO pipe: clamp arrivals to be
+  // monotonic so jitter never reorders packets within the direction.
+  const TimePoint arrival = std::max(dir.busy_until + delay, dir.last_arrival);
+  dir.last_arrival = arrival;
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += size;
+
+  sim_.schedule_at(arrival, [this, &dest, pkt = std::move(pkt)]() mutable {
+    dest.receive_from_link(std::move(pkt), *this);
+  });
+}
+
+}  // namespace wav::fabric

@@ -1,0 +1,22 @@
+#include "fabric/network.hpp"
+
+namespace wav::fabric {
+
+Link& Network::connect(Node& a, Attachment a_att, Node& b, Attachment b_att,
+                       LinkConfig config) {
+  auto link = std::make_unique<Link>(sim_, a, b, config);
+  Link& ref = *link;
+  links_.push_back(std::move(link));
+  a.attach_interface(ref, a_att.address, a_att.subnet);
+  b.attach_interface(ref, b_att.address, b_att.subnet);
+  return ref;
+}
+
+Node* Network::find(const std::string& name) const noexcept {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+}  // namespace wav::fabric

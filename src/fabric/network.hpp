@@ -1,0 +1,54 @@
+// Container that owns all nodes and links of one simulated internetwork
+// and wires them together.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/link.hpp"
+#include "fabric/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace wav::fabric {
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+
+  /// Creates and owns a node of type T (T must derive from Node).
+  template <typename T, typename... Args>
+  T& add_node(Args&&... args) {
+    auto node = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  struct Attachment {
+    net::Ipv4Address address{};
+    net::Ipv4Subnet subnet{};
+  };
+
+  /// Creates a link between two nodes and attaches an interface on each.
+  Link& connect(Node& a, Attachment a_att, Node& b, Attachment b_att, LinkConfig config);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Finds a node by name; nullptr when absent.
+  [[nodiscard]] Node* find(const std::string& name) const noexcept;
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace wav::fabric

@@ -1,0 +1,252 @@
+#include "fabric/wan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace wav::fabric {
+namespace {
+
+net::Ipv4Address ip(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return net::Ipv4Address::from_octets(a, b, c, d);
+}
+
+}  // namespace
+
+Wan::Wan(Network& network)
+    : network_(network), internet_(&network.add_node<InternetNode>("internet")) {}
+
+std::size_t Wan::attach_to_core(Node& node, net::Ipv4Address node_addr, BitRate rate,
+                                Duration delay) {
+  LinkConfig cfg;
+  cfg.rate = rate;
+  cfg.delay = delay;
+  cfg.max_backlog = milliseconds(150);
+  const auto core_addr = ip(10, 255, static_cast<std::uint8_t>(next_core_ip_ >> 8),
+                            static_cast<std::uint8_t>(next_core_ip_ & 0xFF));
+  ++next_core_ip_;
+  Link& link = network_.connect(node, {node_addr, {node_addr, 32}}, *internet_,
+                                {core_addr, {core_addr, 32}}, cfg);
+  const std::size_t iface = internet_->interfaces().size() - 1;
+  internet_->add_route({node_addr, 32}, iface);
+  (void)link;
+  return iface;
+}
+
+Wan::Site& Wan::add_site(const SiteConfig& config) {
+  const auto idx = static_cast<std::uint8_t>(next_site_index_++);
+  Site site;
+  site.name = config.name;
+  site.cpu_gflops = config.cpu_gflops;
+  site.access_rate = config.access_rate;
+
+  LinkConfig lan_cfg;
+  lan_cfg.rate = config.lan_rate;
+  lan_cfg.delay = microseconds(50);
+  lan_cfg.max_backlog = milliseconds(50);
+
+  if (config.public_hosts) {
+    for (std::size_t h = 0; h < config.host_count; ++h) {
+      auto& host = network_.add_node<HostNode>(config.name + "-h" +
+                                               std::to_string(h + 1));
+      const auto addr = ip(100, 66, idx, static_cast<std::uint8_t>(h + 2));
+      const std::size_t core_iface =
+          attach_to_core(host, addr, config.access_rate, config.access_delay);
+      host.set_default_route(0);
+      site.hosts.push_back(&host);
+      site.host_core_ifaces.push_back(core_iface);
+      core_ifaces_[config.name].push_back(core_iface);
+      access_links_[config.name].push_back(host.interfaces()[0].link);
+    }
+  } else {
+    auto& gw = network_.add_node<nat::NatGateway>(config.name + "-gw", config.nat);
+    const auto lan_subnet = net::Ipv4Subnet{ip(192, 168, idx, 0), 24};
+    for (std::size_t h = 0; h < config.host_count; ++h) {
+      auto& host = network_.add_node<HostNode>(config.name + "-h" +
+                                               std::to_string(h + 1));
+      const auto host_addr = ip(192, 168, idx, static_cast<std::uint8_t>(h + 2));
+      network_.connect(host, {host_addr, lan_subnet}, gw, {ip(192, 168, idx, 1), lan_subnet},
+                       lan_cfg);
+      host.set_default_route(0);
+      gw.add_route({host_addr, 32}, gw.interfaces().size() - 1);
+      site.hosts.push_back(&host);
+    }
+    const auto public_addr = ip(100, 64, idx, 1);
+    site.core_iface = attach_to_core(gw, public_addr, config.access_rate,
+                                     config.access_delay);
+    gw.set_wan_interface(gw.interfaces().size() - 1);
+    site.gateway = &gw;
+    core_ifaces_[config.name].push_back(site.core_iface);
+    access_links_[config.name].push_back(
+        gw.interfaces()[gw.interfaces().size() - 1].link);
+  }
+
+  sites_.push_back(std::move(site));
+  return sites_.back();
+}
+
+HostNode& Wan::add_public_host(const std::string& name, BitRate rate, Duration delay) {
+  auto& host = network_.add_node<HostNode>(name);
+  const auto idx = static_cast<std::uint8_t>(next_public_index_++);
+  const auto addr = ip(100, 70, 0, idx);
+  const std::size_t core_iface = attach_to_core(host, addr, rate, delay);
+  host.set_default_route(0);
+  public_hosts_[name] = &host;
+  core_ifaces_[name].push_back(core_iface);
+  access_links_[name].push_back(host.interfaces()[0].link);
+  return host;
+}
+
+void Wan::set_path(const std::string& a, const std::string& b, PairPath path) {
+  const auto ia = core_ifaces_.find(a);
+  const auto ib = core_ifaces_.find(b);
+  if (ia == core_ifaces_.end() || ib == core_ifaces_.end()) {
+    throw std::invalid_argument("unknown WAN attachment: " + a + " or " + b);
+  }
+  PathSpec spec;
+  spec.one_way = path.one_way;
+  spec.jitter_stddev = path.jitter_stddev;
+  spec.loss_probability = path.loss;
+  for (const std::size_t fa : ia->second) {
+    for (const std::size_t fb : ib->second) {
+      internet_->set_path(fa, fb, spec);
+    }
+  }
+}
+
+void Wan::set_default_paths(PairPath path) {
+  const auto names = attachment_names();
+  PathSpec spec;
+  spec.one_way = path.one_way;
+  spec.jitter_stddev = path.jitter_stddev;
+  spec.loss_probability = path.loss;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      for (const std::size_t fa : core_ifaces_[names[i]]) {
+        for (const std::size_t fb : core_ifaces_[names[j]]) {
+          // Only fill pairs that are still at the zero default.
+          if (internet_->path(fa, fb).one_way == kZeroDuration) {
+            internet_->set_path(fa, fb, spec);
+          }
+        }
+      }
+    }
+  }
+}
+
+Wan::Site* Wan::site(const std::string& name) {
+  for (auto& s : sites_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+HostNode* Wan::public_host(const std::string& name) {
+  const auto it = public_hosts_.find(name);
+  return it == public_hosts_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Wan::attachment_names() const {
+  std::vector<std::string> names;
+  names.reserve(core_ifaces_.size());
+  for (const auto& [name, ifaces] : core_ifaces_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Wan::set_site_rate(const std::string& name, BitRate rate) {
+  const auto it = access_links_.find(name);
+  if (it == access_links_.end()) {
+    throw std::invalid_argument("unknown WAN attachment: " + name);
+  }
+  for (Link* link : it->second) link->set_rate(rate);
+}
+
+// --- paper testbed ----------------------------------------------------------
+
+double paper_rtt_ms(const std::string& a, const std::string& b) {
+  using P = PaperTestbed;
+  auto key = [](const std::string& x, const std::string& y) { return x + "|" + y; };
+  static const std::unordered_map<std::string, double> kMeasured = {
+      // Table I (ping latency from HKU) and Table II (SIAT-PU).
+      {key(P::kHku, P::kPu), 30.2},      {key(P::kHku, P::kSinica), 24.8},
+      {key(P::kHku, P::kAist), 75.8},    {key(P::kHku, P::kSdsc), 217.2},
+      {key(P::kHku, P::kOffCam), 4.4},   {key(P::kHku, P::kSiat), 74.2},
+      {key(P::kSiat, P::kPu), 219.4},
+      // Estimated pairs (metric closure via HKU, except PU-Sinica which
+      // are both in Taipei).
+      {key(P::kPu, P::kSinica), 8.0},
+      {key(P::kSiat, P::kSinica), 99.0},  // matches Table III's 100.3 ms
+      {key(P::kSiat, P::kOffCam), 78.6},  {key(P::kSiat, P::kAist), 150.0},
+      {key(P::kSiat, P::kSdsc), 291.4},   {key(P::kAist, P::kPu), 106.0},
+      {key(P::kAist, P::kSinica), 100.6}, {key(P::kAist, P::kSdsc), 293.0},
+      {key(P::kSdsc, P::kPu), 247.4},     {key(P::kSdsc, P::kSinica), 242.0},
+      {key(P::kOffCam, P::kPu), 34.6},    {key(P::kOffCam, P::kSinica), 29.2},
+      {key(P::kOffCam, P::kAist), 80.2},  {key(P::kOffCam, P::kSdsc), 221.6},
+  };
+  if (a == b) return 0.5;
+  if (const auto it = kMeasured.find(key(a, b)); it != kMeasured.end()) return it->second;
+  if (const auto it = kMeasured.find(key(b, a)); it != kMeasured.end()) return it->second;
+  throw std::invalid_argument("no RTT entry for " + a + " - " + b);
+}
+
+void build_paper_testbed(Wan& wan) {
+  using P = PaperTestbed;
+  struct SiteSpec {
+    const char* name;
+    std::size_t hosts;
+    double access_mbps;  // calibrated so per-pair physical bandwidth
+                         // reproduces the paper's measurements (Table V)
+    double cpu_gflops;
+  };
+  // Access rates: the pairwise bottleneck is min(access_a, access_b);
+  // HKU's campus uplink is fast, so each remote site's access rate is
+  // set to the HKU-<site> physical bandwidth implied by the paper.
+  static constexpr SiteSpec kSites[] = {
+      {P::kHku, 2, 95.0, 4.0},   {P::kOffCam, 1, 90.0, 2.8}, {P::kSiat, 1, 23.0, 2.8},
+      {P::kPu, 1, 45.0, 9.6},    {P::kSinica, 1, 47.0, 9.0}, {P::kAist, 1, 60.0, 3.7},
+      {P::kSdsc, 1, 30.0, 6.4},
+  };
+
+  for (const auto& spec : kSites) {
+    SiteConfig cfg;
+    cfg.name = spec.name;
+    cfg.host_count = spec.hosts;
+    cfg.access_rate = megabits_per_sec(spec.access_mbps);
+    cfg.access_delay = microseconds(200);
+    cfg.lan_rate = megabits_per_sec(100);  // 2011 campus fast Ethernet
+    cfg.cpu_gflops = spec.cpu_gflops;
+    cfg.nat.type = nat::NatType::kPortRestrictedCone;
+    wan.add_site(cfg);
+  }
+
+  // One rendezvous server with a public IP in Hong Kong (paper §III),
+  // plus the STUN alternate address host it needs.
+  wan.add_public_host("rendezvous");
+  wan.add_public_host("stun-alt");
+
+  const std::vector<std::string> names = {P::kHku, P::kOffCam, P::kSiat,  P::kPu,
+                                          P::kSinica, P::kAist, P::kSdsc};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      PairPath path;
+      path.one_way = milliseconds_f(paper_rtt_ms(names[i], names[j]) / 2.0 - 0.4);
+      path.jitter_stddev = milliseconds_f(0.3);
+      wan.set_path(names[i], names[j], path);
+    }
+    // Rendezvous/STUN sit next to HKU: reuse the HKU RTT for each site.
+    PairPath rv;
+    const double rtt = names[i] == P::kHku ? 0.8 : paper_rtt_ms(P::kHku, names[i]);
+    rv.one_way = milliseconds_f(std::max(0.1, rtt / 2.0 - 0.4));
+    rv.jitter_stddev = milliseconds_f(0.2);
+    wan.set_path(names[i], "rendezvous", rv);
+    wan.set_path(names[i], "stun-alt", rv);
+  }
+  PairPath local;
+  local.one_way = microseconds(200);
+  wan.set_path("rendezvous", "stun-alt", local);
+}
+
+}  // namespace wav::fabric

@@ -1,0 +1,117 @@
+// WAN testbed builder: sites (hosts behind a NAT gateway or directly
+// public) attached to a shared Internet core with per-site-pair path
+// characteristics. Encodes the paper's Table I topology via
+// `paper_testbed()` and arbitrary emulated-WAN layouts for the
+// scalability experiments.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/host.hpp"
+#include "fabric/internet.hpp"
+#include "fabric/network.hpp"
+#include "nat/nat_gateway.hpp"
+
+namespace wav::fabric {
+
+struct SiteConfig {
+  std::string name;
+  nat::NatConfig nat{};                        // gateway behaviour
+  BitRate access_rate{megabits_per_sec(100)};  // site uplink capacity
+  Duration access_delay{microseconds(200)};    // last-mile one-way delay
+  BitRate lan_rate{gigabits_per_sec(1)};       // intra-site host<->gateway links
+  std::size_t host_count{1};
+  double cpu_gflops{8.0};                      // per-host compute (apps module)
+  bool public_hosts{false};  // no NAT: hosts sit directly on the Internet
+};
+
+struct PairPath {
+  Duration one_way{milliseconds(10)};
+  Duration jitter_stddev{kZeroDuration};
+  double loss{0.0};
+};
+
+class Wan {
+ public:
+  struct Site {
+    std::string name;
+    nat::NatGateway* gateway{nullptr};  // null for public sites
+    std::vector<HostNode*> hosts;
+    std::size_t core_iface{0};          // for NATed sites: the gateway's core attachment
+    std::vector<std::size_t> host_core_ifaces;  // for public sites: one per host
+    double cpu_gflops{8.0};
+    BitRate access_rate{};
+  };
+
+  explicit Wan(Network& network);
+
+  /// Adds a site; hosts get private 192.168.<idx>.x addresses behind the
+  /// gateway (public 100.64.<idx>.1), or public 100.66.<idx>.x addresses
+  /// when `public_hosts` is set.
+  Site& add_site(const SiteConfig& config);
+
+  /// Adds a standalone public host (rendezvous server, STUN server).
+  HostNode& add_public_host(const std::string& name,
+                            BitRate rate = megabits_per_sec(1000),
+                            Duration delay = microseconds(100));
+
+  /// Sets the core path between two named sites/public hosts (symmetric).
+  void set_path(const std::string& a, const std::string& b, PairPath path);
+  /// Applies `path` to every pair not explicitly configured so far.
+  void set_default_paths(PairPath path);
+
+  [[nodiscard]] Site* site(const std::string& name);
+  [[nodiscard]] HostNode* public_host(const std::string& name);
+  [[nodiscard]] InternetNode& internet() noexcept { return *internet_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+
+  /// All core attachment names (sites + public hosts), for sweep loops.
+  [[nodiscard]] std::vector<std::string> attachment_names() const;
+
+  /// Re-shapes a site's access link rate (Figure 7's `tc` equivalent).
+  void set_site_rate(const std::string& name, BitRate rate);
+
+ private:
+  std::size_t attach_to_core(Node& node, net::Ipv4Address node_addr, BitRate rate,
+                             Duration delay);
+
+  Network& network_;
+  InternetNode* internet_;
+  std::deque<Site> sites_;  // deque: references from add_site stay valid
+  std::unordered_map<std::string, HostNode*> public_hosts_;
+  std::unordered_map<std::string, std::vector<std::size_t>> core_ifaces_;
+  std::unordered_map<std::string, std::vector<Link*>> access_links_;
+  std::size_t next_site_index_{1};
+  std::size_t next_public_index_{1};
+  std::uint32_t next_core_ip_{1};
+};
+
+/// The paper's Table I real-WAN testbed: seven sites across the
+/// Asia-Pacific region plus a rendezvous server in Hong Kong. RTTs follow
+/// Table I / Table II; access rates are calibrated from the paper's
+/// measured per-pair WAVNet bandwidths (Table V).
+struct PaperTestbed {
+  // Site names used throughout the benches.
+  static constexpr const char* kHku = "HKU";
+  static constexpr const char* kOffCam = "OffCam";
+  static constexpr const char* kSiat = "SIAT";
+  static constexpr const char* kPu = "PU";
+  static constexpr const char* kSinica = "Sinica";
+  static constexpr const char* kAist = "AIST";
+  static constexpr const char* kSdsc = "SDSC";
+};
+
+/// Builds the Table I topology into `wan`. Every site hosts `hosts_per_site`
+/// machines behind a port-restricted-cone NAT (HKU gets two, as in the
+/// paper).
+void build_paper_testbed(Wan& wan);
+
+/// Round-trip times between paper sites in milliseconds (Table I column 3
+/// for pairs involving HKU, Table II for SIAT-PU; remaining pairs are
+/// estimated from geography as documented in DESIGN.md).
+[[nodiscard]] double paper_rtt_ms(const std::string& a, const std::string& b);
+
+}  // namespace wav::fabric

@@ -1,0 +1,137 @@
+#include "group/grouping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace wav::group {
+
+LatencyMatrix::LatencyMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+void LatencyMatrix::set(std::size_t i, std::size_t j, double latency_ms) noexcept {
+  data_[i * n_ + j] = latency_ms;
+  data_[j * n_ + i] = latency_ms;
+}
+
+std::vector<double> LatencyMatrix::pair_latencies() const {
+  std::vector<double> out;
+  out.reserve(n_ * (n_ - 1) / 2);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) out.push_back(at(i, j));
+  }
+  return out;
+}
+
+GroupResult evaluate_group(const LatencyMatrix& m, std::vector<std::size_t> members) {
+  GroupResult result;
+  double sum = 0.0;
+  double max = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      const double lat = m.at(members[a], members[b]);
+      sum += lat;
+      max = std::max(max, lat);
+      ++pairs;
+    }
+  }
+  result.members = std::move(members);
+  result.average_latency_ms = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  result.max_latency_ms = max;
+  return result;
+}
+
+DistanceLocator::DistanceLocator(const LatencyMatrix& m) : matrix_(m) { refresh(); }
+
+void DistanceLocator::refresh() {
+  const std::size_t n = matrix_.size();
+  sorted_rows_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& row = sorted_rows_[i];
+    row.resize(n);
+    for (std::size_t j = 0; j < n; ++j) row[j] = j;
+    std::sort(row.begin(), row.end(), [&](std::size_t a, std::size_t b) {
+      return matrix_.at(i, a) < matrix_.at(i, b);
+    });
+  }
+}
+
+std::optional<GroupResult> DistanceLocator::query(std::size_t k,
+                                                  LocalityConfig config) const {
+  const std::size_t n = matrix_.size();
+  if (k < 2 || k > n) return std::nullopt;
+
+  std::optional<GroupResult> best;
+  for (std::size_t i = 0; i < n; ++i) {
+    // The (k+1)-group: this host's k+1 nearest (the sorted row starts
+    // with the host itself at distance 0, so take the first k+1 entries).
+    const auto& row = sorted_rows_[i];
+    const std::size_t take = std::min(n, k + 1);
+    const std::vector<std::size_t> base(row.begin(),
+                                        row.begin() + static_cast<std::ptrdiff_t>(take));
+    if (base.size() < k) continue;
+
+    // Leave-one-out candidates of size k (k+1 of them; or the single
+    // full set when the row only yields exactly k hosts).
+    const std::size_t variants = base.size() == k ? 1 : base.size();
+    for (std::size_t skip = 0; skip < variants; ++skip) {
+      std::vector<std::size_t> candidate;
+      candidate.reserve(k);
+      for (std::size_t idx = 0; idx < base.size(); ++idx) {
+        if (base.size() > k && idx == skip) continue;
+        candidate.push_back(base[idx]);
+      }
+      if (candidate.size() != k) continue;
+
+      GroupResult result = evaluate_group(matrix_, std::move(candidate));
+      // Filter candidates with an unreasonable/over-large connection.
+      if (config.max_connection_ms > 0.0 &&
+          result.max_latency_ms > config.max_connection_ms) {
+        continue;
+      }
+      if (!best || result.average_latency_ms < best->average_latency_ms) {
+        best = std::move(result);
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<GroupResult> locality_group(const LatencyMatrix& m, std::size_t k,
+                                          LocalityConfig config) {
+  const DistanceLocator locator{m};
+  return locator.query(k, config);
+}
+
+std::optional<GroupResult> brute_force_group(const LatencyMatrix& m, std::size_t k) {
+  const std::size_t n = m.size();
+  if (k < 2 || k > n) return std::nullopt;
+
+  std::vector<std::size_t> indices(k);
+  for (std::size_t i = 0; i < k; ++i) indices[i] = i;
+
+  std::optional<GroupResult> best;
+  for (;;) {
+    GroupResult result = evaluate_group(m, indices);
+    if (!best || result.average_latency_ms < best->average_latency_ms) {
+      best = std::move(result);
+    }
+    // Next combination (lexicographic).
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (indices[pos] != pos + n - k) break;
+      if (pos == 0) return best;
+    }
+    if (indices[pos] == pos + n - k) return best;
+    ++indices[pos];
+    for (std::size_t j = pos + 1; j < k; ++j) indices[j] = indices[j - 1] + 1;
+  }
+}
+
+GroupResult random_group(const LatencyMatrix& m, std::size_t k, Rng& rng) {
+  auto sample = rng.sample_indices(m.size(), k);
+  return evaluate_group(m, std::move(sample));
+}
+
+}  // namespace wav::group

@@ -1,0 +1,93 @@
+// Locality-sensitive host grouping (paper §II.D): given an N x N mutual
+// latency matrix, pick k hosts minimizing mean pairwise latency
+// (Formula (1)). Implements
+//   * the paper's approximation: per row, take the k+1 nearest hosts and
+//     evaluate the k+1 leave-one-out k-subsets, filtering any candidate
+//     containing an over-large connection — O(N*k) candidate groups
+//     (each scored in O(k^2));
+//   * exact brute force (for validation at small N, and to measure the
+//     approximation gap);
+//   * random selection (the Figure 14 baseline).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wav::group {
+
+/// Symmetric matrix of mutual latencies in milliseconds.
+class LatencyMatrix {
+ public:
+  explicit LatencyMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * n_ + j];
+  }
+  /// Sets both (i,j) and (j,i) — the symmetry assumption of Formula (2).
+  void set(std::size_t i, std::size_t j, double latency_ms) noexcept;
+
+  /// All upper-triangle latencies (Figure 12's distribution plot).
+  [[nodiscard]] std::vector<double> pair_latencies() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+struct GroupResult {
+  std::vector<std::size_t> members;  // host indices, size k (empty = no group)
+  double average_latency_ms{0};
+  double max_latency_ms{0};
+};
+
+/// Mean/max pairwise latency of a candidate group (Formula (1)).
+[[nodiscard]] GroupResult evaluate_group(const LatencyMatrix& m,
+                                         std::vector<std::size_t> members);
+
+struct LocalityConfig {
+  /// Candidates containing any pairwise latency above this are filtered
+  /// ("unreasonable or over-large connection"). <=0 disables the filter.
+  double max_connection_ms{1000.0};
+};
+
+/// The paper's O(N*k) approximation algorithm.
+[[nodiscard]] std::optional<GroupResult> locality_group(const LatencyMatrix& m,
+                                                        std::size_t k,
+                                                        LocalityConfig config = {});
+
+/// Exact optimum by exhaustive search; practical only for small C(N,k).
+[[nodiscard]] std::optional<GroupResult> brute_force_group(const LatencyMatrix& m,
+                                                           std::size_t k);
+
+/// Uniform random k-subset (Figure 14's comparison baseline).
+[[nodiscard]] GroupResult random_group(const LatencyMatrix& m, std::size_t k, Rng& rng);
+
+/// Precomputed sorted rows, as maintained by the distance locator on each
+/// rendezvous server ("each row is always sorted in increasing order").
+/// Separating the maintenance (part 1) from the grouping query (part 2)
+/// mirrors the paper's two-part algorithm; query() is the request-time
+/// cost the paper analyses as O(N*k).
+class DistanceLocator {
+ public:
+  explicit DistanceLocator(const LatencyMatrix& m);
+
+  /// Re-sorts the rows after matrix updates.
+  void refresh();
+
+  /// The grouping query (part 2 of the paper's algorithm).
+  [[nodiscard]] std::optional<GroupResult> query(std::size_t k,
+                                                 LocalityConfig config = {}) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& sorted_rows() const noexcept {
+    return sorted_rows_;
+  }
+
+ private:
+  const LatencyMatrix& matrix_;
+  std::vector<std::vector<std::size_t>> sorted_rows_;  // row i: hosts by distance from i
+};
+
+}  // namespace wav::group

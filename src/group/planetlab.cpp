@@ -1,0 +1,81 @@
+#include "group/planetlab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wav::group {
+
+LatencyMatrix synthesize_planetlab(const PlanetLabConfig& config, std::uint64_t seed) {
+  Rng rng{seed};
+  const std::size_t n = config.hosts;
+  LatencyMatrix matrix{n};
+
+  // Place clusters on a 2-D "continent map"; inter-cluster base latency
+  // follows Euclidean distance, which automatically satisfies the
+  // triangle inequality (the transitivity assumption, Formula (3)).
+  struct ClusterPos {
+    double x{0};
+    double y{0};
+  };
+  std::vector<ClusterPos> clusters(config.clusters);
+  for (auto& c : clusters) {
+    c.x = rng.uniform();
+    c.y = rng.uniform();
+  }
+  const double diag = std::sqrt(2.0);
+
+  std::vector<std::size_t> host_cluster(n);
+  std::vector<bool> overloaded(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    host_cluster[i] = static_cast<std::size_t>(rng.uniform_u64(0, config.clusters - 1));
+    overloaded[i] = rng.chance(config.overloaded_host_fraction);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double base;
+      if (host_cluster[i] == host_cluster[j]) {
+        base = rng.uniform(config.intra_cluster_min_ms, config.intra_cluster_max_ms);
+      } else {
+        const auto& a = clusters[host_cluster[i]];
+        const auto& b = clusters[host_cluster[j]];
+        const double dist =
+            std::sqrt((a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y)) / diag;
+        base = config.inter_cluster_min_ms +
+               dist * (config.inter_cluster_max_ms - config.inter_cluster_min_ms);
+      }
+      double latency =
+          base * (1.0 + rng.normal(0.0, config.jitter_fraction));
+      latency = std::max(config.intra_cluster_min_ms, latency);
+
+      // Heavy tail: any pair touching an overloaded host pays its queue.
+      if (overloaded[i] || overloaded[j]) {
+        latency += std::min(config.outlier_cap_ms,
+                            rng.pareto(config.outlier_scale_ms, config.outlier_shape));
+        latency = std::min(latency, config.outlier_cap_ms);
+      }
+      matrix.set(i, j, latency);
+    }
+  }
+  return matrix;
+}
+
+double transitivity_violation_rate(const LatencyMatrix& m, double slack_factor, Rng& rng,
+                                   std::size_t samples) {
+  const std::size_t n = m.size();
+  if (n < 3 || samples == 0) return 0.0;
+  std::size_t violations = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto i = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+    auto j = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+    auto k = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+    if (i == j || j == k || i == k) {
+      --s;  // resample distinct triples
+      continue;
+    }
+    if (m.at(i, k) > slack_factor * (m.at(i, j) + m.at(j, k))) ++violations;
+  }
+  return static_cast<double>(violations) / static_cast<double>(samples);
+}
+
+}  // namespace wav::group

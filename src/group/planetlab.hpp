@@ -1,0 +1,44 @@
+// Synthetic PlanetLab-like latency matrix (the substitution for the
+// paper's §III.D measurement of 400 live PlanetLab hosts).
+//
+// The generator reproduces the structural properties Figure 12 shows and
+// the grouping algorithm exploits:
+//   * hosts clustered at geographic sites: small intra-cluster latencies
+//     (sub-ms to a few ms, LAN/metro),
+//   * inter-cluster latencies from a continental distance model
+//     (tens to hundreds of ms),
+//   * a heavy (Pareto) tail of pathological pairs reaching seconds
+//     (overloaded PlanetLab nodes — Fig 12(a) shows outliers up to 10 s),
+//   * approximate symmetry and triangle-inequality-like transitivity
+//     (Formulas (2) and (3)).
+#pragma once
+
+#include "group/grouping.hpp"
+
+namespace wav::group {
+
+struct PlanetLabConfig {
+  std::size_t hosts{400};
+  std::size_t clusters{24};          // geographic sites
+  double intra_cluster_min_ms{0.2};  // same-site floor
+  double intra_cluster_max_ms{12.0};
+  double inter_cluster_min_ms{15.0};
+  double inter_cluster_max_ms{320.0};
+  double jitter_fraction{0.08};      // per-pair noise around the base value
+  double overloaded_host_fraction{0.04};  // hosts whose pairs go heavy-tailed
+  double outlier_scale_ms{800.0};    // Pareto scale of the outlier tail
+  double outlier_shape{1.2};
+  double outlier_cap_ms{10000.0};    // Fig 12(a) caps at 10 s
+};
+
+/// Deterministically synthesizes the matrix from a seed.
+[[nodiscard]] LatencyMatrix synthesize_planetlab(const PlanetLabConfig& config,
+                                                 std::uint64_t seed);
+
+/// Fraction of (i,j,k) triples violating latency transitivity by more
+/// than `slack_factor` (diagnostics for the Formula (3) assumption).
+[[nodiscard]] double transitivity_violation_rate(const LatencyMatrix& m,
+                                                 double slack_factor, Rng& rng,
+                                                 std::size_t samples = 20000);
+
+}  // namespace wav::group

@@ -1,0 +1,74 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace wav::net {
+namespace {
+
+std::optional<std::uint8_t> parse_u8(std::string_view s) {
+  std::uint32_t v = 0;
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc{} || ptr != end || v > 255) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view s) {
+  MacAddress m;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (pos + 2 > s.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data() + pos, s.data() + pos + 2, v, 16);
+    if (ec != std::errc{} || ptr != s.data() + pos + 2) return std::nullopt;
+    m.octets[i] = static_cast<std::uint8_t>(v);
+    pos += 2;
+    if (i < 5) {
+      if (pos >= s.size() || (s[pos] != ':' && s[pos] != '-')) return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != s.size()) return std::nullopt;
+  return m;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF, (value >> 16) & 0xFF,
+                (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  std::array<std::uint8_t, 4> oct{};
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t dot = i < 3 ? s.find('.', start) : s.size();
+    if (dot == std::string_view::npos) return std::nullopt;
+    const auto v = parse_u8(s.substr(start, dot - start));
+    if (!v) return std::nullopt;
+    oct[i] = *v;
+    start = dot + 1;
+  }
+  return from_octets(oct[0], oct[1], oct[2], oct[3]);
+}
+
+std::string Ipv4Subnet::to_string() const {
+  return network.to_string() + "/" + std::to_string(prefix_len);
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace wav::net

@@ -1,0 +1,131 @@
+// Network address types: 48-bit MAC, IPv4 address/subnet, and transport
+// endpoints. Used by both the physical underlay fabric and the WAVNet
+// virtual link layer.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wav::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    for (const auto o : octets) {
+      if (o != 0xFF) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const { return (octets[0] & 0x01) != 0; }
+  [[nodiscard]] constexpr bool is_zero() const {
+    for (const auto o : octets) {
+      if (o != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t as_u64() const {
+    std::uint64_t v = 0;
+    for (const auto o : octets) v = (v << 8) | o;
+    return v;
+  }
+
+  [[nodiscard]] static constexpr MacAddress from_u64(std::uint64_t v) {
+    MacAddress m;
+    for (int i = 5; i >= 0; --i) {
+      m.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xFF);
+      v >>= 8;
+    }
+    return m;
+  }
+
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view s);
+};
+
+struct Ipv4Address {
+  std::uint32_t value{0};  // host-order; 10.1.2.3 -> 0x0A010203
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+  [[nodiscard]] constexpr bool is_zero() const { return value == 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return value == 0xFFFFFFFF; }
+  /// RFC 1918 private ranges — what a host "behind NAT" carries.
+  [[nodiscard]] constexpr bool is_private() const {
+    const std::uint32_t v = value;
+    return (v >> 24) == 10 || (v >> 20) == 0xAC1 || (v >> 16) == 0xC0A8;
+  }
+
+  [[nodiscard]] static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                                         std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) | d};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view s);
+};
+
+/// An IPv4 subnet in CIDR form, for routing decisions.
+struct Ipv4Subnet {
+  Ipv4Address network{};
+  std::uint8_t prefix_len{0};
+
+  constexpr auto operator<=>(const Ipv4Subnet&) const = default;
+
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value & mask()) == (network.value & mask());
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Transport endpoint: IPv4 address + UDP/TCP port.
+struct Endpoint {
+  Ipv4Address ip{};
+  std::uint16_t port{0};
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+
+  [[nodiscard]] constexpr bool is_zero() const { return ip.is_zero() && port == 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace wav::net
+
+template <>
+struct std::hash<wav::net::MacAddress> {
+  std::size_t operator()(const wav::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.as_u64());
+  }
+};
+
+template <>
+struct std::hash<wav::net::Ipv4Address> {
+  std::size_t operator()(const wav::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<wav::net::Endpoint> {
+  std::size_t operator()(const wav::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.ip.value) << 16) | e.port);
+  }
+};

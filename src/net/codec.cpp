@@ -1,0 +1,323 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace wav::net {
+namespace {
+
+void encode_mac(ByteWriter& w, const MacAddress& m) {
+  for (const auto o : m.octets) w.u8(o);
+}
+
+std::optional<MacAddress> parse_mac(ByteReader& r) {
+  MacAddress m;
+  for (auto& o : m.octets) {
+    const auto b = r.u8();
+    if (!b) return std::nullopt;
+    o = *b;
+  }
+  return m;
+}
+
+}  // namespace
+
+void encode_ipv4_header(ByteBuffer& out, Ipv4Address src, Ipv4Address dst,
+                        std::uint8_t protocol, std::uint8_t ttl, std::uint16_t total_length,
+                        std::uint16_t identification) {
+  const std::size_t start = out.size();
+  ByteWriter w{out};
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0x00);  // DSCP/ECN
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0x4000);  // flags: DF, fragment offset 0
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value);
+  w.u32(dst.value);
+  const std::uint16_t csum =
+      internet_checksum(std::span<const std::byte>{out.data() + start, 20});
+  out[start + 10] = static_cast<std::byte>(csum >> 8);
+  out[start + 11] = static_cast<std::byte>(csum & 0xFF);
+}
+
+std::optional<Ipv4HeaderFields> parse_ipv4_header(ByteReader& in) {
+  const auto header = in.raw(20);
+  if (!header) return std::nullopt;
+  ByteReader r{*header};
+  const auto ver_ihl = r.u8();
+  if (!ver_ihl || *ver_ihl != 0x45) return std::nullopt;
+  (void)r.u8();  // DSCP/ECN
+  Ipv4HeaderFields f;
+  f.total_length = *r.u16();
+  f.identification = *r.u16();
+  (void)r.u16();  // flags/fragment
+  f.ttl = *r.u8();
+  f.protocol = *r.u8();
+  (void)r.u16();  // checksum field (included in verification below)
+  f.src = Ipv4Address{*r.u32()};
+  f.dst = Ipv4Address{*r.u32()};
+  f.checksum_ok = internet_checksum(*header) == 0;
+  return f;
+}
+
+void encode_udp_header(ByteBuffer& out, std::uint16_t src_port, std::uint16_t dst_port,
+                       std::uint16_t length) {
+  ByteWriter w{out};
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum optional in IPv4 UDP; zero = not computed
+}
+
+std::optional<UdpHeaderFields> parse_udp_header(ByteReader& in) {
+  const auto sp = in.u16();
+  const auto dp = in.u16();
+  const auto len = in.u16();
+  const auto csum = in.u16();
+  if (!sp || !dp || !len || !csum) return std::nullopt;
+  return UdpHeaderFields{*sp, *dp, *len};
+}
+
+void encode_tcp_header(ByteBuffer& out, const TcpSegment& seg) {
+  ByteWriter w{out};
+  w.u16(seg.src_port);
+  w.u16(seg.dst_port);
+  w.u32(seg.seq);
+  w.u32(seg.ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(seg.flags.to_byte());
+  w.u16(static_cast<std::uint16_t>(std::min<std::uint32_t>(seg.window, 0xFFFF)));
+  w.u16(0);  // checksum (not computed in the simulator wire format)
+  w.u16(0);  // urgent pointer
+}
+
+std::optional<TcpHeaderFields> parse_tcp_header(ByteReader& in) {
+  const auto header = in.raw(20);
+  if (!header) return std::nullopt;
+  ByteReader r{*header};
+  TcpHeaderFields f;
+  f.src_port = *r.u16();
+  f.dst_port = *r.u16();
+  f.seq = *r.u32();
+  f.ack = *r.u32();
+  const auto offset = r.u8();
+  if (!offset || (*offset >> 4) != 5) return std::nullopt;
+  f.flags = TcpFlags::from_byte(*r.u8());
+  f.window = *r.u16();
+  return f;
+}
+
+void encode_icmp(ByteBuffer& out, const IcmpMessage& msg) {
+  const std::size_t start = out.size();
+  ByteWriter w{out};
+  w.u8(msg.type);
+  w.u8(msg.code);
+  w.u16(0);  // checksum placeholder
+  w.u16(msg.id);
+  w.u16(msg.seq);
+  w.raw(msg.payload.real);
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::byte>{out.data() + start, out.size() - start});
+  out[start + 2] = static_cast<std::byte>(csum >> 8);
+  out[start + 3] = static_cast<std::byte>(csum & 0xFF);
+}
+
+std::optional<IcmpMessage> parse_icmp(ByteReader& in, std::size_t body_length) {
+  if (body_length < kIcmpHeaderBytes) return std::nullopt;
+  const auto body = in.raw(body_length);
+  if (!body) return std::nullopt;
+  if (internet_checksum(*body) != 0) return std::nullopt;
+  ByteReader r{*body};
+  IcmpMessage m;
+  m.type = *r.u8();
+  m.code = *r.u8();
+  (void)r.u16();  // checksum
+  m.id = *r.u16();
+  m.seq = *r.u16();
+  const auto rest = r.rest();
+  m.payload = Chunk::from_bytes(ByteBuffer{rest.begin(), rest.end()});
+  return m;
+}
+
+void encode_arp(ByteBuffer& out, const ArpMessage& arp) {
+  ByteWriter w{out};
+  w.u16(1);       // hardware type: Ethernet
+  w.u16(kEtherTypeIpv4);
+  w.u8(6);        // hardware address length
+  w.u8(4);        // protocol address length
+  w.u16(arp.op);
+  encode_mac(w, arp.sender_mac);
+  w.u32(arp.sender_ip.value);
+  encode_mac(w, arp.target_mac);
+  w.u32(arp.target_ip.value);
+}
+
+std::optional<ArpMessage> parse_arp(ByteReader& in) {
+  const auto htype = in.u16();
+  const auto ptype = in.u16();
+  const auto hlen = in.u8();
+  const auto plen = in.u8();
+  if (!htype || !ptype || !hlen || !plen) return std::nullopt;
+  if (*htype != 1 || *ptype != kEtherTypeIpv4 || *hlen != 6 || *plen != 4) {
+    return std::nullopt;
+  }
+  ArpMessage m;
+  const auto op = in.u16();
+  if (!op) return std::nullopt;
+  m.op = *op;
+  const auto smac = parse_mac(in);
+  const auto sip = in.u32();
+  const auto tmac = parse_mac(in);
+  const auto tip = in.u32();
+  if (!smac || !sip || !tmac || !tip) return std::nullopt;
+  m.sender_mac = *smac;
+  m.sender_ip = Ipv4Address{*sip};
+  m.target_mac = *tmac;
+  m.target_ip = Ipv4Address{*tip};
+  return m;
+}
+
+void encode_ethernet_header(ByteBuffer& out, const EthernetFrame& frame) {
+  ByteWriter w{out};
+  encode_mac(w, frame.dst);
+  encode_mac(w, frame.src);
+  w.u16(frame.ethertype);
+}
+
+std::optional<EthernetHeaderFields> parse_ethernet_header(ByteReader& in) {
+  EthernetHeaderFields f;
+  const auto dst = parse_mac(in);
+  const auto src = parse_mac(in);
+  const auto et = in.u16();
+  if (!dst || !src || !et) return std::nullopt;
+  f.dst = *dst;
+  f.src = *src;
+  f.ethertype = *et;
+  return f;
+}
+
+namespace {
+
+bool serialize_l4(ByteBuffer& out, const IpPacket& pkt) {
+  if (const auto* udp = pkt.udp()) {
+    const auto* chunk = udp->chunk();
+    if (chunk == nullptr || chunk->is_virtual()) return false;  // nested encap not byte-serializable
+    encode_udp_header(out, udp->src_port, udp->dst_port,
+                      static_cast<std::uint16_t>(udp->wire_size()));
+    ByteWriter{out}.raw(chunk->real);
+    return true;
+  }
+  if (const auto* tcp = pkt.tcp()) {
+    encode_tcp_header(out, *tcp);
+    for (const auto& c : tcp->data) {
+      if (c.is_virtual()) return false;
+      ByteWriter{out}.raw(c.real);
+    }
+    return true;
+  }
+  const auto* icmp = pkt.icmp();
+  if (icmp->payload.is_virtual()) return false;
+  encode_icmp(out, *icmp);
+  return true;
+}
+
+std::optional<IpPacket> parse_ip_packet(ByteReader& r) {
+  const auto hdr = parse_ipv4_header(r);
+  if (!hdr || !hdr->checksum_ok) return std::nullopt;
+  if (hdr->total_length < kIpv4HeaderBytes) return std::nullopt;
+  const std::size_t body_len = hdr->total_length - kIpv4HeaderBytes;
+  IpPacket pkt;
+  pkt.src = hdr->src;
+  pkt.dst = hdr->dst;
+  pkt.ttl = hdr->ttl;
+  switch (hdr->protocol) {
+    case kProtoUdp: {
+      const auto uh = parse_udp_header(r);
+      if (!uh || uh->length < kUdpHeaderBytes) return std::nullopt;
+      const auto data = r.raw(uh->length - kUdpHeaderBytes);
+      if (!data) return std::nullopt;
+      UdpDatagram d;
+      d.src_port = uh->src_port;
+      d.dst_port = uh->dst_port;
+      d.payload = Chunk::from_bytes(ByteBuffer{data->begin(), data->end()});
+      pkt.body = std::move(d);
+      return pkt;
+    }
+    case kProtoTcp: {
+      const auto th = parse_tcp_header(r);
+      if (!th || body_len < kTcpHeaderBytes) return std::nullopt;
+      const auto data = r.raw(body_len - kTcpHeaderBytes);
+      if (!data) return std::nullopt;
+      TcpSegment s;
+      s.src_port = th->src_port;
+      s.dst_port = th->dst_port;
+      s.seq = th->seq;
+      s.ack = th->ack;
+      s.flags = th->flags;
+      s.window = th->window;
+      if (!data->empty()) {
+        s.data.push_back(Chunk::from_bytes(ByteBuffer{data->begin(), data->end()}));
+      }
+      pkt.body = std::move(s);
+      return pkt;
+    }
+    case kProtoIcmp: {
+      auto m = parse_icmp(r, body_len);
+      if (!m) return std::nullopt;
+      pkt.body = std::move(*m);
+      return pkt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<ByteBuffer> serialize_frame(const EthernetFrame& frame) {
+  ByteBuffer out;
+  encode_ethernet_header(out, frame);
+  if (const auto* arp = frame.arp()) {
+    encode_arp(out, *arp);
+    return out;
+  }
+  if (const auto* ip = frame.ip()) {
+    encode_ipv4_header(out, ip->src, ip->dst, ip->protocol(), ip->ttl,
+                       static_cast<std::uint16_t>(ip->wire_size()));
+    if (!serialize_l4(out, *ip)) return std::nullopt;
+    return out;
+  }
+  const auto& raw = std::get<Chunk>(frame.payload);
+  if (raw.is_virtual()) return std::nullopt;
+  ByteWriter{out}.raw(raw.real);
+  return out;
+}
+
+std::optional<EthernetFrame> parse_frame(std::span<const std::byte> wire) {
+  ByteReader r{wire};
+  const auto hdr = parse_ethernet_header(r);
+  if (!hdr) return std::nullopt;
+  EthernetFrame f;
+  f.dst = hdr->dst;
+  f.src = hdr->src;
+  f.ethertype = hdr->ethertype;
+  if (hdr->ethertype == kEtherTypeArp) {
+    const auto arp = parse_arp(r);
+    if (!arp) return std::nullopt;
+    f.payload = *arp;
+    return f;
+  }
+  if (hdr->ethertype == kEtherTypeIpv4) {
+    auto ip = parse_ip_packet(r);
+    if (!ip) return std::nullopt;
+    f.payload = std::make_shared<const IpPacket>(std::move(*ip));
+    return f;
+  }
+  const auto rest = r.rest();
+  f.payload = Chunk::from_bytes(ByteBuffer{rest.begin(), rest.end()});
+  return f;
+}
+
+}  // namespace wav::net

@@ -1,0 +1,50 @@
+// Message framing over a TCP byte stream: a 13-byte real header
+// (type u8 | tag u32 | length u64) followed by `length` payload bytes
+// that may be virtual (bulk) or real (small control content). Used by
+// the VM migration protocol and the mini-MPI runtime.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace wav::net {
+
+struct FrameHeader {
+  std::uint8_t type{0};
+  std::uint32_t tag{0};
+  std::uint64_t length{0};
+};
+
+inline constexpr std::uint64_t kFrameHeaderBytes = 13;
+
+/// Builds the chunks for one framed message (header + payload).
+[[nodiscard]] std::vector<Chunk> frame_message(FrameHeader header, Chunk payload);
+
+/// Incremental parser: feed received chunks in order; emits one callback
+/// per completed message with the payload chunks (boundaries preserved as
+/// received).
+class MessageFramer {
+ public:
+  using Handler = std::function<void(const FrameHeader&, std::vector<Chunk> payload)>;
+
+  explicit MessageFramer(Handler handler) : handler_(std::move(handler)) {}
+
+  void push(const std::vector<Chunk>& chunks);
+
+  [[nodiscard]] std::uint64_t messages_parsed() const noexcept { return parsed_; }
+
+ private:
+  void drain();
+
+  Handler handler_;
+  ChunkQueue buffer_;
+  std::optional<FrameHeader> current_;
+  std::vector<Chunk> payload_;
+  std::uint64_t payload_received_{0};
+  std::uint64_t parsed_{0};
+};
+
+}  // namespace wav::net

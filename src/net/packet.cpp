@@ -1,0 +1,106 @@
+#include "net/packet.hpp"
+
+#include <cassert>
+
+namespace wav::net {
+
+Chunk Chunk::split_front(std::uint64_t n) {
+  assert(n <= size());
+  Chunk front;
+  if (!real.empty()) {
+    const auto take = static_cast<std::size_t>(std::min<std::uint64_t>(n, real.size()));
+    front.real.assign(real.begin(), real.begin() + static_cast<std::ptrdiff_t>(take));
+    real.erase(real.begin(), real.begin() + static_cast<std::ptrdiff_t>(take));
+    n -= take;
+  }
+  if (n > 0) {
+    front.virtual_size = n;
+    virtual_size -= n;
+  }
+  return front;
+}
+
+std::uint64_t total_size(const std::vector<Chunk>& chunks) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : chunks) total += c.size();
+  return total;
+}
+
+void ChunkQueue::push(Chunk c) {
+  if (c.empty()) return;
+  size_ += c.size();
+  chunks_.push_back(std::move(c));
+}
+
+std::vector<Chunk> ChunkQueue::pop_up_to(std::uint64_t max_bytes) {
+  std::vector<Chunk> out;
+  while (max_bytes > 0 && head_ < chunks_.size()) {
+    Chunk& front = chunks_[head_];
+    if (front.size() <= max_bytes) {
+      max_bytes -= front.size();
+      size_ -= front.size();
+      out.push_back(std::move(front));
+      ++head_;
+    } else {
+      Chunk piece = front.split_front(max_bytes);
+      size_ -= piece.size();
+      out.push_back(std::move(piece));
+      max_bytes = 0;
+    }
+  }
+  // Compact once the dead prefix dominates.
+  if (head_ > 64 && head_ * 2 > chunks_.size()) {
+    chunks_.erase(chunks_.begin(), chunks_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return out;
+}
+
+void ChunkQueue::clear() {
+  chunks_.clear();
+  head_ = 0;
+  size_ = 0;
+}
+
+std::uint64_t EncapFrame::wire_size() const noexcept {
+  return header_bytes + (frame ? frame->wire_size() : 0);
+}
+
+std::uint64_t UdpDatagram::payload_size() const noexcept {
+  if (const auto* c = chunk()) return c->size();
+  return encap()->wire_size();
+}
+
+std::uint64_t IpPacket::wire_size() const noexcept {
+  std::uint64_t body_size = 0;
+  std::visit([&](const auto& b) { body_size = b.wire_size(); }, body);
+  return kIpv4HeaderBytes + body_size;
+}
+
+std::uint64_t EthernetFrame::payload_size() const noexcept {
+  if (const auto* p = std::get_if<std::shared_ptr<const IpPacket>>(&payload)) {
+    return *p ? (*p)->wire_size() : 0;
+  }
+  if (const auto* a = std::get_if<ArpMessage>(&payload)) return a->wire_size();
+  return std::get<Chunk>(payload).size();
+}
+
+EthernetFrame EthernetFrame::make_ip(MacAddress dst, MacAddress src, IpPacket pkt) {
+  EthernetFrame f;
+  f.dst = dst;
+  f.src = src;
+  f.ethertype = kEtherTypeIpv4;
+  f.payload = std::make_shared<const IpPacket>(std::move(pkt));
+  return f;
+}
+
+EthernetFrame EthernetFrame::make_arp(MacAddress dst, MacAddress src, ArpMessage arp) {
+  EthernetFrame f;
+  f.dst = dst;
+  f.src = src;
+  f.ethertype = kEtherTypeArp;
+  f.payload = arp;
+  return f;
+}
+
+}  // namespace wav::net

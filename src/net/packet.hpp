@@ -1,0 +1,233 @@
+// Structured packet model shared by the physical underlay and the WAVNet
+// virtual plane.
+//
+// Headers are modeled as typed structs with exact on-wire sizes (and real
+// byte codecs in net/codec.hpp); bulk payload is carried as `Chunk`s that
+// are either real bytes (control messages, HTTP headers) or virtual byte
+// counts (bulk transfers, VM memory pages). A 256 MB migration therefore
+// costs O(#segments) memory, while every header field the protocols touch
+// is real.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace wav::net {
+
+/// A contiguous run of payload bytes: real content or a virtual length.
+/// Exactly one of the two is non-empty.
+struct Chunk {
+  ByteBuffer real;
+  std::uint64_t virtual_size{0};
+
+  [[nodiscard]] static Chunk from_bytes(ByteBuffer b) { return Chunk{std::move(b), 0}; }
+  [[nodiscard]] static Chunk from_string(std::string_view s) {
+    return Chunk{to_bytes(s), 0};
+  }
+  [[nodiscard]] static Chunk virtual_bytes(std::uint64_t n) { return Chunk{{}, n}; }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return real.size() + virtual_size;
+  }
+  [[nodiscard]] bool is_virtual() const noexcept { return virtual_size > 0; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Splits off the first `n` bytes into the returned chunk, keeping the
+  /// remainder. n must be <= size().
+  Chunk split_front(std::uint64_t n);
+};
+
+[[nodiscard]] std::uint64_t total_size(const std::vector<Chunk>& chunks) noexcept;
+
+/// FIFO of stream bytes preserving chunk boundaries. The TCP send path and
+/// app-level receive reassembly are built on it.
+class ChunkQueue {
+ public:
+  void push(Chunk c);
+  /// Pops up to `max_bytes`, splitting the head chunk if needed. Returns
+  /// the extracted chunks in order.
+  [[nodiscard]] std::vector<Chunk> pop_up_to(std::uint64_t max_bytes);
+  /// Pops exactly `n` real bytes (fails if fewer real bytes buffered or a
+  /// virtual chunk intervenes); used by text protocol parsers.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  void clear();
+
+ private:
+  std::vector<Chunk> chunks_;  // front at index head_
+  std::size_t head_{0};
+  std::uint64_t size_{0};
+};
+
+// --- L4 bodies ---------------------------------------------------------
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+inline constexpr std::uint64_t kIpv4HeaderBytes = 20;
+inline constexpr std::uint64_t kUdpHeaderBytes = 8;
+inline constexpr std::uint64_t kTcpHeaderBytes = 20;
+inline constexpr std::uint64_t kIcmpHeaderBytes = 8;
+inline constexpr std::uint64_t kEthernetHeaderBytes = 14;
+inline constexpr std::uint64_t kArpBodyBytes = 28;
+
+struct IcmpMessage {
+  static constexpr std::uint8_t kEchoRequest = 8;
+  static constexpr std::uint8_t kEchoReply = 0;
+
+  std::uint8_t type{kEchoRequest};
+  std::uint8_t code{0};
+  std::uint16_t id{0};
+  std::uint16_t seq{0};
+  Chunk payload;
+
+  [[nodiscard]] std::uint64_t wire_size() const noexcept {
+    return kIcmpHeaderBytes + payload.size();
+  }
+};
+
+struct EthernetFrame;
+
+/// Tunnel encapsulation: an Ethernet frame of the virtual plane riding in
+/// a UDP datagram of the physical plane (WAVNet direct tunnels and the
+/// IPOP overlay both use this, with different header overheads and, for
+/// IPOP, overlay routing metadata).
+struct EncapFrame {
+  std::uint32_t header_bytes{0};            // encapsulation overhead on the wire
+  std::uint64_t overlay_src{0};             // P2P node ids (IPOP routing only)
+  std::uint64_t overlay_dst{0};
+  std::uint8_t hop_count{0};                // hops taken so far in overlay routing
+  std::shared_ptr<const EthernetFrame> frame;
+
+  [[nodiscard]] std::uint64_t wire_size() const noexcept;
+};
+
+struct UdpDatagram {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::variant<Chunk, EncapFrame> payload;
+
+  [[nodiscard]] std::uint64_t payload_size() const noexcept;
+  [[nodiscard]] std::uint64_t wire_size() const noexcept {
+    return kUdpHeaderBytes + payload_size();
+  }
+  [[nodiscard]] const Chunk* chunk() const noexcept {
+    return std::get_if<Chunk>(&payload);
+  }
+  [[nodiscard]] const EncapFrame* encap() const noexcept {
+    return std::get_if<EncapFrame>(&payload);
+  }
+};
+
+struct TcpFlags {
+  bool syn{false};
+  bool ack{false};
+  bool fin{false};
+  bool rst{false};
+  bool psh{false};
+
+  [[nodiscard]] std::uint8_t to_byte() const noexcept {
+    return static_cast<std::uint8_t>((fin ? 0x01 : 0) | (syn ? 0x02 : 0) | (rst ? 0x04 : 0) |
+                                     (psh ? 0x08 : 0) | (ack ? 0x10 : 0));
+  }
+  [[nodiscard]] static TcpFlags from_byte(std::uint8_t b) noexcept {
+    return TcpFlags{(b & 0x02) != 0, (b & 0x10) != 0, (b & 0x01) != 0, (b & 0x04) != 0,
+                    (b & 0x08) != 0};
+  }
+};
+
+struct TcpSegment {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  TcpFlags flags;
+  std::uint32_t window{65535};
+  std::vector<Chunk> data;
+
+  [[nodiscard]] std::uint64_t data_size() const noexcept { return total_size(data); }
+  [[nodiscard]] std::uint64_t wire_size() const noexcept {
+    return kTcpHeaderBytes + data_size();
+  }
+};
+
+/// A physical- or virtual-plane IPv4 packet.
+struct IpPacket {
+  Ipv4Address src{};
+  Ipv4Address dst{};
+  std::uint8_t ttl{64};
+  std::variant<UdpDatagram, TcpSegment, IcmpMessage> body;
+
+  [[nodiscard]] std::uint8_t protocol() const noexcept {
+    switch (body.index()) {
+      case 0: return kProtoUdp;
+      case 1: return kProtoTcp;
+      default: return kProtoIcmp;
+    }
+  }
+  [[nodiscard]] std::uint64_t wire_size() const noexcept;
+
+  [[nodiscard]] UdpDatagram* udp() noexcept { return std::get_if<UdpDatagram>(&body); }
+  [[nodiscard]] const UdpDatagram* udp() const noexcept {
+    return std::get_if<UdpDatagram>(&body);
+  }
+  [[nodiscard]] TcpSegment* tcp() noexcept { return std::get_if<TcpSegment>(&body); }
+  [[nodiscard]] const TcpSegment* tcp() const noexcept {
+    return std::get_if<TcpSegment>(&body);
+  }
+  [[nodiscard]] IcmpMessage* icmp() noexcept { return std::get_if<IcmpMessage>(&body); }
+  [[nodiscard]] const IcmpMessage* icmp() const noexcept {
+    return std::get_if<IcmpMessage>(&body);
+  }
+};
+
+// --- L2 (virtual plane) -------------------------------------------------
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+struct ArpMessage {
+  static constexpr std::uint16_t kRequest = 1;
+  static constexpr std::uint16_t kReply = 2;
+
+  std::uint16_t op{kRequest};
+  MacAddress sender_mac{};
+  Ipv4Address sender_ip{};
+  MacAddress target_mac{};
+  Ipv4Address target_ip{};
+
+  /// Gratuitous ARP announces (sender == target IP); the VM migration
+  /// path floods one of these after resume.
+  [[nodiscard]] bool is_gratuitous() const noexcept { return sender_ip == target_ip; }
+  [[nodiscard]] std::uint64_t wire_size() const noexcept { return kArpBodyBytes; }
+};
+
+struct EthernetFrame {
+  MacAddress dst{};
+  MacAddress src{};
+  std::uint16_t ethertype{kEtherTypeIpv4};
+  std::variant<std::shared_ptr<const IpPacket>, ArpMessage, Chunk> payload;
+
+  [[nodiscard]] std::uint64_t payload_size() const noexcept;
+  [[nodiscard]] std::uint64_t wire_size() const noexcept {
+    return kEthernetHeaderBytes + payload_size();
+  }
+  [[nodiscard]] const IpPacket* ip() const noexcept {
+    const auto* p = std::get_if<std::shared_ptr<const IpPacket>>(&payload);
+    return p ? p->get() : nullptr;
+  }
+  [[nodiscard]] const ArpMessage* arp() const noexcept {
+    return std::get_if<ArpMessage>(&payload);
+  }
+
+  [[nodiscard]] static EthernetFrame make_ip(MacAddress dst, MacAddress src, IpPacket pkt);
+  [[nodiscard]] static EthernetFrame make_arp(MacAddress dst, MacAddress src, ArpMessage arp);
+};
+
+}  // namespace wav::net

@@ -1,0 +1,379 @@
+#include "overlay/host_agent.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace wav::overlay {
+
+HostAgent::HostAgent(stack::IpLayer& ip, Config config)
+    : ip_(ip),
+      config_(std::move(config)),
+      udp_(ip),
+      socket_(udp_, config_.port),
+      next_request_id_(1),
+      heartbeat_timer_(ip.sim(), config_.heartbeat_interval,
+                       [this] {
+                         if (registered_) {
+                           socket_.send_to(active_rendezvous_,
+                                           encode(HeartbeatMsg{self_.host_id}));
+                           probe_rendezvous();
+                         }
+                       }),
+      pulse_timer_(ip.sim(), config_.pulse_interval, [this] { pulse_links(); }),
+      idle_check_timer_(ip.sim(), std::max(config_.link_idle_timeout / 3, seconds(1)),
+                        [this] { reap_idle_links(); }) {
+  active_rendezvous_ = config_.rendezvous;
+  self_.host_id = config_.host_id != 0 ? config_.host_id : ip.ip_address().value;
+  self_.name = config_.name.empty() ? ip.ip_address().to_string() : config_.name;
+  self_.private_endpoint = net::Endpoint{ip.ip_address(), config_.port};
+  self_.attributes = config_.attributes;
+  self_.nat_type = nat::NatType::kPortRestrictedCone;
+
+  socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
+    on_datagram(from, d);
+  });
+}
+
+HostAgent::~HostAgent() = default;
+
+void HostAgent::start(RegisteredHandler on_registered) {
+  on_registered_ = std::move(on_registered);
+  if (config_.stun) {
+    stun_client_.emplace(udp_, config_.stun->first, config_.stun->second);
+    stun_client_->probe([this](const stun::ProbeResult& result) {
+      if (result.reachable) self_.nat_type = result.nat_type;
+      do_register();
+    });
+  } else {
+    do_register();
+  }
+}
+
+void HostAgent::do_register() {
+  RegisterMsg msg;
+  msg.info = self_;
+  socket_.send_to(active_rendezvous_, encode(msg));
+  // Retry until acked; the ack handler flips registered_. Repeated
+  // registration failures also trigger failover to a backup server.
+  ip_.sim().schedule_after(seconds(2), [this] {
+    if (registered_) return;
+    if (++silent_probes_ >= config_.rendezvous_probe_failures) fail_over_rendezvous();
+    do_register();
+  });
+}
+
+void HostAgent::probe_rendezvous() {
+  // Liveness probe: an empty query; any reply resets the silence count.
+  // (RegisterAck and QueryReply handlers also reset it.)
+  // Drop the previous probe's pending entry so unanswered probes don't
+  // accumulate while the server is down.
+  pending_queries_.erase(last_probe_query_id_);
+  QueryMsg probe;
+  probe.query_id = next_query_id_++;
+  last_probe_query_id_ = probe.query_id;
+  probe.k = 1;
+  probe.target = {};
+  pending_queries_[probe.query_id] = [this](std::vector<HostInfo>) {
+    silent_probes_ = 0;
+  };
+  socket_.send_to(active_rendezvous_, encode(probe));
+  if (++silent_probes_ > config_.rendezvous_probe_failures) fail_over_rendezvous();
+}
+
+void HostAgent::fail_over_rendezvous() {
+  if (config_.rendezvous_backups.empty()) {
+    silent_probes_ = 0;  // nothing to fail over to; keep trying the primary
+    return;
+  }
+  const net::Endpoint next =
+      config_.rendezvous_backups[next_backup_ % config_.rendezvous_backups.size()];
+  ++next_backup_;
+  if (next == active_rendezvous_) return;
+  log::debug("agent", "{}: rendezvous {} silent; failing over to {}", self_.name,
+             active_rendezvous_.to_string(), next.to_string());
+  active_rendezvous_ = next;
+  ++rendezvous_failovers_;
+  silent_probes_ = 0;
+  registered_ = false;
+  do_register();
+}
+
+void HostAgent::query(const std::vector<double>& target, std::size_t k,
+                      QueryHandler handler) {
+  QueryMsg msg;
+  msg.query_id = next_query_id_++;
+  msg.target = target;
+  msg.k = static_cast<std::uint16_t>(k);
+  pending_queries_[msg.query_id] = std::move(handler);
+  socket_.send_to(active_rendezvous_, encode(msg));
+}
+
+void HostAgent::connect_to(const HostInfo& peer, ConnectHandler handler) {
+  if (peer.host_id == self_.host_id) {
+    if (handler) handler(false, peer.host_id);
+    return;
+  }
+  if (const auto it = links_.find(peer.host_id);
+      it != links_.end() && it->second.established) {
+    if (handler) handler(true, peer.host_id);
+    return;
+  }
+  // Ask the rendezvous layer to notify the peer (it will punch back)...
+  ConnectRequestMsg req;
+  req.request_id = next_request_id_++;
+  req.requester = self_;
+  req.target = peer.host_id;
+  req.target_rendezvous = peer.rendezvous;
+  socket_.send_to(active_rendezvous_, encode(req));
+  // ...and start punching immediately with the info we already have.
+  begin_punching(peer, std::move(handler));
+}
+
+void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
+  Link& link = links_[peer.host_id];
+  link.peer = peer.host_id;
+  link.info = peer;
+  if (link.established) {
+    if (handler) handler(true, peer.host_id);
+    return;
+  }
+  if (handler) link.on_result = std::move(handler);
+  link.nonce = ip_.sim().rng().next();
+
+  link.candidates.clear();
+  // Behind the same NAT (identical public IP): the private address is the
+  // only workable path (consumer NATs rarely hairpin); try it first.
+  if (!peer.public_endpoint.is_zero() && !self_.public_endpoint.is_zero() &&
+      peer.public_endpoint.ip == self_.public_endpoint.ip) {
+    link.candidates.push_back(peer.private_endpoint);
+  }
+  if (!peer.public_endpoint.is_zero()) link.candidates.push_back(peer.public_endpoint);
+  if (link.candidates.empty()) link.candidates.push_back(peer.private_endpoint);
+
+  link.punch_deadline = ip_.sim().now() + config_.punch_timeout;
+  if (!link.punch_timer) {
+    const HostId peer_id = peer.host_id;
+    link.punch_timer = std::make_unique<sim::PeriodicTimer>(
+        ip_.sim(), config_.punch_interval, [this, peer_id] { punch_round(peer_id); });
+  }
+  link.punch_timer->start_after(kZeroDuration);
+}
+
+void HostAgent::punch_round(HostId peer) {
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+  if (link.established) {
+    link.punch_timer->stop();
+    return;
+  }
+  if (ip_.sim().now() >= link.punch_deadline) {
+    link.punch_timer->stop();
+    auto handler = std::move(link.on_result);
+    links_.erase(it);
+    log::debug("agent", "{}: hole punch to {} timed out", self_.name, peer);
+    if (handler) handler(false, peer);
+    return;
+  }
+  for (const auto& candidate : link.candidates) {
+    ++stats_.punches_sent;
+    socket_.send_to(candidate, encode(PunchMsg{self_.host_id, link.nonce}));
+  }
+}
+
+void HostAgent::establish(Link& link, const net::Endpoint& proven) {
+  link.remote = proven;
+  link.last_rx = ip_.sim().now();
+  endpoint_to_peer_[proven] = link.peer;
+  if (link.established) return;
+  link.established = true;
+  if (link.punch_timer) link.punch_timer->stop();
+  ++stats_.links_established;
+  if (!pulse_timer_.running()) pulse_timer_.start();
+  if (!idle_check_timer_.running()) idle_check_timer_.start();
+  log::debug("agent", "{}: direct link to {} via {}", self_.name, link.peer,
+             proven.to_string());
+  if (link.on_result) {
+    auto handler = std::move(link.on_result);
+    link.on_result = nullptr;
+    handler(true, link.peer);
+  }
+  if (on_link_up_) on_link_up_(link.peer);
+}
+
+bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.established) return false;
+  ++stats_.frames_sent;
+  return socket_.send_encap(it->second.remote, std::move(frame));
+}
+
+bool HostAgent::link_established(HostId peer) const {
+  const auto it = links_.find(peer);
+  return it != links_.end() && it->second.established;
+}
+
+std::vector<HostId> HostAgent::connected_peers() const {
+  std::vector<HostId> peers;
+  for (const auto& [id, link] : links_) {
+    if (link.established) peers.push_back(id);
+  }
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+std::optional<net::Endpoint> HostAgent::link_remote(HostId peer) const {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.established) return std::nullopt;
+  return it->second.remote;
+}
+
+void HostAgent::drop_link(HostId peer) {
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  endpoint_to_peer_.erase(it->second.remote);
+  const bool was_established = it->second.established;
+  links_.erase(it);
+  if (was_established) {
+    ++stats_.links_lost;
+    if (on_link_down_) on_link_down_(peer);
+  }
+}
+
+void HostAgent::pulse_links() {
+  for (auto& [peer, link] : links_) {
+    if (!link.established) continue;
+    ++stats_.pulses_sent;
+    socket_.send_to(link.remote, encode_pulse());
+  }
+}
+
+void HostAgent::reap_idle_links() {
+  const TimePoint now = ip_.sim().now();
+  std::vector<HostId> dead;
+  for (auto& [peer, link] : links_) {
+    if (link.established && now - link.last_rx > config_.link_idle_timeout) {
+      dead.push_back(peer);
+    }
+  }
+  for (const HostId peer : dead) {
+    log::debug("agent", "{}: link to {} idle-timed out", self_.name, peer);
+    const HostInfo info = links_[peer].info;
+    drop_link(peer);
+    // NAT reboots invalidate both sides' bindings; a fresh brokered
+    // connect re-learns the mappings and punches again.
+    if (config_.auto_repunch && !info.rendezvous.is_zero()) {
+      ip_.sim().schedule_after(config_.repunch_delay, [this, info] {
+        if (!links_.contains(info.host_id)) {
+          log::debug("agent", "{}: re-punching lost link to {}", self_.name,
+                     info.host_id);
+          connect_to(info, {});
+        }
+      });
+    }
+  }
+}
+
+HostAgent::Link* HostAgent::link_by_endpoint(const net::Endpoint& ep) {
+  const auto it = endpoint_to_peer_.find(ep);
+  if (it == endpoint_to_peer_.end()) return nullptr;
+  const auto lit = links_.find(it->second);
+  return lit == links_.end() ? nullptr : &lit->second;
+}
+
+void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram) {
+  const auto type = peek_type(dgram);
+  if (!type) return;
+
+  switch (*type) {
+    case MsgType::kData: {
+      const auto* encap = dgram.encap();
+      Link* link = link_by_endpoint(from);
+      if (link != nullptr) {
+        link->last_rx = ip_.sim().now();
+        ++stats_.frames_received;
+        if (on_frame_) on_frame_(link->peer, *encap);
+      }
+      return;
+    }
+    case MsgType::kPulse: {
+      if (Link* link = link_by_endpoint(from)) link->last_rx = ip_.sim().now();
+      return;
+    }
+    case MsgType::kPunch: {
+      const auto msg = parse_punch(*dgram.chunk());
+      if (!msg) return;
+      ++stats_.punch_acks_sent;
+      socket_.send_to(from, encode(PunchAckMsg{self_.host_id, msg->nonce}));
+      // Traffic from the peer proves the path; adopt it.
+      Link& link = links_[msg->from_host];
+      if (link.peer == 0) {
+        link.peer = msg->from_host;
+        link.info.host_id = msg->from_host;
+        link.info.public_endpoint = from;
+      }
+      establish(link, from);
+      return;
+    }
+    case MsgType::kPunchAck: {
+      const auto msg = parse_punch_ack(*dgram.chunk());
+      if (!msg) return;
+      const auto it = links_.find(msg->from_host);
+      if (it == links_.end()) return;
+      establish(it->second, from);
+      return;
+    }
+    case MsgType::kRegisterAck: {
+      const auto msg = parse_register_ack(*dgram.chunk());
+      if (!msg || !msg->ok) return;
+      self_.public_endpoint = msg->observed;
+      self_.rendezvous = active_rendezvous_;
+      silent_probes_ = 0;
+      if (!registered_) {
+        registered_ = true;
+        heartbeat_timer_.start();
+        if (on_registered_) {
+          auto handler = std::move(on_registered_);
+          on_registered_ = nullptr;
+          handler(true);
+        }
+      }
+      return;
+    }
+    case MsgType::kQueryReply: {
+      const auto msg = parse_query_reply(*dgram.chunk());
+      if (!msg) return;
+      const auto it = pending_queries_.find(msg->query_id);
+      if (it == pending_queries_.end()) return;
+      auto handler = std::move(it->second);
+      pending_queries_.erase(it);
+      // Never hand back our own record.
+      std::vector<HostInfo> hosts = msg->hosts;
+      std::erase_if(hosts,
+                    [this](const HostInfo& h) { return h.host_id == self_.host_id; });
+      handler(std::move(hosts));
+      return;
+    }
+    case MsgType::kConnectNotify: {
+      const auto msg = parse_connect_notify(*dgram.chunk());
+      if (!msg) return;
+      // Either the peer's fresh info for our own request, or a request
+      // initiated by the peer — both mean: punch toward them.
+      begin_punching(msg->peer, {});
+      return;
+    }
+    case MsgType::kConnectFail: {
+      const auto msg = parse_connect_fail(*dgram.chunk());
+      if (!msg) return;
+      // Without per-request link bookkeeping we conservatively time the
+      // punch out; nothing to do here beyond logging.
+      log::debug("agent", "{}: connect failed: {}", self_.name, msg->reason);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace wav::overlay

@@ -1,0 +1,174 @@
+// The WAVNet driver's control half on a desktop host (paper §II.B):
+//   * STUN-probes its NAT, registers with a rendezvous server, heartbeats,
+//   * issues resource queries,
+//   * establishes direct host-to-host connections via UDP hole punching
+//     (Figure 3 step 4), and
+//   * keeps every punched NAT binding alive with the 2-byte CONNECT_PULSE.
+//
+// The same hole-punched socket carries the data plane: the WAV-Switch
+// (wavnet module) registers a frame handler here and sends Ethernet
+// frames to peers through send_frame(), so tunneled traffic flows over
+// exactly the NAT bindings the punching created.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "overlay/messages.hpp"
+#include "stack/udp.hpp"
+#include "stun/stun.hpp"
+
+namespace wav::overlay {
+
+class HostAgent {
+ public:
+  struct Config {
+    HostId host_id{0};  // 0 = derive from the host's IP
+    std::string name;
+    std::vector<double> attributes{0.5, 0.5};
+    net::Endpoint rendezvous{};
+    /// Backup rendezvous servers: when the active one stops answering
+    /// liveness probes, the agent re-registers with the next (paper §II:
+    /// a host "could join ... at least one rendezvous server").
+    std::vector<net::Endpoint> rendezvous_backups{};
+    std::uint32_t rendezvous_probe_failures{3};  // probes before failover
+    /// STUN primary/alternate endpoints; unset skips type detection and
+    /// assumes a port-restricted cone (the common case).
+    std::optional<std::pair<net::Endpoint, net::Endpoint>> stun{};
+    std::uint16_t port{7777};
+    Duration heartbeat_interval{seconds(15)};
+    Duration pulse_interval{seconds(5)};   // paper §III.B uses 5 s
+    Duration punch_interval{milliseconds(300)};
+    Duration punch_timeout{seconds(8)};
+    Duration link_idle_timeout{seconds(30)};
+    /// When an established link idles out (peer crash, NAT reboot), try
+    /// to re-broker and re-punch it through the rendezvous layer.
+    bool auto_repunch{true};
+    Duration repunch_delay{seconds(2)};
+  };
+
+  using RegisteredHandler = std::function<void(bool ok)>;
+  using QueryHandler = std::function<void(std::vector<HostInfo>)>;
+  using ConnectHandler = std::function<void(bool ok, HostId peer)>;
+  using FrameHandler = std::function<void(HostId from, const net::EncapFrame&)>;
+  using LinkHandler = std::function<void(HostId peer)>;
+
+  HostAgent(stack::IpLayer& ip, Config config);
+  ~HostAgent();
+
+  HostAgent(const HostAgent&) = delete;
+  HostAgent& operator=(const HostAgent&) = delete;
+
+  /// Runs STUN (if configured) then registers with the rendezvous server.
+  void start(RegisteredHandler on_registered = {});
+
+  [[nodiscard]] bool registered() const noexcept { return registered_; }
+  [[nodiscard]] const HostInfo& self_info() const noexcept { return self_; }
+  [[nodiscard]] HostId id() const noexcept { return self_.host_id; }
+
+  /// Resource discovery through the rendezvous layer.
+  void query(const std::vector<double>& target, std::size_t k, QueryHandler handler);
+
+  /// Establishes a direct connection to `peer` (from a query result).
+  /// Punching starts immediately and the rendezvous layer is asked to
+  /// notify the peer so it punches back.
+  void connect_to(const HostInfo& peer, ConnectHandler handler = {});
+
+  [[nodiscard]] bool link_established(HostId peer) const;
+  [[nodiscard]] std::vector<HostId> connected_peers() const;
+  [[nodiscard]] std::optional<net::Endpoint> link_remote(HostId peer) const;
+
+  /// Sends a tunneled Ethernet frame to an established peer. Returns
+  /// false when no live link exists.
+  bool send_frame(HostId peer, net::EncapFrame frame);
+
+  void on_frame(FrameHandler handler) { on_frame_ = std::move(handler); }
+  void on_link_up(LinkHandler handler) { on_link_up_ = std::move(handler); }
+  void on_link_down(LinkHandler handler) { on_link_down_ = std::move(handler); }
+
+  /// Closes a link locally (peer will idle it out).
+  void drop_link(HostId peer);
+
+  struct Stats {
+    std::uint64_t punches_sent{0};
+    std::uint64_t punch_acks_sent{0};
+    std::uint64_t pulses_sent{0};
+    std::uint64_t frames_sent{0};
+    std::uint64_t frames_received{0};
+    std::uint64_t links_established{0};
+    std::uint64_t links_lost{0};
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// The raw socket (tests use it to inspect the local port).
+  [[nodiscard]] const stack::UdpSocket& socket() const noexcept { return socket_; }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return ip_.sim(); }
+  /// The rendezvous server currently in use (changes on failover).
+  [[nodiscard]] net::Endpoint active_rendezvous() const noexcept {
+    return active_rendezvous_;
+  }
+  [[nodiscard]] std::uint32_t rendezvous_failovers() const noexcept {
+    return rendezvous_failovers_;
+  }
+
+ private:
+  struct Link {
+    HostId peer{0};
+    HostInfo info;
+    net::Endpoint remote{};  // proven working endpoint once established
+    bool established{false};
+    TimePoint last_rx{};
+    std::uint64_t nonce{0};
+    std::vector<net::Endpoint> candidates;
+    std::unique_ptr<sim::PeriodicTimer> punch_timer;
+    TimePoint punch_deadline{};
+    ConnectHandler on_result;
+  };
+
+  void on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram);
+  void do_register();
+  void probe_rendezvous();
+  void fail_over_rendezvous();
+  void begin_punching(const HostInfo& peer, ConnectHandler handler);
+  void punch_round(HostId peer);
+  void establish(Link& link, const net::Endpoint& proven);
+  void pulse_links();
+  void reap_idle_links();
+  Link* link_by_endpoint(const net::Endpoint& ep);
+
+  stack::IpLayer& ip_;
+  Config config_;
+  stack::UdpLayer udp_;
+  stack::UdpSocket socket_;
+  std::optional<stun::StunClient> stun_client_;
+
+  HostInfo self_;
+  bool registered_{false};
+  RegisteredHandler on_registered_;
+  net::Endpoint active_rendezvous_{};
+  std::size_t next_backup_{0};
+  std::uint64_t last_probe_query_id_{0};
+  std::uint32_t silent_probes_{0};
+  std::uint32_t rendezvous_failovers_{0};
+
+  std::uint64_t next_query_id_{1};
+  std::unordered_map<std::uint64_t, QueryHandler> pending_queries_;
+  std::uint64_t next_request_id_;
+
+  std::unordered_map<HostId, Link> links_;
+  std::unordered_map<net::Endpoint, HostId> endpoint_to_peer_;
+
+  sim::PeriodicTimer heartbeat_timer_;
+  sim::PeriodicTimer pulse_timer_;
+  sim::PeriodicTimer idle_check_timer_;
+
+  FrameHandler on_frame_;
+  LinkHandler on_link_up_;
+  LinkHandler on_link_down_;
+  Stats stats_;
+};
+
+}  // namespace wav::overlay

@@ -1,0 +1,142 @@
+// Wire formats of WAVNet's control plane:
+//   host <-> rendezvous : register / heartbeat / resource query / connect
+//   rendezvous <-> rendezvous : connect-notify forwarding (Fig. 3 step 2)
+//   host <-> host : hole-punch probes, punch acks, and the 2-byte
+//                   CONNECT_PULSE keepalive (§II.B)
+// plus the data-plane type tag that lets tunneled Ethernet frames share
+// the hole-punched UDP socket with control traffic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "nat/nat_gateway.hpp"
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace wav::overlay {
+
+using HostId = std::uint64_t;
+
+/// Everything a peer needs to reach a host: identity, endpoints learned
+/// via the rendezvous layer, NAT class, resource attributes, and which
+/// rendezvous server maintains the host (for connect brokering).
+struct HostInfo {
+  HostId host_id{0};
+  std::string name;
+  net::Endpoint public_endpoint{};   // NAT mapping observed by the rendezvous
+  net::Endpoint private_endpoint{};  // host's own address (for same-NAT peers)
+  nat::NatType nat_type{nat::NatType::kPortRestrictedCone};
+  std::vector<double> attributes;    // normalized resource vector in [0,1]^d
+  net::Endpoint rendezvous{};        // the server that maintains this host
+};
+
+enum class MsgType : std::uint8_t {
+  // host <-> rendezvous
+  kRegister = 1,
+  kRegisterAck,
+  kDeregister,
+  kHeartbeat,
+  kQuery,
+  kQueryReply,
+  kConnectRequest,
+  kConnectNotify,
+  kConnectFail,
+  // rendezvous <-> rendezvous
+  kRvForwardNotify,
+  // host <-> host (direct)
+  kPunch,
+  kPunchAck,
+  kPulse,
+  kData,  // tunneled Ethernet frame (EncapFrame payload, not a byte chunk)
+};
+
+/// Reads the leading type byte of any overlay message.
+[[nodiscard]] std::optional<MsgType> peek_type(const net::UdpDatagram& dgram);
+
+void encode_host_info(ByteWriter& w, const HostInfo& info);
+[[nodiscard]] std::optional<HostInfo> parse_host_info(ByteReader& r);
+
+struct RegisterMsg {
+  HostInfo info;
+};
+struct RegisterAckMsg {
+  bool ok{false};
+  net::Endpoint observed{};  // server-reflexive endpoint of the host
+};
+struct DeregisterMsg {
+  HostId host_id{0};
+};
+struct HeartbeatMsg {
+  HostId host_id{0};
+};
+struct QueryMsg {
+  std::uint64_t query_id{0};
+  std::vector<double> target;  // desired attribute point
+  std::uint16_t k{1};
+};
+struct QueryReplyMsg {
+  std::uint64_t query_id{0};
+  std::vector<HostInfo> hosts;
+};
+struct ConnectRequestMsg {
+  std::uint64_t request_id{0};
+  HostInfo requester;  // full info so the peer can punch back
+  HostId target{0};
+  net::Endpoint target_rendezvous{};
+};
+struct ConnectNotifyMsg {
+  std::uint64_t request_id{0};
+  HostInfo peer;
+};
+struct ConnectFailMsg {
+  std::uint64_t request_id{0};
+  std::string reason;
+};
+struct RvForwardNotifyMsg {
+  std::uint64_t request_id{0};
+  HostInfo requester;
+  HostId target{0};
+};
+struct PunchMsg {
+  HostId from_host{0};
+  std::uint64_t nonce{0};
+};
+struct PunchAckMsg {
+  HostId from_host{0};
+  std::uint64_t nonce{0};
+};
+
+[[nodiscard]] net::Chunk encode(const RegisterMsg&);
+[[nodiscard]] net::Chunk encode(const RegisterAckMsg&);
+[[nodiscard]] net::Chunk encode(const DeregisterMsg&);
+[[nodiscard]] net::Chunk encode(const HeartbeatMsg&);
+[[nodiscard]] net::Chunk encode(const QueryMsg&);
+[[nodiscard]] net::Chunk encode(const QueryReplyMsg&);
+[[nodiscard]] net::Chunk encode(const ConnectRequestMsg&);
+[[nodiscard]] net::Chunk encode(const ConnectNotifyMsg&);
+[[nodiscard]] net::Chunk encode(const ConnectFailMsg&);
+[[nodiscard]] net::Chunk encode(const RvForwardNotifyMsg&);
+[[nodiscard]] net::Chunk encode(const PunchMsg&);
+[[nodiscard]] net::Chunk encode(const PunchAckMsg&);
+
+/// The lightweight keepalive: exactly two bytes on the wire (type tag +
+/// version byte), as the paper describes.
+[[nodiscard]] net::Chunk encode_pulse();
+
+[[nodiscard]] std::optional<RegisterMsg> parse_register(const net::Chunk&);
+[[nodiscard]] std::optional<RegisterAckMsg> parse_register_ack(const net::Chunk&);
+[[nodiscard]] std::optional<DeregisterMsg> parse_deregister(const net::Chunk&);
+[[nodiscard]] std::optional<HeartbeatMsg> parse_heartbeat(const net::Chunk&);
+[[nodiscard]] std::optional<QueryMsg> parse_query(const net::Chunk&);
+[[nodiscard]] std::optional<QueryReplyMsg> parse_query_reply(const net::Chunk&);
+[[nodiscard]] std::optional<ConnectRequestMsg> parse_connect_request(const net::Chunk&);
+[[nodiscard]] std::optional<ConnectNotifyMsg> parse_connect_notify(const net::Chunk&);
+[[nodiscard]] std::optional<ConnectFailMsg> parse_connect_fail(const net::Chunk&);
+[[nodiscard]] std::optional<RvForwardNotifyMsg> parse_rv_forward(const net::Chunk&);
+[[nodiscard]] std::optional<PunchMsg> parse_punch(const net::Chunk&);
+[[nodiscard]] std::optional<PunchAckMsg> parse_punch_ack(const net::Chunk&);
+
+}  // namespace wav::overlay

@@ -1,0 +1,281 @@
+#include "overlay/rendezvous.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace wav::overlay {
+
+RendezvousServer::RendezvousServer(stack::IpLayer& ip)
+    : RendezvousServer(ip, Config{}) {}
+
+RendezvousServer::RendezvousServer(stack::IpLayer& ip, Config config)
+    : ip_(ip),
+      config_(config),
+      udp_(ip),
+      host_socket_(udp_, config.host_port),
+      can_socket_(udp_, config.can_port),
+      can_(
+          ip.sim(), ip.ip_address().value /* unique per server */,
+          net::Endpoint{ip.ip_address(), config.can_port},
+          [this](const net::Endpoint& to, net::Chunk msg) {
+            can_socket_.send_to(to, std::move(msg));
+          },
+          can::CanNode::Config{config.can_dims, seconds(10), milliseconds(800), 1}),
+      expiry_timer_(ip.sim(), seconds(30), [this] { expire_stale_hosts(); }) {
+  host_socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
+    on_host_datagram(from, d);
+  });
+  can_socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
+    if (const auto* chunk = d.chunk()) can_.on_message(from, *chunk);
+  });
+  expiry_timer_.start();
+}
+
+void RendezvousServer::bootstrap() { can_.bootstrap(); }
+
+void RendezvousServer::join(const net::Endpoint& seed_can_endpoint) {
+  can_.join(seed_can_endpoint);
+}
+
+can::Point RendezvousServer::attrs_to_point(const std::vector<double>& attrs) const {
+  can::Point p;
+  p.coords.resize(config_.can_dims, 0.5);
+  for (std::size_t i = 0; i < config_.can_dims && i < attrs.size(); ++i) {
+    p.coords[i] = std::clamp(attrs[i], 0.0, 0.999999);
+  }
+  return p;
+}
+
+void RendezvousServer::on_host_datagram(const net::Endpoint& from,
+                                        const net::UdpDatagram& dgram) {
+  const auto* chunk = dgram.chunk();
+  if (chunk == nullptr) return;
+  const auto type = peek_type(dgram);
+  if (!type) return;
+
+  switch (*type) {
+    case MsgType::kRegister: {
+      if (const auto msg = parse_register(*chunk)) handle_register(from, *msg);
+      return;
+    }
+    case MsgType::kDeregister: {
+      if (const auto msg = parse_deregister(*chunk)) {
+        const auto it = hosts_.find(msg->host_id);
+        if (it != hosts_.end()) {
+          can_.erase(attrs_to_point(it->second.info.attributes), [&] {
+            ByteBuffer buf;
+            ByteWriter w{buf};
+            encode_host_info(w, it->second.info);
+            return buf;
+          }());
+          hosts_.erase(it);
+        }
+      }
+      return;
+    }
+    case MsgType::kHeartbeat: {
+      if (const auto msg = parse_heartbeat(*chunk)) {
+        ++stats_.heartbeats;
+        const auto it = hosts_.find(msg->host_id);
+        if (it != hosts_.end()) {
+          it->second.last_seen = ip_.sim().now();
+          it->second.observed = from;  // NAT rebinding keeps working
+          // Refresh the CAN record's TTL (erase the old copy first so
+          // re-stores do not pile up duplicates).
+          ByteBuffer blob;
+          ByteWriter w{blob};
+          encode_host_info(w, it->second.info);
+          can_.erase(attrs_to_point(it->second.info.attributes), blob);
+          can_.store(attrs_to_point(it->second.info.attributes), std::move(blob),
+                     config_.host_expiry);
+        }
+      }
+      return;
+    }
+    case MsgType::kQuery: {
+      if (const auto msg = parse_query(*chunk)) handle_query(from, *msg);
+      return;
+    }
+    case MsgType::kConnectRequest: {
+      if (const auto msg = parse_connect_request(*chunk)) {
+        handle_connect_request(from, *msg);
+      }
+      return;
+    }
+    case MsgType::kRvForwardNotify: {
+      if (const auto msg = parse_rv_forward(*chunk)) handle_rv_forward(from, *msg);
+      return;
+    }
+    case MsgType::kConnectNotify: {
+      // A peer server answered our forwarded connect: relay to the local
+      // requester host recorded under this request id.
+      if (const auto msg = parse_connect_notify(*chunk)) {
+        const auto it = pending_connects_.find(msg->request_id);
+        if (it != pending_connects_.end()) {
+          host_socket_.send_to(it->second.requester_observed, encode(*msg));
+          pending_connects_.erase(it);
+          ++stats_.connects_brokered;
+        }
+      }
+      return;
+    }
+    case MsgType::kConnectFail: {
+      if (const auto msg = parse_connect_fail(*chunk)) {
+        const auto it = pending_connects_.find(msg->request_id);
+        if (it != pending_connects_.end()) {
+          host_socket_.send_to(it->second.requester_observed, encode(*msg));
+          pending_connects_.erase(it);
+          ++stats_.connects_failed;
+        }
+      }
+      return;
+    }
+    default:
+      log::debug("rendezvous", "unexpected message type {}",
+                 static_cast<int>(*type));
+      return;
+  }
+}
+
+void RendezvousServer::handle_register(const net::Endpoint& from, const RegisterMsg& msg) {
+  ++stats_.registrations;
+  // Re-registration: drop the stale CAN record first.
+  if (const auto it = hosts_.find(msg.info.host_id); it != hosts_.end()) {
+    ByteBuffer old;
+    ByteWriter ow{old};
+    encode_host_info(ow, it->second.info);
+    can_.erase(attrs_to_point(it->second.info.attributes), std::move(old));
+  }
+  Registered reg;
+  reg.info = msg.info;
+  // The source endpoint we observe *is* the host's NAT mapping for its
+  // overlay socket — the coordinate peers will hole-punch toward.
+  reg.info.public_endpoint = from;
+  reg.info.rendezvous = host_endpoint();
+  reg.observed = from;
+  reg.last_seen = ip_.sim().now();
+
+  // Index the host in the CAN by its resource-state point, bounded by a
+  // TTL so records don't outlive a crashed host (or a rendezvous server
+  // that died before cleaning up) — heartbeats refresh it below.
+  ByteBuffer blob;
+  ByteWriter w{blob};
+  encode_host_info(w, reg.info);
+  can_.store(attrs_to_point(reg.info.attributes), std::move(blob), config_.host_expiry);
+
+  hosts_[msg.info.host_id] = std::move(reg);
+
+  RegisterAckMsg ack;
+  ack.ok = true;
+  ack.observed = from;
+  host_socket_.send_to(from, encode(ack));
+}
+
+void RendezvousServer::handle_query(const net::Endpoint& from, const QueryMsg& msg) {
+  ++stats_.queries;
+  const can::Point target = attrs_to_point(msg.target);
+  const std::uint64_t query_id = msg.query_id;
+  const std::uint16_t k = msg.k;
+  can_.query(target, k, [this, from, query_id, k](std::vector<can::Item> items) {
+    QueryReplyMsg reply;
+    reply.query_id = query_id;
+    for (const auto& item : items) {
+      ByteReader r{item.payload};
+      if (const auto info = parse_host_info(r)) {
+        // Registrations can be refreshed; keep only the first (closest)
+        // record per host id.
+        const bool dup = std::any_of(
+            reply.hosts.begin(), reply.hosts.end(),
+            [&](const HostInfo& h) { return h.host_id == info->host_id; });
+        if (!dup) reply.hosts.push_back(*info);
+      }
+    }
+    if (reply.hosts.size() > k) reply.hosts.resize(k);
+    host_socket_.send_to(from, encode(reply));
+  });
+}
+
+void RendezvousServer::handle_connect_request(const net::Endpoint& from,
+                                              const ConnectRequestMsg& msg) {
+  // Figure 3, step 2: this (requester-side) server records the pending
+  // request and asks the peer's rendezvous server to notify both ends.
+  PendingConnect pending;
+  pending.requester_observed = from;
+  pending.created = ip_.sim().now();
+  pending_connects_[msg.request_id] = pending;
+
+  RvForwardNotifyMsg fwd;
+  fwd.request_id = msg.request_id;
+  fwd.requester = msg.requester;
+  fwd.requester.public_endpoint = from;  // authoritative mapping
+  fwd.requester.rendezvous = host_endpoint();
+  fwd.target = msg.target;
+
+  if (msg.target_rendezvous == host_endpoint()) {
+    handle_rv_forward(host_endpoint(), fwd);
+  } else {
+    host_socket_.send_to(msg.target_rendezvous, encode(fwd));
+  }
+}
+
+void RendezvousServer::handle_rv_forward(const net::Endpoint& from,
+                                         const RvForwardNotifyMsg& msg) {
+  const auto it = hosts_.find(msg.target);
+  const auto reply_to = [&](net::Chunk chunk) {
+    if (from == host_endpoint()) {
+      // Local shortcut: requester registered at this very server.
+      const auto pending = pending_connects_.find(msg.request_id);
+      if (pending != pending_connects_.end()) {
+        host_socket_.send_to(pending->second.requester_observed, std::move(chunk));
+        pending_connects_.erase(pending);
+      }
+    } else {
+      host_socket_.send_to(from, std::move(chunk));
+    }
+  };
+
+  if (it == hosts_.end()) {
+    ++stats_.connects_failed;
+    reply_to(encode(ConnectFailMsg{msg.request_id, "unknown host"}));
+    return;
+  }
+
+  // Figure 3, step 3: tell the target who wants in...
+  ConnectNotifyMsg to_target;
+  to_target.request_id = msg.request_id;
+  to_target.peer = msg.requester;
+  host_socket_.send_to(it->second.observed, encode(to_target));
+
+  // ...and hand the target's fresh info back toward the requester.
+  ConnectNotifyMsg to_requester;
+  to_requester.request_id = msg.request_id;
+  to_requester.peer = it->second.info;
+  ++stats_.connects_brokered;
+  reply_to(encode(to_requester));
+}
+
+void RendezvousServer::expire_stale_hosts() {
+  const TimePoint now = ip_.sim().now();
+  for (auto it = hosts_.begin(); it != hosts_.end();) {
+    if (now - it->second.last_seen > config_.host_expiry) {
+      ByteBuffer blob;
+      ByteWriter w{blob};
+      encode_host_info(w, it->second.info);
+      can_.erase(attrs_to_point(it->second.info.attributes), std::move(blob));
+      it = hosts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Connect requests that never completed are garbage-collected too.
+  for (auto it = pending_connects_.begin(); it != pending_connects_.end();) {
+    if (now - it->second.created > seconds(30)) {
+      it = pending_connects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace wav::overlay

@@ -1,0 +1,87 @@
+// The rendezvous server (paper §II, Figure 1): a public-IP node that
+//   * maintains registrations of NATed desktop hosts (their observed
+//     public endpoints double as the hole-punching coordinates),
+//   * participates in the CAN overlay that indexes host resource state,
+//   * answers multi-attribute resource queries, and
+//   * brokers direct host-to-host connection setup (Figure 3 steps 1-3).
+#pragma once
+
+#include <unordered_map>
+
+#include "can/node.hpp"
+#include "overlay/messages.hpp"
+#include "stack/udp.hpp"
+
+namespace wav::overlay {
+
+class RendezvousServer {
+ public:
+  struct Config {
+    std::uint16_t host_port{4000};
+    std::uint16_t can_port{4001};
+    std::size_t can_dims{2};
+    Duration host_expiry{seconds(90)};
+  };
+
+  explicit RendezvousServer(stack::IpLayer& ip);
+  RendezvousServer(stack::IpLayer& ip, Config config);
+
+  /// First rendezvous server: owns the whole CAN space.
+  void bootstrap();
+  /// Joins an existing rendezvous overlay via another server's CAN port.
+  void join(const net::Endpoint& seed_can_endpoint);
+
+  [[nodiscard]] net::Endpoint host_endpoint() const {
+    return {ip_.ip_address(), config_.host_port};
+  }
+  [[nodiscard]] net::Endpoint can_endpoint() const {
+    return {ip_.ip_address(), config_.can_port};
+  }
+
+  [[nodiscard]] const can::CanNode& can_node() const noexcept { return can_; }
+  [[nodiscard]] std::size_t registered_hosts() const noexcept { return hosts_.size(); }
+  [[nodiscard]] bool knows_host(HostId id) const noexcept { return hosts_.contains(id); }
+
+  struct Stats {
+    std::uint64_t registrations{0};
+    std::uint64_t heartbeats{0};
+    std::uint64_t queries{0};
+    std::uint64_t connects_brokered{0};
+    std::uint64_t connects_failed{0};
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Registered {
+    HostInfo info;
+    net::Endpoint observed{};
+    TimePoint last_seen{};
+  };
+  struct PendingConnect {
+    net::Endpoint requester_observed{};
+    TimePoint created{};
+  };
+
+  void on_host_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram);
+  void handle_register(const net::Endpoint& from, const RegisterMsg& msg);
+  void handle_query(const net::Endpoint& from, const QueryMsg& msg);
+  void handle_connect_request(const net::Endpoint& from, const ConnectRequestMsg& msg);
+  void handle_rv_forward(const net::Endpoint& from, const RvForwardNotifyMsg& msg);
+  void expire_stale_hosts();
+
+  [[nodiscard]] can::Point attrs_to_point(const std::vector<double>& attrs) const;
+
+  stack::IpLayer& ip_;
+  Config config_;
+  stack::UdpLayer udp_;
+  stack::UdpSocket host_socket_;
+  stack::UdpSocket can_socket_;
+  can::CanNode can_;
+
+  std::unordered_map<HostId, Registered> hosts_;
+  std::unordered_map<std::uint64_t, PendingConnect> pending_connects_;
+  sim::PeriodicTimer expiry_timer_;
+  Stats stats_;
+};
+
+}  // namespace wav::overlay

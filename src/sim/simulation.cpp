@@ -1,0 +1,113 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace wav::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq, seq,
+                    std::make_shared<std::function<void()>>(std::move(fn))});
+  return EventId{seq};
+}
+
+EventId Simulation::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < kZeroDuration) delay = kZeroDuration;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (!id.valid() || id.value >= next_seq_) return false;
+  // We cannot remove from the middle of a binary heap; tombstone instead
+  // and skip at pop time. The set stays small because entries are erased
+  // when their tombstone is encountered.
+  return cancelled_.insert(id.value).second;
+}
+
+bool Simulation::pop_and_run_next(TimePoint deadline) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (top.at > deadline) return false;
+    queue_.pop();
+    if (const auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(top.at >= now_ && "event queue must be monotonic");
+    now_ = top.at;
+    ++executed_;
+    (*top.fn)();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next(kTimeInfinity)) {
+  }
+}
+
+bool Simulation::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next(deadline)) {
+  }
+  if (!stopped_ && deadline > now_ && deadline < kTimeInfinity) now_ = deadline;
+  return !stopped_;
+}
+
+bool Simulation::run_for(Duration d) { return run_until(now_ + d); }
+
+PeriodicTimer::PeriodicTimer(Simulation& sim, Duration period, std::function<void()> on_fire)
+    : sim_(sim), period_(period), on_fire_(std::move(on_fire)) {}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(Duration initial_delay) {
+  stop();
+  pending_ = sim_.schedule_after(initial_delay, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void PeriodicTimer::fire() {
+  pending_ = EventId{};
+  // Reschedule before invoking so the callback may stop() the timer.
+  pending_ = sim_.schedule_after(period_, [this] { fire(); });
+  on_fire_();
+}
+
+OneShotTimer::OneShotTimer(Simulation& sim, std::function<void()> on_fire)
+    : sim_(sim), on_fire_(std::move(on_fire)) {}
+
+OneShotTimer::~OneShotTimer() { cancel(); }
+
+void OneShotTimer::arm(Duration delay) {
+  cancel();
+  deadline_ = sim_.now() + delay;
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = EventId{};
+    on_fire_();
+  });
+}
+
+void OneShotTimer::cancel() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+}  // namespace wav::sim

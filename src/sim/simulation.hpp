@@ -1,0 +1,149 @@
+// Deterministic discrete-event simulation engine.
+//
+// Everything in this repository — links, NAT boxes, protocol stacks, VM
+// migration, workloads — runs as callbacks scheduled on one Simulation.
+// Events fire in (time, insertion-sequence) order, which makes a run a
+// pure function of (program, seed): the foundation for reproducible
+// experiments and property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace wav::sim {
+
+/// Handle for cancelling a scheduled event. Id 0 is "invalid".
+struct EventId {
+  std::uint64_t value{0};
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now; earlier times are
+  /// clamped to now, i.e. "immediately after current event").
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (negative clamps to zero).
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran, was
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+
+  /// Runs all events with time <= deadline, then advances the clock to
+  /// exactly `deadline`. Returns false if stop() ended the run early.
+  bool run_until(TimePoint deadline);
+
+  /// Convenience: run_until(now + d).
+  bool run_for(Duration d);
+
+  /// Requests the current run()/run_until() loop to return after the
+  /// in-flight event completes.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Number of events executed since construction (for tests/diagnostics).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;  // tiebreaker: FIFO among same-time events
+    std::uint64_t id;
+    // `fn` lives outside the priority queue ordering; shared_ptr keeps the
+    // Entry copyable for std::priority_queue.
+    std::shared_ptr<std::function<void()>> fn;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_and_run_next(TimePoint deadline);
+
+  TimePoint now_{};
+  Rng rng_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_{1};
+  std::uint64_t executed_{0};
+  bool stopped_{false};
+};
+
+/// RAII periodic timer. Starts firing `period` after start() and keeps
+/// rescheduling itself until stop() or destruction. Used for keepalive
+/// pulses, measurement polls, dirty-page sampling, etc.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulation& sim, Duration period, std::function<void()> on_fire);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  /// Starts with the first firing after `initial_delay` instead of period.
+  void start_after(Duration initial_delay);
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return pending_.valid(); }
+
+  void set_period(Duration period) noexcept { period_ = period; }
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+
+ private:
+  void fire();
+
+  Simulation& sim_;
+  Duration period_;
+  std::function<void()> on_fire_;
+  EventId pending_{};
+};
+
+/// RAII one-shot timer that can be re-armed; used for protocol timeouts
+/// (TCP RTO, NAT binding expiry, hole-punch retries).
+class OneShotTimer {
+ public:
+  OneShotTimer(Simulation& sim, std::function<void()> on_fire);
+  ~OneShotTimer();
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  /// (Re)arms the timer `delay` from now; cancels any pending firing.
+  void arm(Duration delay);
+  void cancel();
+  [[nodiscard]] bool armed() const noexcept { return pending_.valid(); }
+  [[nodiscard]] TimePoint deadline() const noexcept { return deadline_; }
+
+ private:
+  Simulation& sim_;
+  std::function<void()> on_fire_;
+  EventId pending_{};
+  TimePoint deadline_{};
+};
+
+}  // namespace wav::sim

@@ -1,0 +1,27 @@
+#include "stack/ip_layer.hpp"
+
+#include "common/log.hpp"
+
+namespace wav::stack {
+
+void IpLayer::set_protocol_handler(std::uint8_t protocol, ProtocolHandler handler) {
+  if (handler && handlers_[protocol]) {
+    // Two layer objects (e.g. two UdpLayers or TcpLayers) on one stack is
+    // almost always a bug: the new one silently steals all traffic.
+    log::warn("ip", "protocol {} handler replaced on {} — two layer objects on one stack?",
+              protocol, ip_address().to_string());
+  }
+  handlers_[protocol] = std::move(handler);
+}
+
+void IpLayer::deliver_up(const net::IpPacket& pkt) {
+  const auto& handler = handlers_[pkt.protocol()];
+  if (handler) {
+    handler(pkt);
+  } else {
+    log::trace("ip", "no handler for protocol {} at {}", pkt.protocol(),
+               ip_address().to_string());
+  }
+}
+
+}  // namespace wav::stack

@@ -1,0 +1,56 @@
+// The network-layer seam of the protocol stack.
+//
+// UDP, TCP and ICMP are written once against this interface and run
+// unchanged on two very different planes:
+//   * the physical underlay (fabric::HostNode routes through NATs and the
+//     simulated Internet), and
+//   * the WAVNet/IPOP virtual plane (wavnet::VirtualIpStack resolves ARP
+//     over a NetDevice and tunnels frames across the WAN).
+// This mirrors the paper's architecture: applications see one IP network
+// regardless of which plane carries their packets.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace wav::stack {
+
+class IpLayer {
+ public:
+  using ProtocolHandler = std::function<void(const net::IpPacket&)>;
+
+  explicit IpLayer(sim::Simulation& sim) : sim_(sim) {}
+  virtual ~IpLayer() = default;
+
+  IpLayer(const IpLayer&) = delete;
+  IpLayer& operator=(const IpLayer&) = delete;
+
+  /// Sends an IPv4 packet. A zero source address is filled with this
+  /// layer's primary address. Returns false if the packet could not be
+  /// handed to the network (no route / device down); delivery itself is
+  /// always best-effort.
+  virtual bool send_ip(net::IpPacket pkt) = 0;
+
+  /// Primary address of this stack instance.
+  [[nodiscard]] virtual net::Ipv4Address ip_address() const = 0;
+
+  /// At most one handler per protocol; the L4 modules demultiplex ports
+  /// internally.
+  void set_protocol_handler(std::uint8_t protocol, ProtocolHandler handler);
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+
+ protected:
+  /// Called by implementations when a packet addressed to this stack
+  /// arrives; dispatches to the registered protocol handler.
+  void deliver_up(const net::IpPacket& pkt);
+
+ private:
+  sim::Simulation& sim_;
+  std::array<ProtocolHandler, 256> handlers_{};
+};
+
+}  // namespace wav::stack

@@ -1,0 +1,76 @@
+#include "tcp/stream_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wav::tcp {
+namespace {
+
+/// Copies `len` bytes of `chunk` starting at byte `skip`.
+net::Chunk slice(const net::Chunk& chunk, std::uint64_t skip, std::uint64_t len) {
+  assert(skip + len <= chunk.size());
+  net::Chunk out;
+  if (skip < chunk.real.size()) {
+    const auto take =
+        static_cast<std::size_t>(std::min<std::uint64_t>(len, chunk.real.size() - skip));
+    out.real.assign(chunk.real.begin() + static_cast<std::ptrdiff_t>(skip),
+                    chunk.real.begin() + static_cast<std::ptrdiff_t>(skip + take));
+    len -= take;
+  }
+  out.virtual_size = len;
+  return out;
+}
+
+}  // namespace
+
+void StreamStore::append(net::Chunk chunk) {
+  if (chunk.empty()) return;
+  const std::uint64_t sz = chunk.size();
+  pieces_.push_back(Piece{end_, std::move(chunk)});
+  end_ += sz;
+}
+
+void StreamStore::release_until(std::uint64_t offset) {
+  offset = std::clamp(offset, base_, end_);
+  while (!pieces_.empty()) {
+    Piece& front = pieces_.front();
+    const std::uint64_t piece_end = front.start + front.chunk.size();
+    if (piece_end <= offset) {
+      pieces_.pop_front();
+    } else if (front.start < offset) {
+      // Partial release: trim the front of the piece.
+      const std::uint64_t trim = offset - front.start;
+      front.chunk = slice(front.chunk, trim, front.chunk.size() - trim);
+      front.start = offset;
+      break;
+    } else {
+      break;
+    }
+  }
+  base_ = offset;
+}
+
+std::vector<net::Chunk> StreamStore::copy_range(std::uint64_t offset,
+                                                std::uint64_t len) const {
+  assert(offset >= base_ && offset + len <= end_);
+  std::vector<net::Chunk> out;
+  if (len == 0) return out;
+
+  // Binary search for the first piece containing `offset`.
+  const auto it = std::partition_point(
+      pieces_.begin(), pieces_.end(), [offset](const Piece& p) {
+        return p.start + p.chunk.size() <= offset;
+      });
+  for (auto cur = it; cur != pieces_.end() && len > 0; ++cur) {
+    const std::uint64_t skip = offset > cur->start ? offset - cur->start : 0;
+    const std::uint64_t avail = cur->chunk.size() - skip;
+    const std::uint64_t take = std::min(avail, len);
+    out.push_back(slice(cur->chunk, skip, take));
+    offset += take;
+    len -= take;
+  }
+  assert(len == 0);
+  return out;
+}
+
+}  // namespace wav::tcp

@@ -1,0 +1,45 @@
+// Sequence-indexed storage for a TCP send stream.
+//
+// Holds the contiguous byte range [base, end) of the stream that is
+// either in flight or queued, preserving Chunk boundaries (real bytes vs
+// virtual bulk). Supports releasing acknowledged prefixes and copying
+// arbitrary sub-ranges for (re)transmission.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace wav::tcp {
+
+class StreamStore {
+ public:
+  /// Appends data at the end of the stream.
+  void append(net::Chunk chunk);
+
+  /// Drops all bytes below `offset` (cumulative ACK). Clamped to [base, end].
+  void release_until(std::uint64_t offset);
+
+  /// Copies the byte range [offset, offset + len) as chunks. The range
+  /// must lie within [base, end).
+  [[nodiscard]] std::vector<net::Chunk> copy_range(std::uint64_t offset,
+                                                   std::uint64_t len) const;
+
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t end() const noexcept { return end_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return end_ - base_; }
+  [[nodiscard]] bool empty() const noexcept { return base_ == end_; }
+
+ private:
+  struct Piece {
+    std::uint64_t start{0};
+    net::Chunk chunk;
+  };
+  std::deque<Piece> pieces_;
+  std::uint64_t base_{0};
+  std::uint64_t end_{0};
+};
+
+}  // namespace wav::tcp

@@ -1,0 +1,113 @@
+// Live VM migration over the virtual network (paper §II.C), implementing
+// the Xen pre-copy algorithm (Clark et al., NSDI'05):
+//
+//   round 0        : push every memory page while the guest keeps running
+//   rounds 1..n    : push the pages dirtied during the previous round
+//   stop-and-copy  : when the dirty set is small / stops shrinking / the
+//                    round budget is exhausted, pause the guest, push the
+//                    final dirty set + CPU state
+//   activation     : attach the vNIC to the destination bridge, resume,
+//                    flood a gratuitous ARP so every WAVNet peer's bridge
+//                    and ARP caches repoint at the new location
+//
+// The page stream travels over a real (simulated) TCP connection on the
+// virtual plane, so migration time inherits exactly the bandwidth/RTT
+// behaviour of WAVNet or IPOP underneath — which is what Table V and
+// Figures 9-10 measure.
+#pragma once
+
+#include <functional>
+
+#include "net/framing.hpp"
+#include "tcp/tcp.hpp"
+#include "vm/vm.hpp"
+
+namespace wav::vm {
+
+struct MigrationConfig {
+  std::uint16_t port{8002};
+  /// False = naive stop-and-copy: pause the guest first, then move the
+  /// whole address space (the ablation baseline for pre-copy).
+  bool precopy{true};
+  /// Transport settings of the migration TCP connection. Xen-era
+  /// migration daemons used fixed ~128 KiB socket buffers with no window
+  /// autotuning, which is why the paper's Table V times grow with RTT.
+  tcp::TcpConfig transport{.receive_buffer = 128 * 1024};
+  std::uint32_t max_rounds{30};
+  /// Stop-and-copy once the next round would move fewer bytes than this.
+  ByteSize stop_threshold{mebibytes(1)};
+  /// ...or when a round shrinks by less than this factor vs the previous.
+  double min_progress{0.9};
+  ByteSize cpu_state{kibibytes(64)};
+  /// Fixed destination-side activation cost after the last byte arrives.
+  Duration activation_delay{milliseconds(200)};
+};
+
+struct MigrationResult {
+  bool ok{false};
+  Duration total_time{};
+  Duration downtime{};
+  std::uint32_t rounds{0};
+  ByteSize bytes_transferred{};
+};
+
+/// Orchestrates one migration. The object embodies both endpoints'
+/// control logic (source pre-copy loop, destination receiver); the page
+/// stream itself crosses the simulated network.
+class MigrationTask {
+ public:
+  using DoneHandler = std::function<void(const MigrationResult&)>;
+
+  MigrationTask(VirtualMachine& vm, wavnet::SoftwareBridge& source_bridge,
+                wavnet::SoftwareBridge& destination_bridge, tcp::TcpLayer& source_tcp,
+                tcp::TcpLayer& destination_tcp, net::Ipv4Address destination_ip,
+                double destination_gflops, MigrationConfig config, DoneHandler done);
+  ~MigrationTask();
+
+  MigrationTask(const MigrationTask&) = delete;
+  MigrationTask& operator=(const MigrationTask&) = delete;
+
+  void start();
+
+  [[nodiscard]] bool in_progress() const noexcept { return started_ && !finished_; }
+  [[nodiscard]] const MigrationResult& result() const noexcept { return result_; }
+
+ private:
+  enum class FrameType : std::uint8_t { kRound = 1, kFinal = 2, kDone = 3 };
+
+  void send_round(std::uint64_t pages);
+  void wait_for_ack(std::uint64_t target_acked, std::function<void()> then);
+  void next_round();
+  void stop_and_copy();
+  void on_receiver_message(const net::FrameHeader& header);
+  void finish(bool ok);
+
+  VirtualMachine& vm_;
+  wavnet::SoftwareBridge& source_bridge_;
+  wavnet::SoftwareBridge& destination_bridge_;
+  tcp::TcpLayer& source_tcp_;
+  tcp::TcpLayer& destination_tcp_;
+  net::Ipv4Address destination_ip_;
+  double destination_gflops_;
+  MigrationConfig config_;
+  DoneHandler done_;
+
+  sim::Simulation& sim_;
+  tcp::TcpConnection::Ptr conn_;
+  tcp::TcpConnection::Ptr receiver_conn_;
+  std::unique_ptr<net::MessageFramer> receiver_framer_;
+
+  bool started_{false};
+  bool finished_{false};
+  std::uint32_t round_{0};
+  std::uint64_t previous_round_bytes_{0};
+  std::uint64_t bytes_queued_{0};
+  TimePoint start_time_{};
+  TimePoint pause_time_{};
+  sim::PeriodicTimer ack_poll_;
+  std::uint64_t ack_target_{0};
+  std::function<void()> ack_continuation_;
+  MigrationResult result_;
+};
+
+}  // namespace wav::vm

@@ -1,0 +1,80 @@
+#include "vm/vm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wav::vm {
+
+VirtualMachine::VirtualMachine(sim::Simulation& sim, VmConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      nic_(wavnet::make_mac(config_.virtual_ip.value)),
+      stack_(sim, nic_, config_.virtual_ip, config_.virtual_subnet),
+      icmp_(stack_),
+      cpu_gflops_(config_.cpu_gflops),
+      last_dirty_update_(sim.now()),
+      dirty_timer_(sim, milliseconds(100), [this] { accumulate_dirty(); }) {
+  dirty_timer_.start();
+}
+
+std::uint64_t VirtualMachine::total_pages() const noexcept {
+  return config_.memory.bytes / config_.page_size;
+}
+
+std::uint64_t VirtualMachine::hot_pages() const noexcept {
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(config_.hot_fraction *
+                                    static_cast<double>(total_pages())));
+}
+
+void VirtualMachine::pause() {
+  if (!running_) return;
+  accumulate_dirty();
+  running_ = false;
+  nic_.set_enabled(false);
+  dirty_timer_.stop();
+}
+
+void VirtualMachine::resume() {
+  if (running_) return;
+  running_ = true;
+  nic_.set_enabled(true);
+  last_dirty_update_ = sim_.now();
+  dirty_timer_.start();
+}
+
+void VirtualMachine::accumulate_dirty() {
+  const TimePoint now = sim_.now();
+  const double dt = to_seconds(now - last_dirty_update_);
+  last_dirty_update_ = now;
+  if (!running_ || dt <= 0.0) return;
+
+  // Re-dirtying a hot page that is already dirty adds nothing, so the
+  // hot unique-dirty count saturates toward the working-set size:
+  //   h' = W - (W - h) * exp(-r * dt / W)
+  // Cold pages outside the working set dirty at ~2% of the rate, which
+  // is what keeps long migrations from ever fully converging.
+  const double W = static_cast<double>(hot_pages());
+  hot_dirty_ = W - (W - hot_dirty_) * std::exp(-config_.dirty_pages_per_sec * dt / W);
+  const double cold_cap = static_cast<double>(total_pages()) - W;
+  cold_dirty_ =
+      std::min(cold_cap, cold_dirty_ + 0.02 * config_.dirty_pages_per_sec * dt);
+  dirty_pages_ = static_cast<std::uint64_t>(hot_dirty_ + cold_dirty_);
+}
+
+std::uint64_t VirtualMachine::take_dirty_snapshot() {
+  accumulate_dirty();
+  const std::uint64_t snapshot = dirty_pages_;
+  dirty_pages_ = 0;
+  hot_dirty_ = 0.0;
+  cold_dirty_ = 0.0;
+  return snapshot;
+}
+
+void VirtualMachine::mark_all_dirty() {
+  dirty_pages_ = total_pages();
+  hot_dirty_ = static_cast<double>(hot_pages());
+  cold_dirty_ = static_cast<double>(total_pages() - hot_pages());
+}
+
+}  // namespace wav::vm

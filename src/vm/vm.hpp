@@ -1,0 +1,82 @@
+// Virtual machine model: a guest with memory pages, a write-working-set
+// dirty-page process (what pre-copy migration fights against), a virtual
+// NIC + IP stack on the WAVNet LAN, and a CPU speed that follows the
+// physical host it currently runs on.
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "stack/icmp.hpp"
+#include "wavnet/bridge.hpp"
+#include "wavnet/virtual_ip.hpp"
+
+namespace wav::vm {
+
+struct VmConfig {
+  std::string name{"vm"};
+  ByteSize memory{mebibytes(256)};
+  std::uint32_t page_size{4096};
+  /// Fraction of memory in the writable working set ("hot" pages that
+  /// keep getting re-dirtied while the guest runs).
+  double hot_fraction{0.02};
+  /// Page-dirty rate of the running guest, pages/second.
+  double dirty_pages_per_sec{200.0};
+  net::Ipv4Address virtual_ip{};
+  net::Ipv4Subnet virtual_subnet{net::Ipv4Address::from_octets(10, 10, 0, 0), 16};
+  double cpu_gflops{4.0};
+};
+
+class VirtualMachine {
+ public:
+  VirtualMachine(sim::Simulation& sim, VmConfig config);
+
+  [[nodiscard]] const VmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] wavnet::VirtualNic& nic() noexcept { return nic_; }
+  [[nodiscard]] wavnet::VirtualIpStack& stack() noexcept { return stack_; }
+  [[nodiscard]] net::Ipv4Address ip() const noexcept { return stack_.ip_address(); }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Pause stops the guest: no dirtying, and the NIC drops frames (open
+  /// TCP connections to the VM retransmit through the gap).
+  void pause();
+  void resume();
+
+  /// CPU speed on the current physical host (the MPI workloads scale
+  /// compute time by this; migration to a faster host speeds the rank up).
+  [[nodiscard]] double cpu_gflops() const noexcept { return cpu_gflops_; }
+  void set_cpu_gflops(double gflops) noexcept { cpu_gflops_ = gflops; }
+
+  // --- dirty-page model (driven by a 100 ms sampling timer) --------------
+  [[nodiscard]] std::uint64_t total_pages() const noexcept;
+  [[nodiscard]] std::uint64_t hot_pages() const noexcept;
+  [[nodiscard]] std::uint64_t dirty_pages() const noexcept { return dirty_pages_; }
+  [[nodiscard]] ByteSize dirty_bytes() const noexcept {
+    return ByteSize{dirty_pages_ * config_.page_size};
+  }
+
+  /// Consumes the current dirty set (a pre-copy round snapshot).
+  std::uint64_t take_dirty_snapshot();
+
+  /// Marks the whole address space dirty (round 0 of pre-copy).
+  void mark_all_dirty();
+
+ private:
+  void accumulate_dirty();
+
+  sim::Simulation& sim_;
+  VmConfig config_;
+  wavnet::VirtualNic nic_;
+  wavnet::VirtualIpStack stack_;
+  stack::IcmpLayer icmp_;  // guests answer ping out of the box
+  bool running_{true};
+  double cpu_gflops_;
+  std::uint64_t dirty_pages_{0};
+  double hot_dirty_{0.0};
+  double cold_dirty_{0.0};
+  TimePoint last_dirty_update_{};
+  sim::PeriodicTimer dirty_timer_;
+};
+
+}  // namespace wav::vm

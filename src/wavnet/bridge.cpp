@@ -1,0 +1,106 @@
+#include "wavnet/bridge.hpp"
+
+#include <algorithm>
+
+namespace wav::wavnet {
+
+BridgePort::~BridgePort() {
+  if (bridge_ != nullptr) bridge_->detach(*this);
+}
+
+void BridgePort::inject_to_bridge(const net::EthernetFrame& frame) {
+  if (bridge_ != nullptr) bridge_->inject(this, frame);
+}
+
+SoftwareBridge::SoftwareBridge(sim::Simulation& sim, Duration fdb_ttl, Duration latency)
+    : sim_(sim), fdb_ttl_(fdb_ttl), latency_(latency) {}
+
+void SoftwareBridge::attach(BridgePort& port) {
+  if (port.bridge_ == this) return;
+  if (port.bridge_ != nullptr) port.bridge_->detach(port);
+  port.bridge_ = this;
+  ports_.push_back(&port);
+}
+
+void SoftwareBridge::attach_monitor(BridgePort& port) {
+  if (port.bridge_ != nullptr) port.bridge_->detach(port);
+  port.bridge_ = this;
+  monitors_.push_back(&port);
+}
+
+void SoftwareBridge::detach_monitor(BridgePort& port) { detach(port); }
+
+void SoftwareBridge::detach(BridgePort& port) {
+  if (port.bridge_ != this) return;
+  port.bridge_ = nullptr;
+  std::erase(ports_, &port);
+  std::erase(monitors_, &port);
+  for (auto it = fdb_.begin(); it != fdb_.end();) {
+    if (it->second.port == &port) {
+      it = fdb_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SoftwareBridge::inject(BridgePort* from, const net::EthernetFrame& frame) {
+  // Forwarding is decoupled from the caller's stack via the event queue:
+  // two stacks on one bridge would otherwise recurse synchronously
+  // (segment -> ACK -> segment -> ...) without bound.
+  sim_.schedule_after(latency_, [this, from, frame] { forward_now(from, frame); });
+}
+
+void SoftwareBridge::forward_now(BridgePort* from, const net::EthernetFrame& frame) {
+  const TimePoint now = sim_.now();
+  // The source port may have been detached while the frame was in flight.
+  if (from != nullptr && std::find(ports_.begin(), ports_.end(), from) == ports_.end()) {
+    from = nullptr;
+  }
+  for (BridgePort* monitor : monitors_) monitor->deliver(frame);
+
+  // Learn (and keep refreshed) the source MAC's port. A frame arriving
+  // from a *different* port moves the entry — this is what makes the
+  // gratuitous ARP after VM migration redirect traffic instantly.
+  if (from != nullptr && !frame.src.is_multicast() && !frame.src.is_zero()) {
+    fdb_[frame.src] = FdbEntry{from, now};
+  }
+
+  auto deliver_to = [&](BridgePort* port) {
+    if (port != from) port->deliver(frame);
+  };
+
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
+    const auto it = fdb_.find(frame.dst);
+    if (it != fdb_.end() && now - it->second.learned <= fdb_ttl_) {
+      ++stats_.forwarded;
+      deliver_to(it->second.port);
+      return;
+    }
+  }
+  ++stats_.flooded;
+  // Iterate over a copy: delivery may re-enter and mutate the port list.
+  const std::vector<BridgePort*> snapshot = ports_;
+  for (BridgePort* port : snapshot) deliver_to(port);
+}
+
+bool VirtualNic::transmit(const net::EthernetFrame& frame) {
+  if (bridge() == nullptr || !enabled_) return false;
+  ++stats_.tx_frames;
+  inject_to_bridge(frame);
+  return true;
+}
+
+void VirtualNic::deliver(const net::EthernetFrame& frame) {
+  if (!enabled_) return;
+  const bool for_me =
+      promiscuous_ || frame.dst == mac_ || frame.dst.is_broadcast() || frame.dst.is_multicast();
+  if (!for_me) {
+    ++stats_.rx_filtered;
+    return;
+  }
+  ++stats_.rx_frames;
+  if (on_frame_) on_frame_(frame);
+}
+
+}  // namespace wav::wavnet

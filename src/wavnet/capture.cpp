@@ -1,0 +1,53 @@
+#include "wavnet/capture.hpp"
+
+#include "common/format.hpp"
+
+namespace wav::wavnet {
+
+std::string CapturedFrame::summary() const {
+  std::string what;
+  if (is_arp) {
+    what = is_gratuitous_arp ? "ARP announce" : "ARP";
+  } else if (ip_protocol != 0) {
+    what = format_str("IPv4 proto {} {} > {}", ip_protocol, ip_src.to_string(),
+                      ip_dst.to_string());
+  } else {
+    what = format_str("ethertype 0x{}", ethertype);
+  }
+  return format_str("{} {} > {} {} ({} bytes)", to_string(at), src.to_string(),
+                    dst.to_string(), what, wire_bytes);
+}
+
+FrameCapture::FrameCapture(sim::Simulation& sim, SoftwareBridge& bridge) : sim_(sim) {
+  bridge.attach_monitor(*this);
+}
+
+std::size_t FrameCapture::count_if(const Filter& predicate) const {
+  std::size_t n = 0;
+  for (const auto& f : frames_) {
+    if (predicate(f)) ++n;
+  }
+  return n;
+}
+
+void FrameCapture::deliver(const net::EthernetFrame& frame) {
+  CapturedFrame captured;
+  captured.at = sim_.now();
+  captured.src = frame.src;
+  captured.dst = frame.dst;
+  captured.ethertype = frame.ethertype;
+  captured.wire_bytes = frame.wire_size();
+  if (const auto* arp = frame.arp()) {
+    captured.is_arp = true;
+    captured.is_gratuitous_arp = arp->is_gratuitous();
+    captured.ip_src = arp->sender_ip;
+    captured.ip_dst = arp->target_ip;
+  } else if (const auto* ip = frame.ip()) {
+    captured.ip_protocol = ip->protocol();
+    captured.ip_src = ip->src;
+    captured.ip_dst = ip->dst;
+  }
+  if (!filter_ || filter_(captured)) frames_.push_back(captured);
+}
+
+}  // namespace wav::wavnet

@@ -1,0 +1,58 @@
+// tcpdump-style frame capture for the virtual LAN: attach to any bridge
+// and record (promiscuously) every frame crossing it, with an optional
+// filter. The paper uses tcpdump on the tap device to verify that the
+// gratuitous ARP emitted after live migration really crosses the WAN
+// tunnels; tests and examples use this class the same way.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wavnet/bridge.hpp"
+
+namespace wav::wavnet {
+
+struct CapturedFrame {
+  TimePoint at{};
+  net::MacAddress src{};
+  net::MacAddress dst{};
+  std::uint16_t ethertype{0};
+  std::uint64_t wire_bytes{0};
+  bool is_arp{false};
+  bool is_gratuitous_arp{false};
+  std::uint8_t ip_protocol{0};        // 0 when not IPv4
+  net::Ipv4Address ip_src{};
+  net::Ipv4Address ip_dst{};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class FrameCapture : public BridgePort {
+ public:
+  using Filter = std::function<bool(const CapturedFrame&)>;
+
+  /// Attaches to `bridge` immediately; detaches on destruction.
+  FrameCapture(sim::Simulation& sim, SoftwareBridge& bridge);
+
+  /// Only frames passing the filter are retained (default: all).
+  void set_filter(Filter filter) { filter_ = std::move(filter); }
+
+  [[nodiscard]] const std::vector<CapturedFrame>& frames() const noexcept {
+    return frames_;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return frames_.size(); }
+  void clear() { frames_.clear(); }
+
+  /// Count of retained frames matching a predicate.
+  [[nodiscard]] std::size_t count_if(const Filter& predicate) const;
+
+  void deliver(const net::EthernetFrame& frame) override;
+
+ private:
+  sim::Simulation& sim_;
+  Filter filter_;
+  std::vector<CapturedFrame> frames_;
+};
+
+}  // namespace wav::wavnet

@@ -1,0 +1,44 @@
+#include "wavnet/host.hpp"
+
+namespace wav::wavnet {
+
+WavnetHost::WavnetHost(fabric::HostNode& host, Config config)
+    : host_(host),
+      agent_(host, config.agent),
+      bridge_(host.fabric::Node::sim()),
+      switch_(agent_, config.switch_config),
+      host_nic_(make_mac(config.virtual_ip.value)),
+      host_stack_(host.fabric::Node::sim(), host_nic_, config.virtual_ip, config.virtual_subnet) {
+  bridge_.attach(switch_);
+  bridge_.attach(host_nic_);
+}
+
+void WavnetHost::start(overlay::HostAgent::RegisteredHandler on_registered) {
+  agent_.start(std::move(on_registered));
+}
+
+void WavnetHost::connect(const overlay::HostInfo& peer,
+                         overlay::HostAgent::ConnectHandler handler) {
+  agent_.connect_to(peer, std::move(handler));
+}
+
+void WavnetHost::connect_to_cluster(const std::vector<double>& attrs, std::size_t k,
+                                    std::function<void(std::size_t)> done) {
+  agent_.query(attrs, k, [this, done = std::move(done)](
+                             std::vector<overlay::HostInfo> hosts) {
+    if (hosts.empty()) {
+      if (done) done(0);
+      return;
+    }
+    auto remaining = std::make_shared<std::size_t>(hosts.size());
+    auto successes = std::make_shared<std::size_t>(0);
+    for (const auto& peer : hosts) {
+      agent_.connect_to(peer, [remaining, successes, done](bool ok, overlay::HostId) {
+        if (ok) ++*successes;
+        if (--*remaining == 0 && done) done(*successes);
+      });
+    }
+  });
+}
+
+}  // namespace wav::wavnet

@@ -1,0 +1,63 @@
+// WavnetHost: the full per-host WAVNet deployment, wired exactly like the
+// paper's Figure 5 —
+//
+//   [VM vNICs...]──┐
+//   [host stack]───┤ software bridge ── WAV-Switch ── HostAgent (UDP socket,
+//                  └───────────────────────────────   hole-punched tunnels)
+//
+// One object gives a desktop host: membership in the rendezvous layer,
+// direct tunnels to peers, a virtual L2 segment, and an IP presence on
+// the virtual LAN that the shared TCP/UDP/ICMP modules run over.
+#pragma once
+
+#include "fabric/host.hpp"
+#include "overlay/host_agent.hpp"
+#include "wavnet/bridge.hpp"
+#include "wavnet/switch.hpp"
+#include "wavnet/virtual_ip.hpp"
+
+namespace wav::wavnet {
+
+class WavnetHost {
+ public:
+  struct Config {
+    overlay::HostAgent::Config agent{};
+    net::Ipv4Address virtual_ip{};
+    net::Ipv4Subnet virtual_subnet{net::Ipv4Address::from_octets(10, 10, 0, 0), 16};
+    WavSwitch::Config switch_config{};
+  };
+
+  WavnetHost(fabric::HostNode& host, Config config);
+
+  /// Registers with the rendezvous layer (STUN first when configured).
+  void start(overlay::HostAgent::RegisteredHandler on_registered = {});
+
+  /// Connects the virtual LAN to a peer (query result), punching a tunnel.
+  void connect(const overlay::HostInfo& peer,
+               overlay::HostAgent::ConnectHandler handler = {});
+
+  /// Queries the rendezvous layer and connects to up to `k` hosts near
+  /// the attribute point; `done(n)` reports how many tunnels came up.
+  void connect_to_cluster(const std::vector<double>& attrs, std::size_t k,
+                          std::function<void(std::size_t)> done);
+
+  [[nodiscard]] overlay::HostAgent& agent() noexcept { return agent_; }
+  [[nodiscard]] SoftwareBridge& bridge() noexcept { return bridge_; }
+  [[nodiscard]] WavSwitch& wav_switch() noexcept { return switch_; }
+  [[nodiscard]] VirtualIpStack& stack() noexcept { return host_stack_; }
+  [[nodiscard]] VirtualNic& host_nic() noexcept { return host_nic_; }
+  [[nodiscard]] fabric::HostNode& node() noexcept { return host_; }
+  [[nodiscard]] net::Ipv4Address virtual_ip() const noexcept {
+    return host_stack_.ip_address();
+  }
+
+ private:
+  fabric::HostNode& host_;
+  overlay::HostAgent agent_;
+  SoftwareBridge bridge_;
+  WavSwitch switch_;
+  VirtualNic host_nic_;
+  VirtualIpStack host_stack_;
+};
+
+}  // namespace wav::wavnet

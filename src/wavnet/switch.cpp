@@ -1,0 +1,87 @@
+#include "wavnet/switch.hpp"
+
+#include "common/log.hpp"
+
+namespace wav::wavnet {
+
+WavSwitch::WavSwitch(overlay::HostAgent& agent) : WavSwitch(agent, Config{}) {}
+
+WavSwitch::WavSwitch(overlay::HostAgent& agent, Config config)
+    : agent_(agent),
+      config_(config),
+      egress_(agent.sim(), config.processing),
+      ingress_(agent.sim(), config.processing) {
+  agent_.on_frame([this](overlay::HostId from, const net::EncapFrame& encap) {
+    on_wan_frame(from, encap);
+  });
+  agent_.on_link_down([this](overlay::HostId peer) { on_link_down(peer); });
+}
+
+void WavSwitch::on_link_down(overlay::HostId peer) {
+  // A dead tunnel's MACs must not pin unicast traffic to a black hole;
+  // purging them makes the next frame flood (and re-learn once the peer
+  // is re-punched).
+  for (auto it = remote_fdb_.begin(); it != remote_fdb_.end();) {
+    if (it->second.peer == peer) {
+      it = remote_fdb_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WavSwitch::deliver(const net::EthernetFrame& frame) {
+  // Drop stale remote-MAC entries lazily.
+  const TimePoint now = agent_.sim().now();
+
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
+    const auto it = remote_fdb_.find(frame.dst);
+    if (it != remote_fdb_.end() && now - it->second.learned <= config_.mac_ttl) {
+      tunnel_to(it->second.peer, frame);
+      return;
+    }
+    // Unknown unicast: replicate to all peers (they will learn/deliver).
+  }
+  ++stats_.frames_flooded;
+  const auto peers = agent_.connected_peers();
+  if (peers.empty()) {
+    ++stats_.frames_dropped_no_peer;
+    return;
+  }
+  for (const overlay::HostId peer : peers) tunnel_to(peer, frame);
+}
+
+void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame) {
+  const std::uint64_t size = frame.wire_size() + config_.encap_header_bytes;
+  // Packet Assembler: the user-space capture + encapsulation cost.
+  auto shared = std::make_shared<const net::EthernetFrame>(frame);
+  const bool accepted = egress_.submit(size, [this, peer, shared, size] {
+    net::EncapFrame encap;
+    encap.header_bytes = config_.encap_header_bytes;
+    encap.frame = shared;
+    if (agent_.send_frame(peer, std::move(encap))) {
+      ++stats_.frames_tunneled;
+      stats_.bytes_tunneled += size;
+    } else {
+      ++stats_.frames_dropped_no_peer;
+    }
+  });
+  if (!accepted) ++stats_.frames_dropped_backlog;
+}
+
+void WavSwitch::on_wan_frame(overlay::HostId from, const net::EncapFrame& encap) {
+  if (!encap.frame) return;
+  const auto shared = encap.frame;
+  const bool accepted =
+      ingress_.submit(shared->wire_size(), [this, from, shared] {
+        ++stats_.frames_received;
+        const net::EthernetFrame& frame = *shared;
+        if (!frame.src.is_multicast() && !frame.src.is_zero()) {
+          remote_fdb_[frame.src] = RemoteMac{from, agent_.sim().now()};
+        }
+        inject_to_bridge(frame);
+      });
+  if (!accepted) ++stats_.frames_dropped_backlog;
+}
+
+}  // namespace wav::wavnet

@@ -1,0 +1,68 @@
+// The Wide-Area Virtual Switch (paper §II.A): the bridge port that
+// extends the local link layer across the WAN.
+//
+// Outbound: frames from the local bridge are encapsulated by the Packet
+// Assembler (a 4-byte WAVNet header + the frame) and sent over the
+// hole-punched UDP socket of the HostAgent directly to the peer that owns
+// the destination MAC — never through the rendezvous/CAN overlay.
+// Broadcast and unknown-unicast frames are replicated to every connected
+// peer, which is how ARP (including the post-migration gratuitous ARP)
+// reaches all members of the virtual LAN.
+// Inbound: decapsulated frames teach the switch which peer owns the
+// source MAC and are injected into the local bridge.
+#pragma once
+
+#include <unordered_map>
+
+#include "overlay/host_agent.hpp"
+#include "wavnet/bridge.hpp"
+#include "wavnet/processing.hpp"
+
+namespace wav::wavnet {
+
+class WavSwitch : public BridgePort {
+ public:
+  struct Config {
+    std::uint32_t encap_header_bytes{4};  // WAVNet id + length header
+    ProcessingQueue::Config processing{};  // tap read + encapsulation cost
+    Duration mac_ttl{seconds(300)};
+  };
+
+  WavSwitch(overlay::HostAgent& agent, Config config);
+  WavSwitch(overlay::HostAgent& agent);
+
+  /// BridgePort: local frame leaving toward the WAN.
+  void deliver(const net::EthernetFrame& frame) override;
+
+  [[nodiscard]] overlay::HostAgent& agent() noexcept { return agent_; }
+
+  struct Stats {
+    std::uint64_t frames_tunneled{0};
+    std::uint64_t frames_flooded{0};
+    std::uint64_t frames_received{0};
+    std::uint64_t frames_dropped_no_peer{0};
+    std::uint64_t frames_dropped_backlog{0};
+    std::uint64_t bytes_tunneled{0};
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t learned_macs() const noexcept { return remote_fdb_.size(); }
+
+ private:
+  void on_wan_frame(overlay::HostId from, const net::EncapFrame& encap);
+  void on_link_down(overlay::HostId peer);
+  void tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame);
+
+  overlay::HostAgent& agent_;
+  Config config_;
+  ProcessingQueue egress_;
+  ProcessingQueue ingress_;
+
+  struct RemoteMac {
+    overlay::HostId peer{0};
+    TimePoint learned{};
+  };
+  std::unordered_map<net::MacAddress, RemoteMac> remote_fdb_;
+  Stats stats_;
+};
+
+}  // namespace wav::wavnet

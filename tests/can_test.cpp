@@ -1,0 +1,256 @@
+// CAN overlay tests: geometry invariants, join/leave zone bookkeeping,
+// greedy routing, and the item store/query path — all over an in-memory
+// loopback transport with per-message delivery delay.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "can/node.hpp"
+
+namespace wav {
+namespace {
+
+using can::CanNode;
+using can::Item;
+using can::Point;
+using can::Zone;
+
+TEST(CanGeometry, SplitHalvesVolume) {
+  const Zone whole = Zone::whole(2);
+  const auto [lo, hi] = whole.split();
+  EXPECT_DOUBLE_EQ(lo.volume() + hi.volume(), 1.0);
+  EXPECT_DOUBLE_EQ(lo.volume(), 0.5);
+  EXPECT_TRUE(lo.is_neighbor(hi));
+  const auto merged = lo.merged_with(hi);
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(*merged, whole);
+}
+
+TEST(CanGeometry, ContainsHalfOpen) {
+  const auto [lo, hi] = Zone::whole(2).split();
+  Point mid{{0.5, 0.3}};
+  EXPECT_FALSE(lo.contains(mid));
+  EXPECT_TRUE(hi.contains(mid));
+}
+
+TEST(CanGeometry, NeighborRequiresSharedFace) {
+  // Two diagonal quadrants touch only at a corner: not neighbors.
+  const auto [left, right] = Zone::whole(2).split();
+  const auto [ll, lu] = left.split();
+  const auto [rl, ru] = right.split();
+  EXPECT_TRUE(ll.is_neighbor(lu));
+  EXPECT_TRUE(ll.is_neighbor(rl));
+  EXPECT_FALSE(ll.is_neighbor(ru));  // diagonal
+  EXPECT_FALSE(ll.is_neighbor(ll));  // self-overlap, not abutting
+}
+
+TEST(CanGeometry, DistanceToZone) {
+  const auto [lo, hi] = Zone::whole(1).split();
+  EXPECT_DOUBLE_EQ(lo.distance_sq(Point{{0.25}}), 0.0);
+  EXPECT_NEAR(lo.distance_sq(Point{{0.75}}), 0.0625, 1e-8);
+  // A point exactly on the half-open upper face is outside, so its
+  // distance must be strictly positive (routing tie-break invariant).
+  EXPECT_GT(lo.distance_sq(Point{{0.5}}), 0.0);
+  EXPECT_DOUBLE_EQ(hi.distance_sq(Point{{0.5}}), 0.0);
+}
+
+TEST(CanGeometry, PointCodecRoundTrip) {
+  Rng rng{7};
+  const Point p = Point::random(rng, 3);
+  ByteBuffer buf;
+  ByteWriter w{buf};
+  can::encode_point(w, p);
+  can::encode_zone(w, Zone::whole(3));
+  ByteReader r{buf};
+  EXPECT_EQ(can::parse_point(r).value(), p);
+  EXPECT_EQ(can::parse_zone(r).value(), Zone::whole(3));
+}
+
+/// In-memory overlay harness: N CAN nodes exchanging messages through the
+/// simulator with a fixed delivery delay.
+class Overlay {
+ public:
+  explicit Overlay(std::size_t n, std::uint64_t seed = 42, std::size_t dims = 2)
+      : sim_(seed) {
+    CanNode::Config cfg;
+    cfg.dims = dims;
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::Endpoint ep{net::Ipv4Address{static_cast<std::uint32_t>(i + 1)}, 9000};
+      nodes_.push_back(std::make_unique<CanNode>(
+          sim_, i + 1, ep,
+          [this](const net::Endpoint& to, net::Chunk msg) {
+            sim_.schedule_after(milliseconds(5), [this, to, msg = std::move(msg)] {
+              if (auto* node = find(to)) node->on_message(net::Endpoint{}, msg);
+            });
+          },
+          cfg));
+    }
+    nodes_[0]->bootstrap();
+    for (std::size_t i = 1; i < n; ++i) {
+      nodes_[i]->join(nodes_[0]->endpoint());
+      sim_.run_for(seconds(1));  // let each join settle before the next
+    }
+    sim_.run_for(seconds(30));  // a few hello rounds
+  }
+
+  CanNode* find(const net::Endpoint& ep) {
+    for (auto& n : nodes_) {
+      if (n->endpoint() == ep) return n.get();
+    }
+    return nullptr;
+  }
+
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<CanNode>> nodes_;
+};
+
+TEST(CanOverlay, ZonesPartitionTheSpace) {
+  Overlay overlay{16};
+  double volume = 0.0;
+  for (const auto& n : overlay.nodes_) {
+    ASSERT_TRUE(n->joined());
+    volume += n->zone().volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+
+  // Any random point is owned by exactly one node.
+  Rng rng{123};
+  for (int i = 0; i < 200; ++i) {
+    const Point p = Point::random(rng, 2);
+    int owners = 0;
+    for (const auto& n : overlay.nodes_) {
+      if (n->zone().contains(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "point " << p.to_string();
+  }
+}
+
+TEST(CanOverlay, NeighborTablesAreSymmetricAndComplete) {
+  Overlay overlay{12};
+  for (const auto& a : overlay.nodes_) {
+    for (const auto& b : overlay.nodes_) {
+      if (a == b) continue;
+      const bool adjacent = a->zone().is_neighbor(b->zone());
+      const bool a_knows_b = a->neighbors().contains(b->id());
+      EXPECT_EQ(adjacent, a_knows_b)
+          << "zones " << a->zone().to_string() << " vs " << b->zone().to_string();
+    }
+  }
+}
+
+TEST(CanOverlay, StoreRoutesToOwnerAndQueryFindsIt) {
+  Overlay overlay{8};
+  Rng rng{7};
+  // Store 40 items from random origin nodes at random points.
+  std::vector<Point> points;
+  for (int i = 0; i < 40; ++i) {
+    const Point p = Point::random(rng, 2);
+    points.push_back(p);
+    const auto origin = rng.uniform_u64(0, overlay.nodes_.size() - 1);
+    overlay.nodes_[origin]->store(p, to_bytes("item-" + std::to_string(i)));
+  }
+  overlay.sim_.run_for(seconds(2));
+
+  // Every item must live exactly at its owner.
+  std::size_t total_items = 0;
+  for (const auto& n : overlay.nodes_) {
+    for (const auto& item : n->items()) {
+      EXPECT_TRUE(n->zone().contains(item.point));
+      ++total_items;
+    }
+  }
+  EXPECT_EQ(total_items, 40u);
+
+  // A query from an arbitrary node finds the nearest stored item.
+  bool answered = false;
+  overlay.nodes_[3]->query(points[5], 1, [&](std::vector<Item> items) {
+    answered = true;
+    ASSERT_FALSE(items.empty());
+    EXPECT_EQ(items[0].point, points[5]);
+  });
+  overlay.sim_.run_for(seconds(5));
+  EXPECT_TRUE(answered);
+}
+
+TEST(CanOverlay, QueryExpandsToNeighborsWhenShort) {
+  Overlay overlay{8};
+  Rng rng{99};
+  for (int i = 0; i < 30; ++i) {
+    const Point p = Point::random(rng, 2);
+    overlay.nodes_[0]->store(p, to_bytes("host-" + std::to_string(i)));
+  }
+  overlay.sim_.run_for(seconds(2));
+
+  bool answered = false;
+  overlay.nodes_[1]->query(Point{{0.5, 0.5}}, 12, [&](std::vector<Item> items) {
+    answered = true;
+    // 30 items over ~8 zones: one zone rarely holds 12, so expansion
+    // must have pulled results from neighbors.
+    EXPECT_GE(items.size(), 6u);
+    EXPECT_LE(items.size(), 12u);
+  });
+  overlay.sim_.run_for(seconds(5));
+  EXPECT_TRUE(answered);
+}
+
+TEST(CanOverlay, EraseRemovesRecord) {
+  Overlay overlay{4};
+  const Point p{{0.7, 0.2}};
+  overlay.nodes_[2]->store(p, to_bytes("gone"));
+  overlay.sim_.run_for(seconds(1));
+  overlay.nodes_[1]->erase(p, to_bytes("gone"));
+  overlay.sim_.run_for(seconds(1));
+  for (const auto& n : overlay.nodes_) EXPECT_TRUE(n->items().empty());
+}
+
+TEST(CanOverlay, RoutingHopsAreBounded) {
+  Overlay overlay{25};
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    const auto origin = rng.uniform_u64(0, overlay.nodes_.size() - 1);
+    overlay.nodes_[origin]->store(Point::random(rng, 2), to_bytes("x"));
+  }
+  overlay.sim_.run_for(seconds(5));
+
+  std::uint64_t delivered = 0;
+  std::uint64_t dead_ends = 0;
+  std::uint64_t hops = 0;
+  for (const auto& n : overlay.nodes_) {
+    delivered += n->stats().routed_delivered;
+    dead_ends += n->stats().routed_dead_end;
+    hops += n->stats().total_delivery_hops;
+  }
+  EXPECT_EQ(dead_ends, 0u);
+  EXPECT_GE(delivered, 100u);
+  // CAN routing is O(sqrt(N)) hops for d=2; with N=25 expect ~2.5 average.
+  const double avg_hops = static_cast<double>(hops) / static_cast<double>(delivered);
+  EXPECT_LT(avg_hops, 6.0);
+}
+
+TEST(CanOverlay, GracefulLeaveMergesZone) {
+  Overlay overlay{2};
+  ASSERT_TRUE(overlay.nodes_[1]->joined());
+  overlay.nodes_[1]->store(Point{{0.9, 0.9}}, to_bytes("keep-me"));
+  overlay.sim_.run_for(seconds(1));
+
+  EXPECT_TRUE(overlay.nodes_[1]->leave());
+  overlay.sim_.run_for(seconds(1));
+
+  EXPECT_EQ(overlay.nodes_[0]->zone(), Zone::whole(2));
+  ASSERT_EQ(overlay.nodes_[0]->items().size(), 1u);
+  EXPECT_EQ(bytes_to_string(overlay.nodes_[0]->items()[0].payload), "keep-me");
+  EXPECT_TRUE(overlay.nodes_[0]->neighbors().empty());
+}
+
+TEST(CanOverlay, HigherDimensionalSpace) {
+  Overlay overlay{9, 11, 4};
+  double volume = 0.0;
+  for (const auto& n : overlay.nodes_) {
+    ASSERT_TRUE(n->joined());
+    volume += n->zone().volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wav

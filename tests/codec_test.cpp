@@ -1,0 +1,279 @@
+// Wire-format tests: byte-exact round trips for every protocol codec,
+// checksum behaviour, and the chunk/stream containers.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "net/codec.hpp"
+#include "tcp/stream_store.hpp"
+
+namespace wav {
+namespace {
+
+using net::Chunk;
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter w{buf};
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.14159);
+  w.str("wavnet");
+
+  ByteReader r{buf};
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_EQ(r.str().value(), "wavnet");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderBoundsChecked) {
+  ByteBuffer buf = to_bytes("ab");
+  ByteReader r{buf};
+  EXPECT_TRUE(r.u16().has_value());
+  EXPECT_FALSE(r.u8().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+}
+
+TEST(Bytes, InternetChecksumKnownVector) {
+  // RFC 1071 example-style check: checksum of a buffer including its own
+  // checksum field equals zero.
+  ByteBuffer buf;
+  ByteWriter w{buf};
+  w.u16(0x4500);
+  w.u16(0x0030);
+  w.u16(0x4422);
+  w.u16(0x4000);
+  w.u16(0x8006);
+  w.u16(0x0000);  // checksum position
+  w.u32(0x8c7c19ac);
+  w.u32(0xae241e2b);
+  const std::uint16_t csum = internet_checksum(buf);
+  buf[10] = static_cast<std::byte>(csum >> 8);
+  buf[11] = static_cast<std::byte>(csum & 0xFF);
+  EXPECT_EQ(internet_checksum(buf), 0);
+}
+
+TEST(Address, ParseAndFormat) {
+  const auto ip = net::Ipv4Address::parse("192.168.7.42");
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->to_string(), "192.168.7.42");
+  EXPECT_TRUE(ip->is_private());
+  EXPECT_FALSE(net::Ipv4Address::parse("300.1.1.1"));
+  EXPECT_FALSE(net::Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(net::Ipv4Address::parse("1.2.3.4.5"));
+
+  const auto mac = net::MacAddress::parse("02:00:00:0a:0b:0c");
+  ASSERT_TRUE(mac);
+  EXPECT_EQ(mac->to_string(), "02:00:00:0a:0b:0c");
+  EXPECT_EQ(net::MacAddress::from_u64(mac->as_u64()), *mac);
+  EXPECT_TRUE(net::MacAddress::broadcast().is_broadcast());
+}
+
+TEST(Address, SubnetContains) {
+  const net::Ipv4Subnet subnet{net::Ipv4Address::parse("10.1.0.0").value(), 16};
+  EXPECT_TRUE(subnet.contains(net::Ipv4Address::parse("10.1.200.3").value()));
+  EXPECT_FALSE(subnet.contains(net::Ipv4Address::parse("10.2.0.1").value()));
+}
+
+TEST(Codec, Ipv4HeaderRoundTrip) {
+  ByteBuffer buf;
+  const auto src = net::Ipv4Address::parse("1.2.3.4").value();
+  const auto dst = net::Ipv4Address::parse("5.6.7.8").value();
+  net::encode_ipv4_header(buf, src, dst, net::kProtoUdp, 63, 1234, 99);
+  ASSERT_EQ(buf.size(), 20u);
+
+  ByteReader r{buf};
+  const auto fields = net::parse_ipv4_header(r);
+  ASSERT_TRUE(fields);
+  EXPECT_TRUE(fields->checksum_ok);
+  EXPECT_EQ(fields->src, src);
+  EXPECT_EQ(fields->dst, dst);
+  EXPECT_EQ(fields->ttl, 63);
+  EXPECT_EQ(fields->protocol, net::kProtoUdp);
+  EXPECT_EQ(fields->total_length, 1234);
+  EXPECT_EQ(fields->identification, 99);
+}
+
+TEST(Codec, Ipv4CorruptionDetected) {
+  ByteBuffer buf;
+  net::encode_ipv4_header(buf, net::Ipv4Address{1}, net::Ipv4Address{2}, 6, 64, 40);
+  buf[8] = static_cast<std::byte>(0x11);  // corrupt TTL
+  ByteReader r{buf};
+  const auto fields = net::parse_ipv4_header(r);
+  ASSERT_TRUE(fields);
+  EXPECT_FALSE(fields->checksum_ok);
+}
+
+TEST(Codec, TcpHeaderRoundTrip) {
+  net::TcpSegment seg;
+  seg.src_port = 32000;
+  seg.dst_port = 80;
+  seg.seq = 0xCAFEBABE;
+  seg.ack = 0x12345678;
+  seg.flags.syn = true;
+  seg.flags.ack = true;
+  seg.window = 8192;
+  ByteBuffer buf;
+  net::encode_tcp_header(buf, seg);
+  ASSERT_EQ(buf.size(), net::kTcpHeaderBytes);
+  ByteReader r{buf};
+  const auto f = net::parse_tcp_header(r);
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->src_port, seg.src_port);
+  EXPECT_EQ(f->dst_port, seg.dst_port);
+  EXPECT_EQ(f->seq, seg.seq);
+  EXPECT_EQ(f->ack, seg.ack);
+  EXPECT_TRUE(f->flags.syn);
+  EXPECT_TRUE(f->flags.ack);
+  EXPECT_FALSE(f->flags.fin);
+  EXPECT_EQ(f->window, 8192);
+}
+
+TEST(Codec, ArpRoundTrip) {
+  net::ArpMessage arp;
+  arp.op = net::ArpMessage::kReply;
+  arp.sender_mac = net::MacAddress::from_u64(0x020000000001);
+  arp.sender_ip = net::Ipv4Address::parse("10.9.0.1").value();
+  arp.target_mac = net::MacAddress::broadcast();
+  arp.target_ip = net::Ipv4Address::parse("10.9.0.2").value();
+  ByteBuffer buf;
+  net::encode_arp(buf, arp);
+  ASSERT_EQ(buf.size(), net::kArpBodyBytes);
+  ByteReader r{buf};
+  const auto parsed = net::parse_arp(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->op, arp.op);
+  EXPECT_EQ(parsed->sender_mac, arp.sender_mac);
+  EXPECT_EQ(parsed->sender_ip, arp.sender_ip);
+  EXPECT_EQ(parsed->target_ip, arp.target_ip);
+  EXPECT_FALSE(parsed->is_gratuitous());
+
+  arp.target_ip = arp.sender_ip;
+  EXPECT_TRUE(arp.is_gratuitous());
+}
+
+TEST(Codec, IcmpRoundTripWithChecksum) {
+  net::IcmpMessage msg;
+  msg.type = net::IcmpMessage::kEchoRequest;
+  msg.id = 77;
+  msg.seq = 3;
+  msg.payload = Chunk::from_string("payload!");
+  ByteBuffer buf;
+  net::encode_icmp(buf, msg);
+  ByteReader r{buf};
+  const auto parsed = net::parse_icmp(r, buf.size());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->id, 77);
+  EXPECT_EQ(parsed->seq, 3);
+  EXPECT_EQ(bytes_to_string(parsed->payload.real), "payload!");
+
+  // Corruption must be rejected.
+  ByteBuffer bad = buf;
+  bad[9] ^= std::byte{0xFF};
+  ByteReader r2{bad};
+  EXPECT_FALSE(net::parse_icmp(r2, bad.size()));
+}
+
+TEST(Codec, FullFrameRoundTrip) {
+  net::IpPacket pkt;
+  pkt.src = net::Ipv4Address::parse("10.0.0.1").value();
+  pkt.dst = net::Ipv4Address::parse("10.0.0.2").value();
+  net::UdpDatagram dgram;
+  dgram.src_port = 1111;
+  dgram.dst_port = 2222;
+  dgram.payload = Chunk::from_string("virtual lan payload");
+  pkt.body = dgram;
+
+  const auto frame = net::EthernetFrame::make_ip(
+      net::MacAddress::from_u64(0x020000000002), net::MacAddress::from_u64(0x020000000001),
+      pkt);
+  const auto wire = net::serialize_frame(frame);
+  ASSERT_TRUE(wire);
+  EXPECT_EQ(wire->size(), frame.wire_size());
+
+  const auto parsed = net::parse_frame(*wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dst, frame.dst);
+  EXPECT_EQ(parsed->src, frame.src);
+  const auto* ip = parsed->ip();
+  ASSERT_NE(ip, nullptr);
+  EXPECT_EQ(ip->src, pkt.src);
+  const auto* udp = ip->udp();
+  ASSERT_NE(udp, nullptr);
+  EXPECT_EQ(udp->src_port, 1111);
+  EXPECT_EQ(bytes_to_string(udp->chunk()->real), "virtual lan payload");
+}
+
+TEST(Codec, VirtualPayloadIsNotByteSerializable) {
+  net::IpPacket pkt;
+  pkt.src = net::Ipv4Address{1};
+  pkt.dst = net::Ipv4Address{2};
+  net::UdpDatagram dgram;
+  dgram.payload = Chunk::virtual_bytes(4096);
+  pkt.body = dgram;
+  const auto frame = net::EthernetFrame::make_ip(net::MacAddress{}, net::MacAddress{}, pkt);
+  EXPECT_FALSE(net::serialize_frame(frame));
+  EXPECT_EQ(frame.wire_size(),
+            net::kEthernetHeaderBytes + net::kIpv4HeaderBytes + net::kUdpHeaderBytes + 4096);
+}
+
+TEST(Chunks, SplitFrontMixed) {
+  Chunk c = Chunk::from_string("abcdef");
+  c.virtual_size = 10;
+  ASSERT_EQ(c.size(), 16u);
+  Chunk front = c.split_front(8);
+  EXPECT_EQ(bytes_to_string(front.real), "abcdef");
+  EXPECT_EQ(front.virtual_size, 2u);
+  EXPECT_EQ(c.real.size(), 0u);
+  EXPECT_EQ(c.virtual_size, 8u);
+}
+
+TEST(Chunks, QueuePopPreservesOrder) {
+  net::ChunkQueue q;
+  q.push(Chunk::from_string("hello "));
+  q.push(Chunk::virtual_bytes(100));
+  q.push(Chunk::from_string("world"));
+  EXPECT_EQ(q.size(), 111u);
+
+  auto first = q.pop_up_to(3);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(bytes_to_string(first[0].real), "hel");
+
+  auto second = q.pop_up_to(200);
+  EXPECT_EQ(net::total_size(second), 108u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StreamStore, AppendReleaseCopy) {
+  tcp::StreamStore store;
+  store.append(Chunk::from_string("0123456789"));
+  store.append(Chunk::virtual_bytes(90));
+  EXPECT_EQ(store.size(), 100u);
+
+  auto mid = store.copy_range(5, 10);
+  EXPECT_EQ(net::total_size(mid), 10u);
+  EXPECT_EQ(bytes_to_string(mid[0].real), "56789");
+  EXPECT_EQ(mid[1].virtual_size, 5u);
+
+  store.release_until(50);
+  EXPECT_EQ(store.base(), 50u);
+  EXPECT_EQ(store.size(), 50u);
+  auto tail = store.copy_range(95, 5);
+  EXPECT_EQ(net::total_size(tail), 5u);
+}
+
+TEST(StreamStore, PartialPieceRelease) {
+  tcp::StreamStore store;
+  store.append(Chunk::from_string("abcdefgh"));
+  store.release_until(3);
+  auto rest = store.copy_range(3, 5);
+  EXPECT_EQ(bytes_to_string(rest[0].real), "defgh");
+}
+
+}  // namespace
+}  // namespace wav

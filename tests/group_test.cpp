@@ -1,0 +1,197 @@
+// Grouping algorithm tests: exactness of brute force on known matrices,
+// approximation quality of the paper's O(N*k) algorithm, the random
+// baseline gap, PlanetLab matrix properties, and complexity/monotonicity
+// properties via parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include "group/grouping.hpp"
+#include "group/planetlab.hpp"
+
+namespace wav {
+namespace {
+
+using group::LatencyMatrix;
+
+/// Two tight clusters (0-3: ~1 ms apart; 4-7: ~2 ms apart) separated by
+/// ~100 ms.
+LatencyMatrix two_cluster_matrix() {
+  LatencyMatrix m{8};
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      const bool ci = i < 4;
+      const bool cj = j < 4;
+      if (ci == cj) {
+        m.set(i, j, ci ? 1.0 : 2.0);
+      } else {
+        m.set(i, j, 100.0);
+      }
+    }
+  }
+  return m;
+}
+
+TEST(Grouping, EvaluateGroupComputesFormulaOne) {
+  const LatencyMatrix m = two_cluster_matrix();
+  auto result = group::evaluate_group(m, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(result.average_latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(result.max_latency_ms, 1.0);
+
+  auto crossing = group::evaluate_group(m, {0, 1, 4});
+  EXPECT_DOUBLE_EQ(crossing.average_latency_ms, (1.0 + 100.0 + 100.0) / 3.0);
+  EXPECT_DOUBLE_EQ(crossing.max_latency_ms, 100.0);
+}
+
+TEST(Grouping, BruteForceFindsTightestCluster) {
+  const LatencyMatrix m = two_cluster_matrix();
+  const auto best = group::brute_force_group(m, 4);
+  ASSERT_TRUE(best);
+  EXPECT_DOUBLE_EQ(best->average_latency_ms, 1.0);
+  std::vector<std::size_t> sorted = best->members;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Grouping, LocalityMatchesBruteForceOnClusteredMatrix) {
+  const LatencyMatrix m = two_cluster_matrix();
+  const auto approx = group::locality_group(m, 4);
+  ASSERT_TRUE(approx);
+  EXPECT_DOUBLE_EQ(approx->average_latency_ms, 1.0);
+}
+
+TEST(Grouping, LocalityNearOptimalOnRandomMatrices) {
+  // Across seeds, the approximation should stay within 2x of optimal on
+  // small instances (it is exact on cleanly clustered ones).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto m = group::synthesize_planetlab(
+        {.hosts = 14, .clusters = 4, .overloaded_host_fraction = 0.0}, seed);
+    const auto exact = group::brute_force_group(m, 4);
+    const auto approx = group::locality_group(m, 4);
+    ASSERT_TRUE(exact && approx);
+    EXPECT_LE(approx->average_latency_ms, 2.0 * exact->average_latency_ms + 1e-9)
+        << "seed " << seed;
+    EXPECT_GE(approx->average_latency_ms, exact->average_latency_ms - 1e-9);
+  }
+}
+
+TEST(Grouping, LocalityBeatsRandomByALot) {
+  const auto m = group::synthesize_planetlab({.hosts = 120, .clusters = 10}, 7);
+  Rng rng{99};
+  const auto local = group::locality_group(m, 8);
+  ASSERT_TRUE(local);
+  double random_avg = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    random_avg += group::random_group(m, 8, rng).average_latency_ms;
+  }
+  random_avg /= kTrials;
+  // Fig 13/14: locality-sensitive selection is far tighter than random.
+  EXPECT_LT(local->average_latency_ms, random_avg / 3.0);
+}
+
+TEST(Grouping, MaxConnectionFilterRejectsOutliers) {
+  LatencyMatrix m{5};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) m.set(i, j, 5.0);
+  }
+  m.set(0, 1, 5000.0);  // pathological pair
+  const auto result = group::locality_group(m, 3, {.max_connection_ms = 100.0});
+  ASSERT_TRUE(result);
+  EXPECT_LT(result->max_latency_ms, 100.0);
+  // 0 and 1 cannot both be in the group.
+  const auto& g = result->members;
+  const bool has0 = std::find(g.begin(), g.end(), 0u) != g.end();
+  const bool has1 = std::find(g.begin(), g.end(), 1u) != g.end();
+  EXPECT_FALSE(has0 && has1);
+}
+
+class GroupingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupingSweep, AverageLatencyGrowsWithK) {
+  const std::size_t k = GetParam();
+  const auto m = group::synthesize_planetlab({.hosts = 120, .clusters = 10}, 5);
+  const auto smaller = group::locality_group(m, k);
+  const auto larger = group::locality_group(m, k + 8);
+  ASSERT_TRUE(smaller && larger);
+  // Formula-1 optimum is monotone-ish in k: adding hosts cannot shrink
+  // the achievable minimum below the smaller group's value by much.
+  EXPECT_GE(larger->average_latency_ms, smaller->average_latency_ms * 0.8);
+  EXPECT_GE(smaller->average_latency_ms, 0.0);
+  EXPECT_GE(smaller->max_latency_ms, smaller->average_latency_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GroupingSweep, ::testing::Values(4, 8, 16, 24, 32));
+
+TEST(PlanetLab, MatrixIsSymmetricPositive) {
+  const auto m = group::synthesize_planetlab({.hosts = 60}, 3);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+      if (i != j) {
+        EXPECT_GT(m.at(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(PlanetLab, DistributionHasClustersAndHeavyTail) {
+  const auto m = group::synthesize_planetlab({}, 11);  // 400 hosts, defaults
+  const auto lats = m.pair_latencies();
+  ASSERT_EQ(lats.size(), 400u * 399 / 2);
+
+  std::size_t close = 0;
+  std::size_t outliers = 0;
+  double max = 0;
+  for (const double l : lats) {
+    if (l < 15.0) ++close;
+    if (l > 1000.0) ++outliers;
+    max = std::max(max, l);
+  }
+  // Some pairs are same-site-close, a small fraction are second-scale
+  // outliers (Fig 12a), and nothing exceeds the 10 s cap.
+  EXPECT_GT(close, lats.size() / 100);
+  EXPECT_GT(outliers, lats.size() / 1000);
+  EXPECT_LT(static_cast<double>(outliers), 0.1 * static_cast<double>(lats.size()));
+  EXPECT_LE(max, 10000.0 + 1e-6);
+}
+
+TEST(PlanetLab, TransitivityMostlyHolds) {
+  const auto m =
+      group::synthesize_planetlab({.hosts = 120, .overloaded_host_fraction = 0.0}, 13);
+  Rng rng{17};
+  // With no outliers the geometric model nearly satisfies the triangle
+  // inequality (Formula (3)); allow 50% slack.
+  EXPECT_LT(group::transitivity_violation_rate(m, 1.5, rng), 0.02);
+}
+
+TEST(PlanetLab, GroupingReproducesFig13Shape) {
+  const auto m = group::synthesize_planetlab({}, 42);
+  const auto k8 = group::locality_group(m, 8);
+  const auto k16 = group::locality_group(m, 16);
+  const auto k32 = group::locality_group(m, 32);
+  const auto k64 = group::locality_group(m, 64);
+  ASSERT_TRUE(k8 && k16 && k32 && k64);
+  // Fig 13: avg latency grows with cluster size and stays far below the
+  // matrix-wide average.
+  EXPECT_LT(k8->average_latency_ms, k64->average_latency_ms);
+  double matrix_avg = 0;
+  const auto lats = m.pair_latencies();
+  for (const double l : lats) matrix_avg += l;
+  matrix_avg /= static_cast<double>(lats.size());
+  EXPECT_LT(k64->average_latency_ms, matrix_avg * 0.6);
+}
+
+TEST(DistanceLocator, SortedRowsAreSorted) {
+  const auto m = group::synthesize_planetlab({.hosts = 40}, 9);
+  const group::DistanceLocator locator{m};
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const auto& row = locator.sorted_rows()[i];
+    EXPECT_EQ(row[0], i);  // self at distance zero
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      EXPECT_LE(m.at(i, row[j - 1]), m.at(i, row[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wav

@@ -1,0 +1,307 @@
+// End-to-end tests of the rendezvous/hole-punching control plane:
+// registration, resource query through the CAN, direct connection setup
+// between hosts behind different NATs (Figure 3), keepalive behaviour,
+// multi-rendezvous brokering, and the symmetric-NAT failure mode.
+#include <gtest/gtest.h>
+
+#include "fabric/wan.hpp"
+#include "overlay/host_agent.hpp"
+#include "overlay/rendezvous.hpp"
+
+namespace wav {
+namespace {
+
+using nat::NatType;
+using overlay::HostAgent;
+using overlay::HostInfo;
+using overlay::RendezvousServer;
+
+struct OverlayFixture {
+  sim::Simulation sim;
+  fabric::Network network{sim};
+  fabric::Wan wan{network};
+  fabric::Wan::Site* site_a{};
+  fabric::Wan::Site* site_b{};
+  fabric::HostNode* rv_host{};
+  std::unique_ptr<RendezvousServer> rendezvous;
+
+  explicit OverlayFixture(NatType a = NatType::kPortRestrictedCone,
+                          NatType b = NatType::kPortRestrictedCone,
+                          Duration nat_timeout = seconds(60)) {
+    fabric::SiteConfig sa;
+    sa.name = "A";
+    sa.nat.type = a;
+    sa.nat.udp_binding_timeout = nat_timeout;
+    sa.host_count = 2;
+    fabric::SiteConfig sb;
+    sb.name = "B";
+    sb.nat.type = b;
+    sb.nat.udp_binding_timeout = nat_timeout;
+    site_a = &wan.add_site(sa);
+    site_b = &wan.add_site(sb);
+    rv_host = &wan.add_public_host("rendezvous");
+    fabric::PairPath path;
+    path.one_way = milliseconds(20);
+    wan.set_default_paths(path);
+    rendezvous = std::make_unique<RendezvousServer>(*rv_host);
+    rendezvous->bootstrap();
+  }
+
+  std::unique_ptr<HostAgent> make_agent(fabric::HostNode& host, const std::string& name,
+                                        std::vector<double> attrs = {0.5, 0.5}) {
+    HostAgent::Config cfg;
+    cfg.name = name;
+    cfg.attributes = std::move(attrs);
+    cfg.rendezvous = rendezvous->host_endpoint();
+    return std::make_unique<HostAgent>(host, cfg);
+  }
+};
+
+TEST(Overlay, RegistrationLearnsPublicEndpoint) {
+  OverlayFixture env;
+  auto agent = env.make_agent(*env.site_a->hosts[0], "a1");
+  bool registered = false;
+  agent->start([&](bool ok) { registered = ok; });
+  env.sim.run_for(seconds(5));
+
+  ASSERT_TRUE(registered);
+  EXPECT_EQ(env.rendezvous->registered_hosts(), 1u);
+  EXPECT_EQ(agent->self_info().public_endpoint.ip, env.site_a->gateway->public_ip());
+  EXPECT_NE(agent->self_info().public_endpoint.port, agent->config().port);
+}
+
+TEST(Overlay, QueryReturnsRegisteredHosts) {
+  OverlayFixture env;
+  auto a1 = env.make_agent(*env.site_a->hosts[0], "a1", {0.2, 0.2});
+  auto b1 = env.make_agent(*env.site_b->hosts[0], "b1", {0.8, 0.8});
+  a1->start();
+  b1->start();
+  env.sim.run_for(seconds(5));
+
+  std::vector<HostInfo> results;
+  a1->query({0.8, 0.8}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(5));
+
+  ASSERT_EQ(results.size(), 1u);  // own record filtered out
+  EXPECT_EQ(results[0].name, "b1");
+  EXPECT_EQ(results[0].public_endpoint.ip, env.site_b->gateway->public_ip());
+  EXPECT_EQ(results[0].rendezvous, env.rendezvous->host_endpoint());
+}
+
+class HolePunchMatrix
+    : public ::testing::TestWithParam<std::pair<NatType, NatType>> {};
+
+TEST_P(HolePunchMatrix, DirectConnectionAcrossNats) {
+  const auto [type_a, type_b] = GetParam();
+  OverlayFixture env{type_a, type_b};
+  auto a1 = env.make_agent(*env.site_a->hosts[0], "a1");
+  auto b1 = env.make_agent(*env.site_b->hosts[0], "b1");
+  a1->start();
+  b1->start();
+  env.sim.run_for(seconds(5));
+
+  std::vector<HostInfo> results;
+  a1->query({0.5, 0.5}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(3));
+  ASSERT_EQ(results.size(), 1u);
+
+  bool connected = false;
+  bool failed = false;
+  a1->connect_to(results[0], [&](bool ok, overlay::HostId) {
+    connected = ok;
+    failed = !ok;
+  });
+  env.sim.run_for(seconds(15));
+
+  const bool expect_success = nat::hole_punch_compatible(type_a, type_b);
+  EXPECT_EQ(connected, expect_success);
+  EXPECT_EQ(failed, !expect_success);
+  EXPECT_EQ(a1->link_established(b1->id()), expect_success);
+  if (expect_success) {
+    // Both directions must carry data: exchange a frame each way.
+    EXPECT_TRUE(b1->link_established(a1->id()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NatCombos, HolePunchMatrix,
+    ::testing::Values(std::pair{NatType::kFullCone, NatType::kFullCone},
+                      std::pair{NatType::kPortRestrictedCone, NatType::kPortRestrictedCone},
+                      std::pair{NatType::kRestrictedCone, NatType::kPortRestrictedCone},
+                      std::pair{NatType::kFullCone, NatType::kSymmetric},
+                      std::pair{NatType::kRestrictedCone, NatType::kSymmetric},
+                      std::pair{NatType::kPortRestrictedCone, NatType::kSymmetric},
+                      std::pair{NatType::kSymmetric, NatType::kSymmetric}),
+    [](const auto& param_info) {
+      return std::string{nat::to_string(param_info.param.first)}.substr(0, 4) + "_x_" +
+             std::string{nat::to_string(param_info.param.second)}.substr(0, 4);
+    });
+
+TEST(Overlay, FramesFlowOverPunchedLink) {
+  OverlayFixture env;
+  auto a1 = env.make_agent(*env.site_a->hosts[0], "a1");
+  auto b1 = env.make_agent(*env.site_b->hosts[0], "b1");
+  a1->start();
+  b1->start();
+  env.sim.run_for(seconds(5));
+
+  std::vector<HostInfo> results;
+  a1->query({0.5, 0.5}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(3));
+  ASSERT_FALSE(results.empty());
+  a1->connect_to(results[0]);
+  env.sim.run_for(seconds(10));
+  ASSERT_TRUE(a1->link_established(b1->id()));
+
+  // Tunnel an ARP frame from a1 to b1.
+  std::optional<net::ArpMessage> received;
+  b1->on_frame([&](overlay::HostId, const net::EncapFrame& encap) {
+    if (const auto* arp = encap.frame->arp()) received = *arp;
+  });
+  net::ArpMessage arp;
+  arp.sender_ip = net::Ipv4Address::parse("10.99.0.1").value();
+  arp.target_ip = arp.sender_ip;
+  net::EncapFrame encap;
+  encap.header_bytes = 4;
+  encap.frame = std::make_shared<const net::EthernetFrame>(
+      net::EthernetFrame::make_arp(net::MacAddress::broadcast(),
+                                   net::MacAddress::from_u64(0x020000000001), arp));
+  EXPECT_TRUE(a1->send_frame(b1->id(), encap));
+  env.sim.run_for(seconds(2));
+
+  ASSERT_TRUE(received.has_value());
+  EXPECT_TRUE(received->is_gratuitous());
+  EXPECT_EQ(b1->stats().frames_received, 1u);
+}
+
+TEST(Overlay, PulseKeepsNatBindingAliveAcrossTimeout) {
+  OverlayFixture env{NatType::kPortRestrictedCone, NatType::kPortRestrictedCone,
+                     seconds(30)};
+  auto a1 = env.make_agent(*env.site_a->hosts[0], "a1");
+  auto b1 = env.make_agent(*env.site_b->hosts[0], "b1");
+  a1->start();
+  b1->start();
+  env.sim.run_for(seconds(5));
+
+  std::vector<HostInfo> results;
+  a1->query({0.5, 0.5}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(3));
+  ASSERT_FALSE(results.empty());
+  a1->connect_to(results[0]);
+  env.sim.run_for(seconds(10));
+  ASSERT_TRUE(a1->link_established(b1->id()));
+
+  // 3 minutes >> the 30 s NAT timeout; only the 5 s pulses keep it open.
+  env.sim.run_for(seconds(180));
+  EXPECT_TRUE(a1->link_established(b1->id()));
+  EXPECT_TRUE(b1->link_established(a1->id()));
+
+  std::uint64_t frames = 0;
+  b1->on_frame([&](overlay::HostId, const net::EncapFrame&) { ++frames; });
+  net::EncapFrame encap;
+  encap.header_bytes = 4;
+  encap.frame = std::make_shared<const net::EthernetFrame>(net::EthernetFrame::make_arp(
+      net::MacAddress::broadcast(), net::MacAddress::from_u64(1), net::ArpMessage{}));
+  a1->send_frame(b1->id(), encap);
+  env.sim.run_for(seconds(2));
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST(Overlay, LinkDiesWithoutPulse) {
+  // Pulse interval longer than the NAT timeout: bindings expire and the
+  // idle detection eventually reports the link down. This is the ablation
+  // for design decision 2 in DESIGN.md.
+  OverlayFixture env{NatType::kPortRestrictedCone, NatType::kPortRestrictedCone,
+                     seconds(20)};
+  auto make_quiet_agent = [&](fabric::HostNode& host, const std::string& name) {
+    HostAgent::Config cfg;
+    cfg.name = name;
+    cfg.rendezvous = env.rendezvous->host_endpoint();
+    cfg.pulse_interval = seconds(300);  // effectively no keepalive
+    cfg.link_idle_timeout = seconds(60);
+    cfg.auto_repunch = false;  // we are *testing* that the link dies
+    return std::make_unique<HostAgent>(host, cfg);
+  };
+  auto a1 = make_quiet_agent(*env.site_a->hosts[0], "a1");
+  auto b1 = make_quiet_agent(*env.site_b->hosts[0], "b1");
+
+  a1->start();
+  b1->start();
+  env.sim.run_for(seconds(5));
+  std::vector<HostInfo> results;
+  a1->query({0.5, 0.5}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(3));
+  ASSERT_FALSE(results.empty());
+  a1->connect_to(results[0]);
+  env.sim.run_for(seconds(10));
+  ASSERT_TRUE(a1->link_established(b1->id()));
+
+  env.sim.run_for(seconds(120));
+  EXPECT_FALSE(a1->link_established(b1->id()));
+  EXPECT_GE(a1->stats().links_lost, 1u);
+}
+
+TEST(Overlay, SameSitePeersUsePrivatePath) {
+  OverlayFixture env;
+  auto a1 = env.make_agent(*env.site_a->hosts[0], "a1", {0.3, 0.3});
+  auto a2 = env.make_agent(*env.site_a->hosts[1], "a2", {0.7, 0.7});
+  a1->start();
+  a2->start();
+  env.sim.run_for(seconds(5));
+
+  std::vector<HostInfo> results;
+  a1->query({0.7, 0.7}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(3));
+  ASSERT_EQ(results.size(), 1u);
+  a1->connect_to(results[0]);
+  env.sim.run_for(seconds(10));
+
+  ASSERT_TRUE(a1->link_established(a2->id()));
+  const auto remote = a1->link_remote(a2->id());
+  ASSERT_TRUE(remote.has_value());
+  // The link must use the private address: same public IP, no hairpin.
+  EXPECT_EQ(remote->ip, env.site_a->hosts[1]->primary_address());
+}
+
+TEST(Overlay, TwoRendezvousServersBrokerAcrossCan) {
+  OverlayFixture env;
+  auto& rv2_host = env.wan.add_public_host("rendezvous2");
+  fabric::PairPath path;
+  path.one_way = milliseconds(20);
+  env.wan.set_default_paths(path);
+  RendezvousServer rv2{rv2_host};
+  rv2.join(env.rendezvous->can_endpoint());
+  env.sim.run_for(seconds(5));
+  ASSERT_TRUE(rv2.can_node().joined());
+
+  // a1 registers at server 1, b1 at server 2.
+  auto a1 = env.make_agent(*env.site_a->hosts[0], "a1", {0.2, 0.2});
+  HostAgent::Config cfg_b;
+  cfg_b.name = "b1";
+  cfg_b.attributes = {0.9, 0.9};
+  cfg_b.rendezvous = rv2.host_endpoint();
+  auto b1 = std::make_unique<HostAgent>(*env.site_b->hosts[0], cfg_b);
+  a1->start();
+  b1->start();
+  env.sim.run_for(seconds(8));
+  ASSERT_TRUE(a1->registered());
+  ASSERT_TRUE(b1->registered());
+
+  // The query routes through the CAN to whichever server owns b1's point.
+  std::vector<HostInfo> results;
+  a1->query({0.9, 0.9}, 4, [&](std::vector<HostInfo> hosts) { results = hosts; });
+  env.sim.run_for(seconds(5));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "b1");
+  EXPECT_EQ(results[0].rendezvous, rv2.host_endpoint());
+
+  // Brokered connect crosses both servers (Fig 3 steps 2-3).
+  bool connected = false;
+  a1->connect_to(results[0], [&](bool ok, overlay::HostId) { connected = ok; });
+  env.sim.run_for(seconds(15));
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(b1->link_established(a1->id()));
+}
+
+}  // namespace
+}  // namespace wav

@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+#include "sim/simulation.hpp"
+
+TEST(Smoke, SimulationRuns) {
+  wav::sim::Simulation sim;
+  int fired = 0;
+  sim.schedule_after(wav::milliseconds(5), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), wav::kSimStart + wav::milliseconds(5));
+}
