@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keepalive.dir/bench_ablation_keepalive.cpp.o"
+  "CMakeFiles/bench_ablation_keepalive.dir/bench_ablation_keepalive.cpp.o.d"
+  "bench_ablation_keepalive"
+  "bench_ablation_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

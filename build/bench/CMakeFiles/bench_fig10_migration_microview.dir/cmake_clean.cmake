@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_migration_microview.dir/bench_fig10_migration_microview.cpp.o"
+  "CMakeFiles/bench_fig10_migration_microview.dir/bench_fig10_migration_microview.cpp.o.d"
+  "bench_fig10_migration_microview"
+  "bench_fig10_migration_microview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_migration_microview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mpi_heat.dir/bench_fig11_mpi_heat.cpp.o"
+  "CMakeFiles/bench_fig11_mpi_heat.dir/bench_fig11_mpi_heat.cpp.o.d"
+  "bench_fig11_mpi_heat"
+  "bench_fig11_mpi_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mpi_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ttcp.dir/bench_fig6_ttcp.cpp.o"
+  "CMakeFiles/bench_fig6_ttcp.dir/bench_fig6_ttcp.cpp.o.d"
+  "bench_fig6_ttcp"
+  "bench_fig6_ttcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ttcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_grouping.dir/bench_micro_grouping.cpp.o"
+  "CMakeFiles/bench_micro_grouping.dir/bench_micro_grouping.cpp.o.d"
+  "bench_micro_grouping"
+  "bench_micro_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

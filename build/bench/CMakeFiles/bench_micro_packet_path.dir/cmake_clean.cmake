@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_packet_path.dir/bench_micro_packet_path.cpp.o"
+  "CMakeFiles/bench_micro_packet_path.dir/bench_micro_packet_path.cpp.o.d"
+  "bench_micro_packet_path"
+  "bench_micro_packet_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_packet_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

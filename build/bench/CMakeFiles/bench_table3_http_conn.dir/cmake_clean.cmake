@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_http_conn.dir/bench_table3_http_conn.cpp.o"
+  "CMakeFiles/bench_table3_http_conn.dir/bench_table3_http_conn.cpp.o.d"
+  "bench_table3_http_conn"
+  "bench_table3_http_conn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_http_conn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_http_throughput.dir/bench_table4_http_throughput.cpp.o"
+  "CMakeFiles/bench_table4_http_throughput.dir/bench_table4_http_throughput.cpp.o.d"
+  "bench_table4_http_throughput"
+  "bench_table4_http_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_http_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

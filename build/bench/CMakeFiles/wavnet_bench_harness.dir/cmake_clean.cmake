@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libwavnet_bench_harness.a"
+  "../lib/libwavnet_bench_harness.pdb"
+  "CMakeFiles/wavnet_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/wavnet_bench_harness.dir/harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavnet_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

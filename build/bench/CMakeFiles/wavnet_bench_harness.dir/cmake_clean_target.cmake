@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwavnet_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_lab.dir/nat_lab.cpp.o"
+  "CMakeFiles/nat_lab.dir/nat_lab.cpp.o.d"
+  "nat_lab"
+  "nat_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_cluster_mpi.dir/virtual_cluster_mpi.cpp.o"
+  "CMakeFiles/virtual_cluster_mpi.dir/virtual_cluster_mpi.cpp.o.d"
+  "virtual_cluster_mpi"
+  "virtual_cluster_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_cluster_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_http_migration.dir/vpc_http_migration.cpp.o"
+  "CMakeFiles/vpc_http_migration.dir/vpc_http_migration.cpp.o.d"
+  "vpc_http_migration"
+  "vpc_http_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_http_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft.cpp" "src/CMakeFiles/wavnet.dir/apps/fft.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/apps/fft.cpp.o.d"
+  "/root/repo/src/apps/http.cpp" "src/CMakeFiles/wavnet.dir/apps/http.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/apps/http.cpp.o.d"
+  "/root/repo/src/apps/mpi.cpp" "src/CMakeFiles/wavnet.dir/apps/mpi.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/apps/mpi.cpp.o.d"
+  "/root/repo/src/apps/mpi_apps.cpp" "src/CMakeFiles/wavnet.dir/apps/mpi_apps.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/apps/mpi_apps.cpp.o.d"
+  "/root/repo/src/apps/netperf.cpp" "src/CMakeFiles/wavnet.dir/apps/netperf.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/apps/netperf.cpp.o.d"
+  "/root/repo/src/apps/ping.cpp" "src/CMakeFiles/wavnet.dir/apps/ping.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/apps/ping.cpp.o.d"
+  "/root/repo/src/can/geometry.cpp" "src/CMakeFiles/wavnet.dir/can/geometry.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/can/geometry.cpp.o.d"
+  "/root/repo/src/can/node.cpp" "src/CMakeFiles/wavnet.dir/can/node.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/can/node.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/wavnet.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/wavnet.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/wavnet.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/wavnet.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/wavnet.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/wavnet.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/wavnet.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/common/units.cpp.o.d"
+  "/root/repo/src/fabric/host.cpp" "src/CMakeFiles/wavnet.dir/fabric/host.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/fabric/host.cpp.o.d"
+  "/root/repo/src/fabric/internet.cpp" "src/CMakeFiles/wavnet.dir/fabric/internet.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/fabric/internet.cpp.o.d"
+  "/root/repo/src/fabric/link.cpp" "src/CMakeFiles/wavnet.dir/fabric/link.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/fabric/link.cpp.o.d"
+  "/root/repo/src/fabric/network.cpp" "src/CMakeFiles/wavnet.dir/fabric/network.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/fabric/network.cpp.o.d"
+  "/root/repo/src/fabric/node.cpp" "src/CMakeFiles/wavnet.dir/fabric/node.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/fabric/node.cpp.o.d"
+  "/root/repo/src/fabric/wan.cpp" "src/CMakeFiles/wavnet.dir/fabric/wan.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/fabric/wan.cpp.o.d"
+  "/root/repo/src/group/grouping.cpp" "src/CMakeFiles/wavnet.dir/group/grouping.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/group/grouping.cpp.o.d"
+  "/root/repo/src/group/planetlab.cpp" "src/CMakeFiles/wavnet.dir/group/planetlab.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/group/planetlab.cpp.o.d"
+  "/root/repo/src/ipop/ipop.cpp" "src/CMakeFiles/wavnet.dir/ipop/ipop.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/ipop/ipop.cpp.o.d"
+  "/root/repo/src/nat/nat_gateway.cpp" "src/CMakeFiles/wavnet.dir/nat/nat_gateway.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/nat/nat_gateway.cpp.o.d"
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/wavnet.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/wavnet.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/CMakeFiles/wavnet.dir/net/framing.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/net/framing.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/wavnet.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/net/packet.cpp.o.d"
+  "/root/repo/src/overlay/host_agent.cpp" "src/CMakeFiles/wavnet.dir/overlay/host_agent.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/overlay/host_agent.cpp.o.d"
+  "/root/repo/src/overlay/messages.cpp" "src/CMakeFiles/wavnet.dir/overlay/messages.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/overlay/messages.cpp.o.d"
+  "/root/repo/src/overlay/rendezvous.cpp" "src/CMakeFiles/wavnet.dir/overlay/rendezvous.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/overlay/rendezvous.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/wavnet.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/stack/icmp.cpp" "src/CMakeFiles/wavnet.dir/stack/icmp.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/stack/icmp.cpp.o.d"
+  "/root/repo/src/stack/ip_layer.cpp" "src/CMakeFiles/wavnet.dir/stack/ip_layer.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/stack/ip_layer.cpp.o.d"
+  "/root/repo/src/stack/udp.cpp" "src/CMakeFiles/wavnet.dir/stack/udp.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/stack/udp.cpp.o.d"
+  "/root/repo/src/stun/stun.cpp" "src/CMakeFiles/wavnet.dir/stun/stun.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/stun/stun.cpp.o.d"
+  "/root/repo/src/tcp/stream_store.cpp" "src/CMakeFiles/wavnet.dir/tcp/stream_store.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/tcp/stream_store.cpp.o.d"
+  "/root/repo/src/tcp/tcp.cpp" "src/CMakeFiles/wavnet.dir/tcp/tcp.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/tcp/tcp.cpp.o.d"
+  "/root/repo/src/vm/migration.cpp" "src/CMakeFiles/wavnet.dir/vm/migration.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/vm/migration.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/wavnet.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/vm/vm.cpp.o.d"
+  "/root/repo/src/wavnet/bridge.cpp" "src/CMakeFiles/wavnet.dir/wavnet/bridge.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/bridge.cpp.o.d"
+  "/root/repo/src/wavnet/cable.cpp" "src/CMakeFiles/wavnet.dir/wavnet/cable.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/cable.cpp.o.d"
+  "/root/repo/src/wavnet/capture.cpp" "src/CMakeFiles/wavnet.dir/wavnet/capture.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/capture.cpp.o.d"
+  "/root/repo/src/wavnet/dhcp.cpp" "src/CMakeFiles/wavnet.dir/wavnet/dhcp.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/dhcp.cpp.o.d"
+  "/root/repo/src/wavnet/host.cpp" "src/CMakeFiles/wavnet.dir/wavnet/host.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/host.cpp.o.d"
+  "/root/repo/src/wavnet/switch.cpp" "src/CMakeFiles/wavnet.dir/wavnet/switch.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/switch.cpp.o.d"
+  "/root/repo/src/wavnet/virtual_ip.cpp" "src/CMakeFiles/wavnet.dir/wavnet/virtual_ip.cpp.o" "gcc" "src/CMakeFiles/wavnet.dir/wavnet/virtual_ip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_stun_test.dir/nat_stun_test.cpp.o"
+  "CMakeFiles/nat_stun_test.dir/nat_stun_test.cpp.o.d"
+  "nat_stun_test"
+  "nat_stun_test.pdb"
+  "nat_stun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_stun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

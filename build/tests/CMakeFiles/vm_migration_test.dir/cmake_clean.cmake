@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_migration_test.dir/vm_migration_test.cpp.o"
+  "CMakeFiles/vm_migration_test.dir/vm_migration_test.cpp.o.d"
+  "vm_migration_test"
+  "vm_migration_test.pdb"
+  "vm_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavnet_test.dir/wavnet_test.cpp.o"
+  "CMakeFiles/wavnet_test.dir/wavnet_test.cpp.o.d"
+  "wavnet_test"
+  "wavnet_test.pdb"
+  "wavnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_core_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/can_test[1]_include.cmake")
+include("/root/repo/build/tests/nat_stun_test[1]_include.cmake")
+include("/root/repo/build/tests/overlay_test[1]_include.cmake")
+include("/root/repo/build/tests/wavnet_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/group_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
