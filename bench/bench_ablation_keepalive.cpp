@@ -89,7 +89,8 @@ Outcome run(Duration pulse_period, Duration nat_timeout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Ablation — CONNECT_PULSE period vs NAT binding timeout",
       "Fraction of one-way probe frames delivered across the tunnel while\nonly CONNECT_PULSE refreshes the 60 s NAT state.");

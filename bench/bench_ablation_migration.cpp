@@ -60,7 +60,8 @@ Outcome run(bool precopy, std::uint64_t window_bytes, double rtt_ms,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Ablation — pre-copy vs stop-and-copy, and the migration TCP window",
                  "256 MB VM, 100 Mbit/s emulated WAN.");
 

@@ -110,7 +110,8 @@ void run_site(const char* site, double paper_downtime_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 10 — ICMP RTT and HTTP throughput during VM live migration",
       "ping every 500 ms + ApacheBench (concurrency 50, 1 KB file) from HKU1\n"

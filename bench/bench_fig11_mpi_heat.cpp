@@ -84,7 +84,8 @@ Run run_heat(std::size_t m, bool migrate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 11 — MPI heat-distribution time with/without VM migration",
       "4 VMs over WAVNet (3 in HKU, 1 in SIAT); the SIAT VM migrates to HKU\n"

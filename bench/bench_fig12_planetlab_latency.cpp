@@ -33,7 +33,8 @@ void histogram(const std::vector<double>& values, const std::vector<double>& edg
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 12 — Network latency reported on PlanetLab (400 hosts)",
       "Synthetic PlanetLab latency matrix (substitution documented in\n"

@@ -19,7 +19,8 @@ using namespace wav;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 13 — Average and maximum latency within the virtual cluster",
       "Locality-sensitive grouping over the 400-host PlanetLab matrix.");

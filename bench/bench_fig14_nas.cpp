@@ -88,7 +88,8 @@ double run_ft(const group::LatencyMatrix& matrix, const std::vector<std::size_t>
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 14 — NAS EP/FT on random vs locality-sensitive virtual clusters",
       "Kernels run over real WAVNet deployments whose WAN paths follow the\n"

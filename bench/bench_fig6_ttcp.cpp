@@ -35,7 +35,8 @@ double measure(benchx::Plane plane, std::uint64_t transfer_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Figure 6 — TTCP bandwidth benchmark over WAN (HKU-SIAT)",
                  "Transfer rate in KB/s for 64/128/256 MB transfers, buf=16384 B.");
 

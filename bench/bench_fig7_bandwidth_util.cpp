@@ -40,7 +40,8 @@ double measure(benchx::Plane plane, double wan_mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Figure 7 — Bandwidth utilization under different WAN capacities",
                  "netperf TCP_STREAM; bars = throughput relative to the physical run.");
 

@@ -77,7 +77,8 @@ Outcome measure(benchx::Plane plane, std::size_t n_hosts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 8 — Netperf bandwidth while scaling the virtual cluster",
       "100 Mbit/s emulated WAN; full-mesh WAVNet keepalives every 5 s;\n"

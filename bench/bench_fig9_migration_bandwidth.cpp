@@ -160,7 +160,8 @@ double window_avg(const Timeline& t, double from_s, double to_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner(
       "Figure 9 — VM network bandwidth during live migration",
       "netperf into a 256 MB VM, polled every 500 ms; migration at t=40 s.");

@@ -49,7 +49,8 @@ double measure_pair(benchx::Plane plane, const char* a, const char* b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Table II — Network latency test by ICMP request/response",
                  "Mean RTT (ms) per site pair; paper values in parentheses.");
 

@@ -40,7 +40,8 @@ ConnStats measure_ab(benchx::World& world, const std::string& client_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Table III — HTTP connection time before/after VM migration",
                  "ApacheBench against a 128 MB web-server VM; WAVNet plane;\n"
                  "the VM migrates SIAT -> HKU2 mid-experiment.");

@@ -58,7 +58,8 @@ ThroughputRow measure_all(benchx::World& world, const std::string& client_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Table IV — HTTP throughput before/after VM migration",
                  "ApacheBench requests/sec for 1K/8K/64K files; WAVNet plane.");
 

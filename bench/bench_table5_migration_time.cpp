@@ -61,7 +61,8 @@ double measure_bw(const std::string& from) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wav::benchx::obs_init(argc, argv);
   benchx::banner("Table V — Time of VM live migration among different sites",
                  "128 MB / 512 MB VMs migrating <site> -> HKU over WAVNet.");
 

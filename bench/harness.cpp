@@ -14,6 +14,86 @@ const char* to_string(Plane plane) noexcept {
   return "?";
 }
 
+// --- observability sinks ----------------------------------------------------
+
+namespace {
+
+ObsOptions g_obs;
+int g_worlds_flushed = 0;  // numbers the per-World trace files
+
+/// "trace.json" stays "trace.json" for run 1; run N>=2 becomes
+/// "trace-N.json" (suffix lands before the extension if there is one).
+std::string numbered_path(const std::string& path, int run) {
+  if (run == 1) return path;
+  const std::string suffix = "-" + std::to_string(run);
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  if (!has_ext) return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace
+
+void obs_init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& flag) -> const char* {
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      if (arg.size() > flag.size() + 1 && arg.compare(0, flag.size(), flag) == 0 &&
+          arg[flag.size()] == '=') {
+        return arg.c_str() + flag.size() + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--metrics-out")) {
+      g_obs.metrics_out = v;
+    } else if (const char* v2 = value_of("--trace-out")) {
+      g_obs.trace_out = v2;
+    }
+  }
+  // Start the JSONL metrics file fresh; Worlds append as they die.
+  if (!g_obs.metrics_out.empty()) {
+    if (std::FILE* f = std::fopen(g_obs.metrics_out.c_str(), "w")) std::fclose(f);
+  }
+}
+
+const ObsOptions& obs_options() noexcept { return g_obs; }
+
+void World::flush_observability() {
+  if (g_obs.metrics_out.empty() && g_obs.trace_out.empty()) return;
+  const int run = ++g_worlds_flushed;
+  if (!g_obs.metrics_out.empty()) {
+    if (std::FILE* f = std::fopen(g_obs.metrics_out.c_str(), "a")) {
+      // Compact the pretty-printed registry dump onto one line so the file
+      // stays valid JSONL. Newlines inside string values are escaped by the
+      // exporter, so every raw newline here is formatting.
+      const std::string pretty = sim_.metrics().to_json();
+      std::string metrics;
+      metrics.reserve(pretty.size());
+      bool at_line_start = false;
+      for (const char c : pretty) {
+        if (c == '\n') {
+          at_line_start = true;
+          continue;
+        }
+        if (at_line_start && c == ' ') continue;
+        at_line_start = false;
+        metrics += c;
+      }
+      const std::string line = "{\"plane\":\"" + std::string(to_string(plane_)) +
+                               "\",\"seed\":" + std::to_string(seed_) +
+                               ",\"metrics\":" + metrics + "}\n";
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (!g_obs.trace_out.empty()) {
+    sim_.tracer().write_chrome_json(numbered_path(g_obs.trace_out, run));
+  }
+}
+
 stack::IpLayer& Deployed::stack() {
   if (wavnet) return wavnet->stack();
   if (ipop) return ipop->stack();
@@ -38,9 +118,13 @@ tcp::TcpLayer& Deployed::tcp() {
 }
 
 World::World(Plane plane, std::uint64_t seed)
-    : plane_(plane), sim_(seed), network_(sim_), wan_(std::make_unique<fabric::Wan>(network_)) {}
+    : plane_(plane),
+      seed_(seed),
+      sim_(seed),
+      network_(sim_),
+      wan_(std::make_unique<fabric::Wan>(network_)) {}
 
-World::~World() = default;
+World::~World() { flush_observability(); }
 
 std::string World::site_of(const std::string& host_name) const {
   const auto it = host_site_.find(host_name);

@@ -26,6 +26,29 @@ enum class Plane { kPhysical, kWavnet, kIpop };
 
 [[nodiscard]] const char* to_string(Plane plane) noexcept;
 
+/// Observability sinks shared by all bench binaries.
+///
+/// Every bench main() forwards its argv to obs_init(), which understands
+///   --metrics-out <file>   append one JSON object per World (JSONL; each
+///                          line carries the plane label, the seed, and
+///                          the full metrics-registry dump), and
+///   --trace-out <file>     write each World's Chrome trace_event JSON
+///                          (the first World gets the exact path so it
+///                          loads straight into Perfetto; later Worlds
+///                          get "<stem>-2<ext>", "<stem>-3<ext>", ...).
+/// Both flags also accept the --flag=value spelling. Worlds flush on
+/// destruction, so a bench needs no per-experiment export code.
+struct ObsOptions {
+  std::string metrics_out;  // empty = disabled
+  std::string trace_out;    // empty = disabled
+};
+
+/// Parses the observability flags out of argv (unrecognised arguments are
+/// ignored) and installs the sinks for every World constructed afterwards.
+void obs_init(int argc, char** argv);
+
+[[nodiscard]] const ObsOptions& obs_options() noexcept;
+
 /// A deployed host on the measured plane.
 struct Deployed {
   fabric::HostNode* node{nullptr};
@@ -102,9 +125,11 @@ class World {
  private:
   void deploy_wavnet();
   void deploy_ipop();
+  void flush_observability();
   std::string site_of(const std::string& host_name) const;
 
   Plane plane_;
+  std::uint64_t seed_;
   sim::Simulation sim_;
   fabric::Network network_;
   std::unique_ptr<fabric::Wan> wan_;

@@ -97,7 +97,18 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
             ++it;
           }
         }
-      }) {}
+      }) {
+  obs::MetricsRegistry& reg = sim_.metrics();
+  const std::string inst = "can#" + std::to_string(id_);
+  c_messages_sent_ = &reg.counter("can.messages_sent", inst);
+  c_messages_received_ = &reg.counter("can.messages_received", inst);
+  c_routed_forwarded_ = &reg.counter("can.routed_forwarded", inst);
+  c_routed_delivered_ = &reg.counter("can.routed_delivered", inst);
+  c_routed_dead_end_ = &reg.counter("can.routed_dead_end", inst);
+  c_zone_splits_ = &reg.counter("can.zone_splits", inst);
+  h_query_hops_ = &reg.histogram("can.query_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48});
+  h_delivery_hops_ = &reg.histogram("can.delivery_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48});
+}
 
 void CanNode::bootstrap() {
   zone_ = Zone::whole(config_.dims);
@@ -119,12 +130,14 @@ void CanNode::join(const net::Endpoint& seed) {
 
 void CanNode::send(const net::Endpoint& to, net::Chunk msg) {
   ++stats_.messages_sent;
+  c_messages_sent_->inc();
   send_(to, std::move(msg));
 }
 
 bool CanNode::route(const Point& target, const net::Chunk& msg, std::uint8_t hops) {
   if (hops >= kMaxHops) {
     ++stats_.routed_dead_end;
+    c_routed_dead_end_->inc();
     return false;
   }
   const double my_dist = zone_.distance_sq(target);
@@ -139,18 +152,21 @@ bool CanNode::route(const Point& target, const net::Chunk& msg, std::uint8_t hop
   }
   if (best == nullptr) {
     ++stats_.routed_dead_end;
+    c_routed_dead_end_->inc();
     log::debug("can", "node {} dead-ends routing to {}", id_, target.to_string());
     return false;
   }
   net::Chunk fwd = msg;
   fwd.real[1] = static_cast<std::byte>(hops + 1);
   ++stats_.routed_forwarded;
+  c_routed_forwarded_->inc();
   send(best->endpoint, std::move(fwd));
   return true;
 }
 
 void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
   ++stats_.messages_received;
+  c_messages_received_->inc();
   if (msg.real.size() < 2) return;
   ByteReader r{msg.real};
   const auto type_raw = r.u8();
@@ -174,6 +190,8 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       }
       stats_.total_delivery_hops += *hops;
       ++stats_.routed_delivered;
+      c_routed_delivered_->inc();
+      h_delivery_hops_->observe(*hops);
       handle_join_request(msg);
       return;
     }
@@ -190,6 +208,8 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       }
       stats_.total_delivery_hops += *hops;
       ++stats_.routed_delivered;
+      c_routed_delivered_->inc();
+      h_delivery_hops_->observe(*hops);
       if (type == MsgType::kStore) {
         handle_store(msg);
       } else {
@@ -211,6 +231,9 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       }
       stats_.total_delivery_hops += *hops;
       ++stats_.routed_delivered;
+      c_routed_delivered_->inc();
+      h_delivery_hops_->observe(*hops);
+      h_query_hops_->observe(*hops);
       handle_query(msg);
       return;
     }
@@ -347,6 +370,10 @@ void CanNode::handle_join_request(const net::Chunk& msg) {
   if (*joiner_id == id_) return;
 
   auto [lower, upper] = zone_.split();
+  c_zone_splits_->inc();
+  sim_.tracer().instant(obs::Category::kCan, "can.zone_split",
+                        "can#" + std::to_string(id_),
+                        "\"joiner\":" + std::to_string(*joiner_id));
   const bool joiner_gets_lower = lower.contains(*target);
   const Zone joiner_zone = joiner_gets_lower ? lower : upper;
   const Zone my_zone = joiner_gets_lower ? upper : lower;

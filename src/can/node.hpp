@@ -17,6 +17,7 @@
 #include "can/geometry.hpp"
 #include "net/address.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace wav::can {
@@ -171,6 +172,15 @@ class CanNode {
   std::uint64_t next_agg_id_{1};
   sim::PeriodicTimer hello_timer_;
   ItemObserver item_observer_;
+
+  obs::Counter* c_messages_sent_{nullptr};
+  obs::Counter* c_messages_received_{nullptr};
+  obs::Counter* c_routed_forwarded_{nullptr};
+  obs::Counter* c_routed_delivered_{nullptr};
+  obs::Counter* c_routed_dead_end_{nullptr};
+  obs::Counter* c_zone_splits_{nullptr};
+  obs::Histogram* h_query_hops_{nullptr};     // per-overlay (no instance)
+  obs::Histogram* h_delivery_hops_{nullptr};  // all routed deliveries
 };
 
 }  // namespace wav::can

@@ -83,7 +83,14 @@ std::size_t NatGateway::FlowKeyHash::operator()(const FlowKey& k) const noexcept
 NatGateway::NatGateway(fabric::Network& network, std::string name, NatConfig config)
     : fabric::Node(network, std::move(name)),
       config_(config),
-      next_port_(config.port_range_begin) {}
+      next_port_(config.port_range_begin) {
+  obs::MetricsRegistry& reg = sim().metrics();
+  c_translated_outbound_ = &reg.counter("nat.translated_outbound", this->name());
+  c_translated_inbound_ = &reg.counter("nat.translated_inbound", this->name());
+  c_blocked_inbound_ = &reg.counter("nat.blocked_inbound", this->name());
+  c_expired_bindings_ = &reg.counter("nat.expired_bindings", this->name());
+  c_bindings_created_ = &reg.counter("nat.bindings_created", this->name());
+}
 
 Duration NatGateway::timeout_for(std::uint8_t protocol) const noexcept {
   return protocol == net::kProtoTcp ? config_.tcp_binding_timeout
@@ -115,6 +122,9 @@ void NatGateway::drop_expired() {
       if (config_.type == NatType::kSymmetric) key.remote = b.symmetric_remote;
       flow_to_port_.erase(key);
       ++nat_stats_.expired_bindings;
+      c_expired_bindings_->inc();
+      sim().tracer().instant(obs::Category::kNat, "nat.binding_expired", name(),
+                             "\"public_port\":" + std::to_string(b.public_port));
       it = port_to_binding_.erase(it);
     } else {
       ++it;
@@ -152,6 +162,10 @@ NatGateway::Binding* NatGateway::find_or_create_binding(const FlowKey& key) {
     if (bit != port_to_binding_.end()) {
       if (!is_expired(bit->second)) return &bit->second;
       ++nat_stats_.expired_bindings;
+      c_expired_bindings_->inc();
+      sim().tracer().instant(
+          obs::Category::kNat, "nat.binding_expired", name(),
+          "\"public_port\":" + std::to_string(bit->second.public_port));
       port_to_binding_.erase(bit);
     }
     flow_to_port_.erase(it);
@@ -165,6 +179,9 @@ NatGateway::Binding* NatGateway::find_or_create_binding(const FlowKey& key) {
   b.symmetric_remote = key.remote;
   b.last_used = sim().now();
   ++nat_stats_.bindings_created;
+  c_bindings_created_->inc();
+  sim().tracer().instant(obs::Category::kNat, "nat.binding_created", name(),
+                         "\"public_port\":" + std::to_string(port));
   flow_to_port_[key] = port;
   const std::uint32_t pkey = (static_cast<std::uint32_t>(port) << 8) | key.protocol;
   auto [it, inserted] = port_to_binding_.insert_or_assign(pkey, std::move(b));
@@ -178,6 +195,7 @@ void NatGateway::forward(net::IpPacket pkt, fabric::Link& from) {
     // WAN-side packet not addressed to our public IP: a plain router
     // would forward, but a NAT has no mapping — drop.
     ++nat_stats_.blocked_inbound;
+    c_blocked_inbound_->inc();
     return;
   }
   if (pkt.ttl <= 1) {
@@ -215,6 +233,7 @@ void NatGateway::translate_outbound(net::IpPacket pkt) {
   pkt.src = public_ip();
   set_src_port(pkt, b->public_port);
   ++nat_stats_.translated_outbound;
+  c_translated_outbound_->inc();
   transmit(interfaces()[wan_iface_], std::move(pkt));
 }
 
@@ -223,6 +242,7 @@ void NatGateway::deliver_local(const net::IpPacket& pkt, fabric::Link& from) {
   if (!from_wan) {
     // Hairpin attempt from the LAN side; consumer NATs typically drop it.
     ++nat_stats_.blocked_inbound;
+    c_blocked_inbound_->inc();
     return;
   }
   translate_inbound(pkt, from);
@@ -233,6 +253,7 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   const auto ports = l4_ports(pkt);
   if (!ports) {
     ++nat_stats_.blocked_inbound;
+    c_blocked_inbound_->inc();
     return;
   }
   const std::uint32_t pkey =
@@ -240,6 +261,7 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   const auto it = port_to_binding_.find(pkey);
   if (it == port_to_binding_.end() || is_expired(it->second)) {
     ++nat_stats_.blocked_inbound;
+    c_blocked_inbound_->inc();
     return;
   }
   Binding& b = it->second;
@@ -268,6 +290,9 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   }
   if (!allowed) {
     ++nat_stats_.blocked_inbound;
+    c_blocked_inbound_->inc();
+    sim().tracer().instant(obs::Category::kNat, "nat.inbound_refused", name(),
+                           "\"from\":\"" + remote.to_string() + "\"");
     log::trace("nat", "{} blocked inbound from {} to port {}", name(),
                remote.to_string(), ports->dst);
     return;
@@ -280,6 +305,7 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   inner.dst = b.private_ip;
   set_dst_port(inner, b.private_port);
   ++nat_stats_.translated_inbound;
+  c_translated_inbound_->inc();
   const fabric::Interface* out = route_lookup(inner.dst);
   if (out == nullptr || out == &interfaces()[wan_iface_]) {
     ++stats_.dropped_no_route;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fabric/node.hpp"
+#include "obs/metrics.hpp"
 
 namespace wav::nat {
 
@@ -134,6 +135,12 @@ class NatGateway : public fabric::Node {
   // Keyed by (public_port << 8 | protocol); ICMP uses the echo id as port.
   std::unordered_map<std::uint32_t, Binding> port_to_binding_;
   std::uint16_t next_port_;
+
+  obs::Counter* c_translated_outbound_{nullptr};
+  obs::Counter* c_translated_inbound_{nullptr};
+  obs::Counter* c_blocked_inbound_{nullptr};
+  obs::Counter* c_expired_bindings_{nullptr};
+  obs::Counter* c_bindings_created_{nullptr};
 };
 
 /// Extracts the (src_port, dst_port) pair of any supported L4 body. ICMP

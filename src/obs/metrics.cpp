@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace wav::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  summary_.add(x);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& instance) {
+  return counters_[Key{name, instance}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& instance) {
+  return gauges_[Key{name, instance}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& instance) {
+  const auto it = histograms_.find(Key{name, instance});
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(Key{name, instance}, Histogram{std::move(upper_bounds)})
+      .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const std::string& instance) const {
+  const auto it = counters_.find(Key{name, instance});
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const std::string& instance) const {
+  const auto it = gauges_.find(Key{name, instance});
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const std::string& instance) const {
+  const auto it = histograms_.find(Key{name, instance});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  // Keys sort by name first, so all instances of `name` are contiguous.
+  for (auto it = counters_.lower_bound(Key{name, std::string{}});
+       it != counters_.end() && it->first.first == name; ++it) {
+    total += it->second.value();
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::next_instance_id(const std::string& kind) {
+  return instance_ids_[kind]++;
+}
+
+std::string json_double(double v) {
+  if (std::isnan(v)) v = 0.0;
+  if (std::isinf(v)) {
+    v = v > 0 ? std::numeric_limits<double>::max() : std::numeric_limits<double>::lowest();
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_key(std::string& out, const std::pair<std::string, std::string>& key) {
+  out += "\"name\":\"" + json_escape(key.first) + "\"";
+  if (!key.second.empty()) out += ",\"instance\":\"" + json_escape(key.second) + "\"";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"wavnet-metrics/1\",\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key(out, key);
+    out += ",\"value\":" + std::to_string(c.value()) + "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key(out, key);
+    out += ",\"value\":" + json_double(g.value()) + ",\"max\":" + json_double(g.max()) + "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key(out, key);
+    const OnlineStats& s = h.summary();
+    out += ",\"count\":" + std::to_string(s.count());
+    out += ",\"sum\":" + json_double(s.sum());
+    out += ",\"mean\":" + json_double(s.mean());
+    out += ",\"min\":" + json_double(s.min());
+    out += ",\"max\":" + json_double(s.max());
+    out += ",\"buckets\":[";
+    const auto& bounds = h.bounds();
+    const auto& counts = h.buckets();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"le\":";
+      out += i < bounds.size() ? json_double(bounds[i]) : std::string{"\"inf\""};
+      out += ",\"count\":" + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace wav::obs

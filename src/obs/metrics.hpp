@@ -1,0 +1,123 @@
+// Simulation-wide metrics registry: named counters, gauges and
+// fixed-bucket histograms, owned per-Simulation so concurrent benches on
+// a thread pool never contend and runs stay deterministic.
+//
+// Naming scheme (see docs/OBSERVABILITY.md): dotted lowercase
+// `<module>.<measure>` with unit suffixes (`_ms`, `_bytes`). A metric may
+// carry an `instance` discriminator (agent name, NAT gateway name,
+// "can#<id>") so per-component views and cross-instance totals coexist.
+// Handles returned by the registry stay valid for its whole lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace wav::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Last-write-wins instantaneous value; tracks the high-water mark.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(double delta) noexcept { set(value_ + delta); }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  double value_{0};
+  double max_{0};
+};
+
+/// Fixed-bucket histogram over explicit upper bounds plus an implicit
+/// +inf bucket, with a Welford summary (common/stats.hpp) for
+/// mean/min/max/sum alongside the bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return summary_.count(); }
+  [[nodiscard]] const OnlineStats& summary() const noexcept { return summary_; }
+  /// Sorted upper bounds; buckets() has one extra trailing +inf bucket.
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
+  OnlineStats summary_;
+};
+
+/// Get-or-create registry of metrics keyed by (name, instance). Lookups
+/// return stable references (node-based storage); export is ordered by
+/// key so identical runs serialize byte-identically.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& instance = {});
+  Gauge& gauge(const std::string& name, const std::string& instance = {});
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds,
+                       const std::string& instance = {});
+
+  /// Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const std::string& instance = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const std::string& instance = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                const std::string& instance = {}) const;
+
+  /// Sum of a counter across every instance (e.g. total frames tunneled
+  /// over all switches in a World).
+  [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
+
+  /// Deterministic small sequence ids for unnamed component instances
+  /// ("bridge#0", "bridge#1", ...): construction order is part of the
+  /// simulation program, so the ids reproduce across runs.
+  [[nodiscard]] std::uint64_t next_instance_id(const std::string& kind);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Whole-registry export, ordered by (name, instance). Stable across
+  /// identical-seed runs: nothing wall-clock-derived is registered here.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, instance)
+
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+  std::map<std::string, std::uint64_t> instance_ids_;
+};
+
+/// Formats a double for JSON output (deterministic shortest-ish form;
+/// infinities clamp to the largest finite double, NaN renders as 0).
+[[nodiscard]] std::string json_double(double v);
+
+/// Escapes a string for embedding inside JSON quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace wav::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/metrics.hpp"  // json_escape / json_double
+
+namespace wav::obs {
+
+const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kSim: return "sim";
+    case Category::kNat: return "nat";
+    case Category::kStun: return "stun";
+    case Category::kPunch: return "punch";
+    case Category::kCan: return "can";
+    case Category::kSwitch: return "switch";
+    case Category::kTcp: return "tcp";
+    case Category::kMigration: return "migration";
+    case Category::kOverlay: return "overlay";
+  }
+  return "?";
+}
+
+Tracer::Tracer(ClockFn clock) : Tracer(std::move(clock), Config{}) {}
+
+Tracer::Tracer(ClockFn clock, Config config)
+    : clock_(std::move(clock)), config_(config) {
+  categories_.fill(true);
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.reserve(std::min<std::size_t>(config_.capacity, 1024));
+}
+
+void Tracer::enable_only(const std::vector<Category>& cats) noexcept {
+  categories_.fill(false);
+  for (const Category c : cats) categories_[static_cast<std::size_t>(c)] = true;
+}
+
+void Tracer::record(TraceEvent ev) {
+  ev.seq = seq_++;
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[next_slot_] = std::move(ev);
+  next_slot_ = (next_slot_ + 1) % config_.capacity;
+  ++dropped_;
+}
+
+void Tracer::instant(Category c, std::string name, std::string instance,
+                     std::string args) {
+  if (!category_enabled(c)) return;
+  TraceEvent ev;
+  ev.start = clock_();
+  ev.category = c;
+  ev.span = false;
+  ev.name = std::move(name);
+  ev.instance = std::move(instance);
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void Tracer::complete(Category c, std::string name, TimePoint start,
+                      std::string instance, std::string args) {
+  if (!category_enabled(c)) return;
+  const TimePoint now = clock_();
+  TraceEvent ev;
+  ev.start = start;
+  ev.duration = now >= start ? now - start : kZeroDuration;
+  ev.category = c;
+  ev.span = true;
+  ev.name = std::move(name);
+  ev.instance = std::move(instance);
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_slot_, end) then [0, next_slot_).
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  next_slot_ = 0;
+  seq_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+std::string us_str(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(d.count()) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> evs = events();
+  // Stable instance -> tid mapping in order of first appearance, which is
+  // deterministic because the event stream is.
+  std::map<std::string, int> tids;
+  int next_tid = 0;
+  for (const auto& ev : evs) {
+    if (tids.emplace(ev.instance, next_tid).second) ++next_tid;
+  }
+
+  std::string out;
+  out.reserve(evs.size() * 128 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wavnet-sim\"}}";
+  for (const auto& [instance, tid] : tids) {
+    out += ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(instance.empty() ? std::string{"(global)"} : instance) + "\"}}";
+  }
+  for (const auto& ev : evs) {
+    out += ",\n{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"";
+    out += to_string(ev.category);
+    out += "\",\"ph\":\"";
+    out += ev.span ? "X" : "i";
+    out += "\",\"pid\":0,\"tid\":" + std::to_string(tids[ev.instance]);
+    out += ",\"ts\":" + us_str(ev.start.since_start);
+    if (ev.span) {
+      out += ",\"dur\":" + us_str(ev.duration);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{" + ev.args + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const auto& ev : events()) {
+    out += "{\"seq\":" + std::to_string(ev.seq);
+    out += ",\"ts_ns\":" + std::to_string(ev.start.since_start.count());
+    out += ",\"cat\":\"";
+    out += to_string(ev.category);
+    out += "\",\"ph\":\"";
+    out += ev.span ? "span" : "instant";
+    out += "\",\"name\":\"" + json_escape(ev.name) + "\"";
+    if (!ev.instance.empty()) out += ",\"instance\":\"" + json_escape(ev.instance) + "\"";
+    if (ev.span) out += ",\"dur_ns\":" + std::to_string(ev.duration.count());
+    out += ",\"args\":{" + ev.args + "}}\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  return write_file(path, to_chrome_json());
+}
+
+bool Tracer::write_jsonl(const std::string& path) const {
+  return write_file(path, to_jsonl());
+}
+
+}  // namespace wav::obs

@@ -15,6 +15,7 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
       heartbeat_timer_(ip.sim(), config_.heartbeat_interval,
                        [this] {
                          if (registered_) {
+                           c_heartbeats_sent_->inc();
                            socket_.send_to(active_rendezvous_,
                                            encode(HeartbeatMsg{self_.host_id}));
                            probe_rendezvous();
@@ -29,6 +30,19 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
   self_.private_endpoint = net::Endpoint{ip.ip_address(), config_.port};
   self_.attributes = config_.attributes;
   self_.nat_type = nat::NatType::kPortRestrictedCone;
+
+  obs::MetricsRegistry& reg = ip_.sim().metrics();
+  c_punches_sent_ = &reg.counter("overlay.punches_sent", self_.name);
+  c_punch_acks_sent_ = &reg.counter("overlay.punch_acks_sent", self_.name);
+  c_pulses_sent_ = &reg.counter("overlay.connect_pulse_sent", self_.name);
+  c_frames_sent_ = &reg.counter("overlay.frames_sent", self_.name);
+  c_frames_received_ = &reg.counter("overlay.frames_received", self_.name);
+  c_links_established_ = &reg.counter("overlay.links_established", self_.name);
+  c_links_lost_ = &reg.counter("overlay.links_lost", self_.name);
+  c_punch_timeouts_ = &reg.counter("overlay.punch_timeouts", self_.name);
+  c_heartbeats_sent_ = &reg.counter("overlay.heartbeats_sent", self_.name);
+  h_punch_latency_ms_ = &reg.histogram(
+      "punch.latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
 
   socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
     on_datagram(from, d);
@@ -94,6 +108,8 @@ void HostAgent::fail_over_rendezvous() {
              active_rendezvous_.to_string(), next.to_string());
   active_rendezvous_ = next;
   ++rendezvous_failovers_;
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "rendezvous.failover",
+                             self_.name, "\"to\":\"" + next.to_string() + "\"");
   silent_probes_ = 0;
   registered_ = false;
   do_register();
@@ -152,6 +168,9 @@ void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
   if (link.candidates.empty()) link.candidates.push_back(peer.private_endpoint);
 
   link.punch_deadline = ip_.sim().now() + config_.punch_timeout;
+  if (!link.punch_timer || !link.punch_timer->running()) {
+    link.punch_started = ip_.sim().now();
+  }
   if (!link.punch_timer) {
     const HostId peer_id = peer.host_id;
     link.punch_timer = std::make_unique<sim::PeriodicTimer>(
@@ -171,13 +190,18 @@ void HostAgent::punch_round(HostId peer) {
   if (ip_.sim().now() >= link.punch_deadline) {
     link.punch_timer->stop();
     auto handler = std::move(link.on_result);
+    const TimePoint started = link.punch_started;
     links_.erase(it);
+    c_punch_timeouts_->inc();
+    ip_.sim().tracer().complete(obs::Category::kPunch, "punch.timeout", started,
+                                self_.name, "\"peer\":" + std::to_string(peer));
     log::debug("agent", "{}: hole punch to {} timed out", self_.name, peer);
     if (handler) handler(false, peer);
     return;
   }
   for (const auto& candidate : link.candidates) {
     ++stats_.punches_sent;
+    c_punches_sent_->inc();
     socket_.send_to(candidate, encode(PunchMsg{self_.host_id, link.nonce}));
   }
 }
@@ -190,6 +214,12 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
   link.established = true;
   if (link.punch_timer) link.punch_timer->stop();
   ++stats_.links_established;
+  c_links_established_->inc();
+  h_punch_latency_ms_->observe(
+      to_milliseconds(ip_.sim().now() - link.punch_started));
+  ip_.sim().tracer().complete(obs::Category::kPunch, "punch.success",
+                              link.punch_started, self_.name,
+                              "\"peer\":" + std::to_string(link.peer));
   if (!pulse_timer_.running()) pulse_timer_.start();
   if (!idle_check_timer_.running()) idle_check_timer_.start();
   log::debug("agent", "{}: direct link to {} via {}", self_.name, link.peer,
@@ -206,6 +236,7 @@ bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
   const auto it = links_.find(peer);
   if (it == links_.end() || !it->second.established) return false;
   ++stats_.frames_sent;
+  c_frames_sent_->inc();
   return socket_.send_encap(it->second.remote, std::move(frame));
 }
 
@@ -237,6 +268,9 @@ void HostAgent::drop_link(HostId peer) {
   links_.erase(it);
   if (was_established) {
     ++stats_.links_lost;
+    c_links_lost_->inc();
+    ip_.sim().tracer().instant(obs::Category::kOverlay, "link.down", self_.name,
+                               "\"peer\":" + std::to_string(peer));
     if (on_link_down_) on_link_down_(peer);
   }
 }
@@ -245,6 +279,7 @@ void HostAgent::pulse_links() {
   for (auto& [peer, link] : links_) {
     if (!link.established) continue;
     ++stats_.pulses_sent;
+    c_pulses_sent_->inc();
     socket_.send_to(link.remote, encode_pulse());
   }
 }
@@ -293,6 +328,7 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       if (link != nullptr) {
         link->last_rx = ip_.sim().now();
         ++stats_.frames_received;
+        c_frames_received_->inc();
         if (on_frame_) on_frame_(link->peer, *encap);
       }
       return;
@@ -305,6 +341,7 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       const auto msg = parse_punch(*dgram.chunk());
       if (!msg) return;
       ++stats_.punch_acks_sent;
+      c_punch_acks_sent_->inc();
       socket_.send_to(from, encode(PunchAckMsg{self_.host_id, msg->nonce}));
       // Traffic from the peer proves the path; adopt it.
       Link& link = links_[msg->from_host];
@@ -312,6 +349,9 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
         link.peer = msg->from_host;
         link.info.host_id = msg->from_host;
         link.info.public_endpoint = from;
+        // Passive side: the punch effectively began when the peer's first
+        // packet arrived, so the span collapses to the handshake itself.
+        link.punch_started = ip_.sim().now();
       }
       establish(link, from);
       return;
@@ -332,6 +372,8 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       silent_probes_ = 0;
       if (!registered_) {
         registered_ = true;
+        ip_.sim().tracer().instant(obs::Category::kOverlay, "agent.registered",
+                                   self_.name);
         heartbeat_timer_.start();
         if (on_registered_) {
           auto handler = std::move(on_registered_);

@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "overlay/messages.hpp"
 #include "stack/udp.hpp"
 #include "stun/stun.hpp"
@@ -121,6 +122,7 @@ class HostAgent {
     net::Endpoint remote{};  // proven working endpoint once established
     bool established{false};
     TimePoint last_rx{};
+    TimePoint punch_started{};  // span anchor for punch success/timeout
     std::uint64_t nonce{0};
     std::vector<net::Endpoint> candidates;
     std::unique_ptr<sim::PeriodicTimer> punch_timer;
@@ -169,6 +171,19 @@ class HostAgent {
   LinkHandler on_link_up_;
   LinkHandler on_link_down_;
   Stats stats_;
+
+  // Cached registry handles (resolved once in the constructor; the frame
+  // and pulse paths only pay a pointer dereference).
+  obs::Counter* c_punches_sent_{nullptr};
+  obs::Counter* c_punch_acks_sent_{nullptr};
+  obs::Counter* c_pulses_sent_{nullptr};
+  obs::Counter* c_frames_sent_{nullptr};
+  obs::Counter* c_frames_received_{nullptr};
+  obs::Counter* c_links_established_{nullptr};
+  obs::Counter* c_links_lost_{nullptr};
+  obs::Counter* c_punch_timeouts_{nullptr};
+  obs::Counter* c_heartbeats_sent_{nullptr};
+  obs::Histogram* h_punch_latency_ms_{nullptr};
 };
 
 }  // namespace wav::overlay

@@ -29,6 +29,14 @@ RendezvousServer::RendezvousServer(stack::IpLayer& ip, Config config)
   can_socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
     if (const auto* chunk = d.chunk()) can_.on_message(from, *chunk);
   });
+  obs::MetricsRegistry& reg = ip_.sim().metrics();
+  const std::string instance = ip_.ip_address().to_string();
+  c_registrations_ = &reg.counter("rendezvous.registrations", instance);
+  c_heartbeats_ = &reg.counter("rendezvous.heartbeats", instance);
+  c_queries_ = &reg.counter("rendezvous.queries", instance);
+  c_connects_brokered_ = &reg.counter("rendezvous.connects_brokered", instance);
+  c_connects_failed_ = &reg.counter("rendezvous.connects_failed", instance);
+  c_hosts_expired_ = &reg.counter("rendezvous.hosts_expired", instance);
   expiry_timer_.start();
 }
 
@@ -77,6 +85,7 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
     case MsgType::kHeartbeat: {
       if (const auto msg = parse_heartbeat(*chunk)) {
         ++stats_.heartbeats;
+        c_heartbeats_->inc();
         const auto it = hosts_.find(msg->host_id);
         if (it != hosts_.end()) {
           it->second.last_seen = ip_.sim().now();
@@ -116,6 +125,7 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
           host_socket_.send_to(it->second.requester_observed, encode(*msg));
           pending_connects_.erase(it);
           ++stats_.connects_brokered;
+          c_connects_brokered_->inc();
         }
       }
       return;
@@ -127,6 +137,7 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
           host_socket_.send_to(it->second.requester_observed, encode(*msg));
           pending_connects_.erase(it);
           ++stats_.connects_failed;
+          c_connects_failed_->inc();
         }
       }
       return;
@@ -140,6 +151,10 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
 
 void RendezvousServer::handle_register(const net::Endpoint& from, const RegisterMsg& msg) {
   ++stats_.registrations;
+  c_registrations_->inc();
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "rendezvous.register",
+                             ip_.ip_address().to_string(),
+                             "\"host\":" + std::to_string(msg.info.host_id));
   // Re-registration: drop the stale CAN record first.
   if (const auto it = hosts_.find(msg.info.host_id); it != hosts_.end()) {
     ByteBuffer old;
@@ -174,6 +189,7 @@ void RendezvousServer::handle_register(const net::Endpoint& from, const Register
 
 void RendezvousServer::handle_query(const net::Endpoint& from, const QueryMsg& msg) {
   ++stats_.queries;
+  c_queries_->inc();
   const can::Point target = attrs_to_point(msg.target);
   const std::uint64_t query_id = msg.query_id;
   const std::uint16_t k = msg.k;
@@ -237,6 +253,7 @@ void RendezvousServer::handle_rv_forward(const net::Endpoint& from,
 
   if (it == hosts_.end()) {
     ++stats_.connects_failed;
+    c_connects_failed_->inc();
     reply_to(encode(ConnectFailMsg{msg.request_id, "unknown host"}));
     return;
   }
@@ -252,6 +269,7 @@ void RendezvousServer::handle_rv_forward(const net::Endpoint& from,
   to_requester.request_id = msg.request_id;
   to_requester.peer = it->second.info;
   ++stats_.connects_brokered;
+  c_connects_brokered_->inc();
   reply_to(encode(to_requester));
 }
 
@@ -263,6 +281,7 @@ void RendezvousServer::expire_stale_hosts() {
       ByteWriter w{blob};
       encode_host_info(w, it->second.info);
       can_.erase(attrs_to_point(it->second.info.attributes), std::move(blob));
+      c_hosts_expired_->inc();
       it = hosts_.erase(it);
     } else {
       ++it;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "can/node.hpp"
+#include "obs/metrics.hpp"
 #include "overlay/messages.hpp"
 #include "stack/udp.hpp"
 
@@ -82,6 +83,13 @@ class RendezvousServer {
   std::unordered_map<std::uint64_t, PendingConnect> pending_connects_;
   sim::PeriodicTimer expiry_timer_;
   Stats stats_;
+
+  obs::Counter* c_registrations_{nullptr};
+  obs::Counter* c_heartbeats_{nullptr};
+  obs::Counter* c_queries_{nullptr};
+  obs::Counter* c_connects_brokered_{nullptr};
+  obs::Counter* c_connects_failed_{nullptr};
+  obs::Counter* c_hosts_expired_{nullptr};
 };
 
 }  // namespace wav::overlay

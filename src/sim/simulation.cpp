@@ -1,12 +1,19 @@
 #include "sim/simulation.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace wav::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      tracer_(std::make_unique<obs::Tracer>([this] { return now_; })) {
+  events_counter_ = &metrics_->counter("sim.events_executed");
+  queue_depth_gauge_ = &metrics_->gauge("sim.queue_depth");
+}
 
 EventId Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
   if (at < now_) at = now_;
@@ -41,7 +48,17 @@ bool Simulation::pop_and_run_next(TimePoint deadline) {
     assert(top.at >= now_ && "event queue must be monotonic");
     now_ = top.at;
     ++executed_;
-    (*top.fn)();
+    events_counter_->inc();
+    queue_depth_gauge_->set(static_cast<double>(queue_.size() - cancelled_.size()));
+    if (profiling_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (*top.fn)();
+      const auto t1 = std::chrono::steady_clock::now();
+      callback_wall_ns_.add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    } else {
+      (*top.fn)();
+    }
     return true;
   }
   return false;

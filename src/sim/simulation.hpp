@@ -15,7 +15,10 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wav::sim {
 
@@ -68,6 +71,22 @@ class Simulation {
     return queue_.size() - cancelled_.size();
   }
 
+  /// Per-simulation observability: every component instrumenting itself
+  /// reaches its registry/tracer through the Simulation it runs on, so
+  /// concurrent simulations (thread-pool benches) never share state.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return *tracer_; }
+
+  /// Wall-clock callback profiling (steady_clock around each event).
+  /// Off by default: the measurements are real-time, so they are kept out
+  /// of the metrics registry to preserve byte-identical exports; read
+  /// them via callback_wall_ns().
+  void set_profiling(bool on) noexcept { profiling_ = on; }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+  [[nodiscard]] const OnlineStats& callback_wall_ns() const noexcept {
+    return callback_wall_ns_;
+  }
+
  private:
   struct Entry {
     TimePoint at;
@@ -92,6 +111,14 @@ class Simulation {
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
   bool stopped_{false};
+
+  // unique_ptr keeps handle addresses stable if Simulation ever moves.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Counter* events_counter_{nullptr};
+  obs::Gauge* queue_depth_gauge_{nullptr};
+  bool profiling_{false};
+  OnlineStats callback_wall_ns_;
 };
 
 /// RAII periodic timer. Starts firing `period` after start() and keeps

@@ -97,6 +97,9 @@ void StunServer::serve(stack::UdpSocket& in_socket, bool on_alternate_ip,
   ++stats_.requests;
   if (req->change_ip) ++stats_.change_ip_requests;
   if (req->change_port) ++stats_.change_port_requests;
+  primary_ip_.sim().metrics()
+      .counter("stun.requests", primary_ip_.ip_address().to_string())
+      .inc();
 
   BindingResponse resp;
   resp.transaction_id = req->transaction_id;
@@ -131,6 +134,7 @@ void StunClient::probe(Callback callback) {
   callback_ = std::move(callback);
   phase_ = Phase::kTest1;
   retries_left_ = config_.max_retries;
+  probe_started_ = udp_.sim().now();
   send_current();
 }
 
@@ -236,6 +240,12 @@ void StunClient::advance(bool got_response, const BindingResponse& resp) {
 void StunClient::finish(ProbeResult result) {
   phase_ = Phase::kDone;
   retry_timer_.cancel();
+  udp_.sim().metrics().counter("stun.probes_finished").inc();
+  udp_.sim().tracer().complete(
+      obs::Category::kStun, "stun.probe", probe_started_,
+      udp_.ip().ip_address().to_string(),
+      "\"reachable\":" + std::string(result.reachable ? "true" : "false") +
+          ",\"nat_type\":\"" + nat::to_string(result.nat_type) + "\"");
   if (callback_) {
     auto cb = std::move(callback_);
     callback_ = nullptr;

@@ -135,6 +135,7 @@ class StunClient {
   Callback callback_;
   net::Endpoint mapped_primary_{};
   bool test2_passed_{false};
+  TimePoint probe_started_{};
 };
 
 }  // namespace wav::stun

@@ -160,6 +160,12 @@ TcpConnection::TcpConnection(TcpLayer& layer, net::Endpoint local, net::Endpoint
       time_wait_timer_(layer.sim(), [this] { become_closed(CloseReason::kNormal); }) {
   cwnd_ = static_cast<std::uint64_t>(config_.mss) * config_.initial_cwnd_segments;
   ssthresh_ = UINT64_MAX;
+  obs::MetricsRegistry& reg = layer_.sim().metrics();
+  c_retransmits_ = &reg.counter("tcp.retransmits");
+  c_fast_retransmits_ = &reg.counter("tcp.fast_retransmits");
+  c_rto_events_ = &reg.counter("tcp.rto_events");
+  h_rtt_ms_ = &reg.histogram(
+      "tcp.rtt_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000});
 }
 
 TcpConnection::~TcpConnection() = default;
@@ -309,6 +315,7 @@ void TcpConnection::send_segment(std::uint64_t offset, std::uint64_t len,
   ++stats_.segments_sent;
   if (is_retransmit) {
     ++stats_.retransmits;
+    c_retransmits_->inc();
   } else if (!rtt_sample_) {
     rtt_sample_ = {offset + len, layer_.sim().now()};
   }
@@ -373,6 +380,7 @@ void TcpConnection::on_rto() {
     return;
   }
   ++stats_.rto_events;
+  c_rto_events_->inc();
   // Reno loss response to a timeout: collapse to one segment and
   // retransmit from the oldest unacknowledged byte (go-back-N).
   const std::uint64_t flight = snd_nxt_data_ - snd_una_data_;
@@ -390,6 +398,7 @@ void TcpConnection::on_rto() {
     fin.fin = true;
     fin.ack = true;
     ++stats_.retransmits;
+    c_retransmits_->inc();
     send_control(fin);
   }
   arm_rto();
@@ -407,6 +416,7 @@ void TcpConnection::update_rtt(Duration sample) {
   }
   rto_ = std::clamp(srtt_ + 4 * rttvar_, cfg.min_rto, cfg.max_rto);
   stats_.smoothed_rtt = srtt_;
+  h_rtt_ms_->observe(to_milliseconds(sample));
 }
 
 // --- TcpConnection: receiving ----------------------------------------------
@@ -569,6 +579,7 @@ void TcpConnection::handle_ack(const net::TcpSegment& seg) {
     in_fast_recovery_ = true;
     recovery_point_ = snd_nxt_data_;
     ++stats_.fast_retransmits;
+    c_fast_retransmits_->inc();
     const std::uint64_t len =
         std::min<std::uint64_t>(mss, (1 + send_store_.end()) - snd_una_data_);
     if (len > 0) send_segment(snd_una_data_, len, true);

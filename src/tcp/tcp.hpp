@@ -200,6 +200,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   TcpStats stats_;
 
+  // Aggregate (instance-less) registry handles shared by all connections
+  // in the owning simulation.
+  obs::Counter* c_retransmits_{nullptr};
+  obs::Counter* c_fast_retransmits_{nullptr};
+  obs::Counter* c_rto_events_{nullptr};
+  obs::Histogram* h_rtt_ms_{nullptr};
+
   DataHandler on_data_;
   EventHandler on_established_;
   EventHandler on_peer_closed_;

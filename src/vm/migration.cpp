@@ -80,6 +80,7 @@ void MigrationTask::start() {
 
 void MigrationTask::send_round(std::uint64_t pages) {
   const std::uint64_t bytes = pages * vm_.config().page_size;
+  round_start_ = sim_.now();
   log::debug("migration", "{}: round {} pushes {} pages", vm_.name(), round_, pages);
   for (auto& chunk : net::frame_message(
            {static_cast<std::uint8_t>(FrameType::kRound), round_, 0},
@@ -98,6 +99,9 @@ void MigrationTask::wait_for_ack(std::uint64_t target_acked, std::function<void(
 }
 
 void MigrationTask::next_round() {
+  // The round that just drained its ack target is complete.
+  sim_.tracer().complete(obs::Category::kMigration, "migration.round", round_start_,
+                         vm_.name(), "\"round\":" + std::to_string(round_));
   ++round_;
   const std::uint64_t dirty = vm_.take_dirty_snapshot();
   const std::uint64_t dirty_bytes = dirty * vm_.config().page_size;
@@ -114,6 +118,8 @@ void MigrationTask::next_round() {
     // snapshot we just took) plus CPU state goes over in one burst.
     vm_.pause();
     pause_time_ = sim_.now();
+    sim_.tracer().instant(obs::Category::kMigration, "migration.pause", vm_.name(),
+                          "\"round\":" + std::to_string(round_));
     const std::uint64_t final_bytes =
         dirty_bytes + config_.cpu_state.bytes;
     log::debug("migration", "{}: stop-and-copy, {} final bytes after {} rounds",
@@ -143,6 +149,12 @@ void MigrationTask::on_receiver_message(const net::FrameHeader& header) {
         vm_.set_cpu_gflops(destination_gflops_);
         vm_.resume();
         result_.downtime = sim_.now() - pause_time_;
+        sim_.tracer().complete(obs::Category::kMigration, "migration.downtime",
+                               pause_time_, vm_.name());
+        sim_.metrics()
+            .histogram("migration.downtime_ms",
+                       {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000})
+            .observe(to_milliseconds(result_.downtime));
         // The unsolicited ARP broadcast that repoints the whole LAN.
         vm_.stack().announce_gratuitous_arp();
         // Tell the source the handover is complete.
@@ -170,6 +182,11 @@ void MigrationTask::finish(bool ok) {
   result_.total_time = sim_.now() - start_time_;
   result_.rounds = round_ + 1;
   result_.bytes_transferred = ByteSize{bytes_queued_};
+  sim_.metrics().counter(ok ? "migration.completed" : "migration.failed").inc();
+  sim_.tracer().complete(obs::Category::kMigration, "migration.total", start_time_,
+                         vm_.name(),
+                         "\"ok\":" + std::string(ok ? "true" : "false") +
+                             ",\"rounds\":" + std::to_string(result_.rounds));
   if (conn_) conn_->close();
   destination_tcp_.close_listener(config_.port);
   if (done_) done_(result_);

@@ -104,6 +104,7 @@ class MigrationTask {
   std::uint64_t bytes_queued_{0};
   TimePoint start_time_{};
   TimePoint pause_time_{};
+  TimePoint round_start_{};
   sim::PeriodicTimer ack_poll_;
   std::uint64_t ack_target_{0};
   std::function<void()> ack_continuation_;

@@ -13,7 +13,13 @@ void BridgePort::inject_to_bridge(const net::EthernetFrame& frame) {
 }
 
 SoftwareBridge::SoftwareBridge(sim::Simulation& sim, Duration fdb_ttl, Duration latency)
-    : sim_(sim), fdb_ttl_(fdb_ttl), latency_(latency) {}
+    : sim_(sim), fdb_ttl_(fdb_ttl), latency_(latency) {
+  obs::MetricsRegistry& reg = sim_.metrics();
+  const std::string inst =
+      "bridge#" + std::to_string(reg.next_instance_id("bridge"));
+  c_forwarded_ = &reg.counter("bridge.frames_forwarded", inst);
+  c_flooded_ = &reg.counter("bridge.frames_flooded", inst);
+}
 
 void SoftwareBridge::attach(BridgePort& port) {
   if (port.bridge_ == this) return;
@@ -73,12 +79,12 @@ void SoftwareBridge::forward_now(BridgePort* from, const net::EthernetFrame& fra
   if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
     const auto it = fdb_.find(frame.dst);
     if (it != fdb_.end() && now - it->second.learned <= fdb_ttl_) {
-      ++stats_.forwarded;
+      c_forwarded_->inc();
       deliver_to(it->second.port);
       return;
     }
   }
-  ++stats_.flooded;
+  c_flooded_->inc();
   // Iterate over a copy: delivery may re-enter and mutate the port list.
   const std::vector<BridgePort*> snapshot = ports_;
   for (BridgePort* port : snapshot) deliver_to(port);

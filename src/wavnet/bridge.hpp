@@ -64,7 +64,10 @@ class SoftwareBridge {
     std::uint64_t forwarded{0};
     std::uint64_t flooded{0};
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot view over the registry-owned counters.
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{c_forwarded_->value(), c_flooded_->value()};
+  }
 
  private:
   struct FdbEntry {
@@ -80,7 +83,8 @@ class SoftwareBridge {
   std::vector<BridgePort*> ports_;
   std::vector<BridgePort*> monitors_;
   std::unordered_map<net::MacAddress, FdbEntry> fdb_;
-  Stats stats_;
+  obs::Counter* c_forwarded_{nullptr};
+  obs::Counter* c_flooded_{nullptr};
 };
 
 /// A virtual NIC: the NetDevice a protocol stack binds to, implemented as

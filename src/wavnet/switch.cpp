@@ -15,6 +15,28 @@ WavSwitch::WavSwitch(overlay::HostAgent& agent, Config config)
     on_wan_frame(from, encap);
   });
   agent_.on_link_down([this](overlay::HostId peer) { on_link_down(peer); });
+
+  obs::MetricsRegistry& reg = agent_.sim().metrics();
+  const std::string& inst = agent_.self_info().name;
+  c_frames_tunneled_ = &reg.counter("switch.frames_tunneled", inst);
+  c_frames_flooded_ = &reg.counter("switch.frames_flooded", inst);
+  c_frames_received_ = &reg.counter("switch.frames_received", inst);
+  c_frames_dropped_no_peer_ = &reg.counter("switch.frames_dropped_no_peer", inst);
+  c_frames_dropped_backlog_ = &reg.counter("switch.frames_dropped_backlog", inst);
+  c_bytes_tunneled_ = &reg.counter("switch.bytes_tunneled", inst);
+  c_bytes_received_ = &reg.counter("switch.bytes_received", inst);
+}
+
+WavSwitch::Stats WavSwitch::stats() const noexcept {
+  Stats s;
+  s.frames_tunneled = c_frames_tunneled_->value();
+  s.frames_flooded = c_frames_flooded_->value();
+  s.frames_received = c_frames_received_->value();
+  s.frames_dropped_no_peer = c_frames_dropped_no_peer_->value();
+  s.frames_dropped_backlog = c_frames_dropped_backlog_->value();
+  s.bytes_tunneled = c_bytes_tunneled_->value();
+  s.bytes_received = c_bytes_received_->value();
+  return s;
 }
 
 void WavSwitch::on_link_down(overlay::HostId peer) {
@@ -42,10 +64,10 @@ void WavSwitch::deliver(const net::EthernetFrame& frame) {
     }
     // Unknown unicast: replicate to all peers (they will learn/deliver).
   }
-  ++stats_.frames_flooded;
+  c_frames_flooded_->inc();
   const auto peers = agent_.connected_peers();
   if (peers.empty()) {
-    ++stats_.frames_dropped_no_peer;
+    c_frames_dropped_no_peer_->inc();
     return;
   }
   for (const overlay::HostId peer : peers) tunnel_to(peer, frame);
@@ -60,28 +82,30 @@ void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame)
     encap.header_bytes = config_.encap_header_bytes;
     encap.frame = shared;
     if (agent_.send_frame(peer, std::move(encap))) {
-      ++stats_.frames_tunneled;
-      stats_.bytes_tunneled += size;
+      c_frames_tunneled_->inc();
+      c_bytes_tunneled_->inc(size);
     } else {
-      ++stats_.frames_dropped_no_peer;
+      c_frames_dropped_no_peer_->inc();
     }
   });
-  if (!accepted) ++stats_.frames_dropped_backlog;
+  if (!accepted) c_frames_dropped_backlog_->inc();
 }
 
 void WavSwitch::on_wan_frame(overlay::HostId from, const net::EncapFrame& encap) {
   if (!encap.frame) return;
   const auto shared = encap.frame;
+  const std::uint64_t wire_bytes = shared->wire_size() + encap.header_bytes;
   const bool accepted =
-      ingress_.submit(shared->wire_size(), [this, from, shared] {
-        ++stats_.frames_received;
+      ingress_.submit(shared->wire_size(), [this, from, shared, wire_bytes] {
+        c_frames_received_->inc();
+        c_bytes_received_->inc(wire_bytes);
         const net::EthernetFrame& frame = *shared;
         if (!frame.src.is_multicast() && !frame.src.is_zero()) {
           remote_fdb_[frame.src] = RemoteMac{from, agent_.sim().now()};
         }
         inject_to_bridge(frame);
       });
-  if (!accepted) ++stats_.frames_dropped_backlog;
+  if (!accepted) c_frames_dropped_backlog_->inc();
 }
 
 }  // namespace wav::wavnet

@@ -43,8 +43,11 @@ class WavSwitch : public BridgePort {
     std::uint64_t frames_dropped_no_peer{0};
     std::uint64_t frames_dropped_backlog{0};
     std::uint64_t bytes_tunneled{0};
+    std::uint64_t bytes_received{0};
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot view assembled from the simulation's metrics registry (the
+  /// registry owns the live counters; see docs/OBSERVABILITY.md).
+  [[nodiscard]] Stats stats() const noexcept;
   [[nodiscard]] std::size_t learned_macs() const noexcept { return remote_fdb_.size(); }
 
  private:
@@ -62,7 +65,14 @@ class WavSwitch : public BridgePort {
     TimePoint learned{};
   };
   std::unordered_map<net::MacAddress, RemoteMac> remote_fdb_;
-  Stats stats_;
+
+  obs::Counter* c_frames_tunneled_{nullptr};
+  obs::Counter* c_frames_flooded_{nullptr};
+  obs::Counter* c_frames_received_{nullptr};
+  obs::Counter* c_frames_dropped_no_peer_{nullptr};
+  obs::Counter* c_frames_dropped_backlog_{nullptr};
+  obs::Counter* c_bytes_tunneled_{nullptr};
+  obs::Counter* c_bytes_received_{nullptr};
 };
 
 }  // namespace wav::wavnet

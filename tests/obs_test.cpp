@@ -1,0 +1,337 @@
+// Unit tests of the observability subsystem: metrics-registry semantics
+// (get-or-create identity, instance discrimination, cross-instance
+// totals, histogram bucketing), tracer recording/filtering/ring
+// retention, exporter JSON validity (checked with a minimal JSON parser,
+// no external dependency), and byte-identical determinism of exports.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wav {
+namespace {
+
+using obs::Category;
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+// --- minimal JSON validator -------------------------------------------------
+// Recursive-descent parser that accepts exactly the JSON grammar; the
+// exporters must produce output it consumes fully. It validates shape
+// only (no DOM) — enough to guarantee Perfetto/`json.load` can read it.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w{word};
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(Metrics, GetOrCreateReturnsStableIdentity) {
+  MetricsRegistry reg;
+  auto& c1 = reg.counter("x.events");
+  c1.inc();
+  auto& c2 = reg.counter("x.events");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 1u);
+
+  auto& g = reg.gauge("x.depth");
+  g.set(3.0);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("x.depth").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("x.depth").max(), 3.0);
+}
+
+TEST(Metrics, InstancesAreDistinctAndTotalled) {
+  MetricsRegistry reg;
+  reg.counter("switch.frames", "a1").inc(3);
+  reg.counter("switch.frames", "b1").inc(4);
+  reg.counter("switch.other", "a1").inc(100);  // different name: excluded
+
+  EXPECT_EQ(reg.counter("switch.frames", "a1").value(), 3u);
+  EXPECT_EQ(reg.counter("switch.frames", "b1").value(), 4u);
+  EXPECT_EQ(reg.counter_total("switch.frames"), 7u);
+  EXPECT_EQ(reg.find_counter("switch.frames", "c1"), nullptr);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+}
+
+TEST(Metrics, HistogramBucketsUseInclusiveUpperBounds) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat_ms", {10, 1, 5});  // unsorted on purpose
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1, 5, 10}));
+  ASSERT_EQ(h.buckets().size(), 4u);  // + implicit inf
+
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive)
+  h.observe(1.5);   // <= 5
+  h.observe(10.0);  // <= 10
+  h.observe(99.0);  // inf
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.summary().min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.summary().max(), 99.0);
+
+  // Re-registration ignores the (possibly different) bounds argument.
+  auto& again = reg.histogram("lat_ms", {42});
+  EXPECT_EQ(&again, &h);
+}
+
+TEST(Metrics, InstanceIdsAreSequentialPerKind) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.next_instance_id("bridge"), 0u);
+  EXPECT_EQ(reg.next_instance_id("bridge"), 1u);
+  EXPECT_EQ(reg.next_instance_id("switch"), 0u);
+  EXPECT_EQ(reg.next_instance_id("bridge"), 2u);
+}
+
+TEST(Metrics, JsonExportIsValidAndDeterministic) {
+  const auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("b.count", "i2").inc(7);
+    reg.counter("b.count", "i1").inc(5);
+    reg.counter("a.count").inc(1);
+    reg.gauge("q.depth").set(4.5);
+    reg.histogram("h.lat", {1, 2, 4}).observe(3.0);
+    return reg.to_json();
+  };
+  const std::string json = build();
+  EXPECT_TRUE(JsonChecker{json}.valid()) << json;
+  // Ordered by (name, instance): a.count before b.count/i1 before b.count/i2.
+  EXPECT_LT(json.find("a.count"), json.find("\"i1\""));
+  EXPECT_LT(json.find("\"i1\""), json.find("\"i2\""));
+  // Identical construction => byte-identical export.
+  EXPECT_EQ(json, build());
+}
+
+TEST(Metrics, JsonHelpersHandleEdgeCases) {
+  EXPECT_TRUE(JsonChecker{obs::json_double(1e308)}.valid());
+  EXPECT_TRUE(JsonChecker{obs::json_double(-0.125)}.valid());
+  // Non-finite values must still render as valid JSON numbers.
+  EXPECT_TRUE(
+      JsonChecker{obs::json_double(std::numeric_limits<double>::infinity())}.valid());
+  EXPECT_TRUE(
+      JsonChecker{obs::json_double(std::numeric_limits<double>::quiet_NaN())}.valid());
+  const std::string escaped = "\"" + obs::json_escape("a\"b\\c\nd\te") + "\"";
+  EXPECT_TRUE(JsonChecker{escaped}.valid()) << escaped;
+}
+
+// --- tracer -----------------------------------------------------------------
+
+/// A tracer driven by a hand-cranked clock (no Simulation needed).
+struct TracerFixture {
+  TimePoint now{};
+  Tracer tracer{[this] { return now; }};
+};
+
+TEST(Trace, RecordsInstantsAndSpansWithSimTimestamps) {
+  TracerFixture fx;
+  fx.now = TimePoint{} + milliseconds(10);
+  fx.tracer.instant(Category::kNat, "nat.binding_created", "gw0", "\"port\":4000");
+  const TimePoint start = fx.now;
+  fx.now += milliseconds(25);
+  fx.tracer.complete(Category::kPunch, "punch.success", start, "a1", "\"peer\":2");
+
+  const auto events = fx.tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].span);
+  EXPECT_EQ(events[0].start, TimePoint{} + milliseconds(10));
+  EXPECT_EQ(events[0].name, "nat.binding_created");
+  EXPECT_TRUE(events[1].span);
+  EXPECT_EQ(events[1].start, start);
+  EXPECT_EQ(events[1].duration, milliseconds(25));
+  EXPECT_EQ(events[1].instance, "a1");
+}
+
+TEST(Trace, CategoryFilterAndMasterSwitch) {
+  TracerFixture fx;
+  fx.tracer.enable_only({Category::kPunch});
+  fx.tracer.instant(Category::kNat, "dropped", "");
+  fx.tracer.instant(Category::kPunch, "kept", "");
+  ASSERT_EQ(fx.tracer.events().size(), 1u);
+  EXPECT_EQ(fx.tracer.events()[0].name, "kept");
+
+  fx.tracer.set_enabled(false);
+  fx.tracer.instant(Category::kPunch, "also dropped", "");
+  EXPECT_EQ(fx.tracer.events().size(), 1u);
+  EXPECT_FALSE(fx.tracer.category_enabled(Category::kPunch));
+}
+
+TEST(Trace, RingOverflowKeepsNewestCountsDropped) {
+  TimePoint now{};
+  Tracer tracer{[&] { return now; }, Tracer::Config{.capacity = 4}};
+  for (int i = 0; i < 10; ++i) {
+    now += milliseconds(1);
+    tracer.instant(Category::kSim, "e" + std::to_string(i), "");
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: e6..e9.
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, ChromeJsonIsValidAndCarriesEvents) {
+  TracerFixture fx;
+  fx.now = TimePoint{} + seconds(1);
+  fx.tracer.instant(Category::kCan, "can.zone_split", "can#1", "\"joiner\":7");
+  const TimePoint start = fx.now;
+  fx.now += milliseconds(3);
+  fx.tracer.complete(Category::kMigration, "migration.round", start, "vm \"x\"");
+
+  const std::string chrome = fx.tracer.to_chrome_json();
+  EXPECT_TRUE(JsonChecker{chrome}.valid()) << chrome;
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  // ts is microseconds of simulated time: the instant sits at 1 s = 1e6 us.
+  EXPECT_NE(chrome.find("1000000"), std::string::npos);
+
+  const std::string jsonl = fx.tracer.to_jsonl();
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    EXPECT_TRUE(JsonChecker{jsonl.substr(pos, eol - pos)}.valid());
+    pos = eol + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(Trace, ExportsAreByteIdenticalForIdenticalRuns) {
+  const auto run = [] {
+    TimePoint now{};
+    Tracer tracer{[&] { return now; }};
+    for (int i = 0; i < 50; ++i) {
+      now += microseconds(137 * (i + 1));
+      const TimePoint start = now;
+      now += microseconds(41);
+      if (i % 3 == 0) {
+        tracer.instant(Category::kSwitch, "switch.flood", "s" + std::to_string(i % 4));
+      } else {
+        tracer.complete(Category::kTcp, "tcp.rtt", start, "conn",
+                        "\"i\":" + std::to_string(i));
+      }
+    }
+    return std::pair{tracer.to_chrome_json(), tracer.to_jsonl()};
+  };
+  const auto [chrome_a, jsonl_a] = run();
+  const auto [chrome_b, jsonl_b] = run();
+  EXPECT_EQ(chrome_a, chrome_b);
+  EXPECT_EQ(jsonl_a, jsonl_b);
+}
+
+}  // namespace
+}  // namespace wav
