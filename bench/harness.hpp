@@ -95,6 +95,11 @@ class World {
   [[nodiscard]] Deployed& host(const std::string& name);
   [[nodiscard]] std::vector<std::string> host_names() const;
   [[nodiscard]] ipop::BindingTable& bindings() noexcept { return bindings_; }
+  /// The deployed rendezvous server (WAVNet plane only; null otherwise).
+  /// Chaos experiments crash/restart it and verify re-registration.
+  [[nodiscard]] overlay::RendezvousServer* rendezvous() noexcept {
+    return rendezvous_.get();
+  }
 
   /// Sets the (site) access rate for the named host's site (Fig 7 sweep).
   void set_site_rate(const std::string& site, BitRate rate);

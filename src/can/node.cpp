@@ -88,13 +88,32 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
       hello_timer_(sim, config.hello_interval, [this] {
         prune_expired_items();
         announce_to_neighbors();
-        // Drop neighbors that have gone silent for several periods.
+        // Drop neighbors that have gone silent for several periods. A
+        // crashed node never sends a ZoneTakeover, so its zone would
+        // otherwise stay orphaned forever — absorb any silent neighbor's
+        // zone that merges with ours (ungraceful takeover).
         const TimePoint now = sim_.now();
+        std::vector<NeighborInfo> dead;
         for (auto it = neighbors_.begin(); it != neighbors_.end();) {
           if (now - it->second.last_seen > config_.hello_interval * 3) {
+            dead.push_back(it->second);
             it = neighbors_.erase(it);
           } else {
             ++it;
+          }
+        }
+        if (config_.liveness_takeover && !dead.empty()) {
+          bool grew = false;
+          for (const auto& info : dead) {
+            if (zone_.merged_with(info.zone) &&
+                wins_takeover_election(info, dead)) {
+              take_over_zone(info);
+              grew = true;
+            }
+          }
+          if (grew) {
+            announce_to_neighbors();
+            prune_non_adjacent();
           }
         }
       }) {
@@ -106,6 +125,8 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
   c_routed_delivered_ = &reg.counter("can.routed_delivered", inst);
   c_routed_dead_end_ = &reg.counter("can.routed_dead_end", inst);
   c_zone_splits_ = &reg.counter("can.zone_splits", inst);
+  c_zone_takeovers_ = &reg.counter("can.zone_takeovers", inst);
+  c_queries_timed_out_ = &reg.counter("can.queries_timed_out", inst);
   h_query_hops_ = &reg.histogram("can.query_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48});
   h_delivery_hops_ = &reg.histogram("can.delivery_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48});
 }
@@ -113,7 +134,79 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
 void CanNode::bootstrap() {
   zone_ = Zone::whole(config_.dims);
   joined_ = true;
+  down_ = false;
   hello_timer_.start();
+}
+
+void CanNode::crash() {
+  if (down_) return;
+  down_ = true;
+  joined_ = false;
+  hello_timer_.stop();
+  drop_pending_state();
+  neighbors_.clear();
+  items_.clear();
+  sim_.tracer().instant(obs::Category::kChaos, "can.crash",
+                        "can#" + std::to_string(id_));
+}
+
+void CanNode::restart() {
+  if (!down_) return;
+  down_ = false;
+  sim_.tracer().instant(obs::Category::kChaos, "can.restart",
+                        "can#" + std::to_string(id_));
+}
+
+void CanNode::drop_pending_state() {
+  // Move the maps out first: a callback may issue a fresh query, which
+  // would otherwise mutate the map mid-iteration.
+  auto queries = std::move(pending_queries_);
+  pending_queries_.clear();
+  for (auto& [qid, pending] : queries) {
+    sim_.cancel(pending.deadline);
+    pending.callback({});
+  }
+  auto aggs = std::move(aggregations_);
+  aggregations_.clear();
+  for (auto& [agg_id, agg] : aggs) sim_.cancel(agg.deadline);
+}
+
+bool CanNode::wins_takeover_election(const NeighborInfo& dead_info,
+                                     const std::vector<NeighborInfo>& dead) const {
+  // Every survivor around the victim holds the victim's last gossiped
+  // neighbor list, so each computes the same candidate set — the
+  // mergeable, believed-alive peers plus itself — and the smallest id
+  // claims. Without this, two split-siblings of the victim (which need
+  // not know each other) would both merge and overlap the space.
+  NodeId winner = id_;
+  for (const NeighborLink& peer : dead_info.peers) {
+    if (peer.id == id_ || peer.id == dead_info.id || peer.id >= winner) continue;
+    const bool also_dead =
+        std::any_of(dead.begin(), dead.end(),
+                    [&](const NeighborInfo& d) { return d.id == peer.id; });
+    if (also_dead) continue;
+    if (peer.zone.merged_with(dead_info.zone)) winner = peer.id;
+  }
+  return winner == id_;
+}
+
+void CanNode::take_over_zone(const NeighborInfo& dead) {
+  const auto merged = zone_.merged_with(dead.zone);
+  if (!merged) return;
+  zone_ = *merged;
+  ++stats_.zone_takeovers;
+  c_zone_takeovers_->inc();
+  sim_.tracer().instant(obs::Category::kChaos, "can.zone_takeover",
+                        "can#" + std::to_string(id_),
+                        "\"dead\":" + std::to_string(dead.id));
+  log::debug("can", "node {} absorbed zone of dead neighbor {}", id_, dead.id);
+  // Inherit the victim's gossiped neighbors that abut the grown zone:
+  // nodes adjacent only to the absorbed territory must learn the new
+  // owner or greedy routes into it would dead-end at the old frontier.
+  for (const NeighborLink& peer : dead.peers) {
+    if (peer.id == id_ || peer.id == dead.id) continue;
+    refresh_neighbor(peer.id, peer.endpoint, peer.zone);
+  }
 }
 
 void CanNode::join(const net::Endpoint& seed) {
@@ -165,6 +258,7 @@ bool CanNode::route(const Point& target, const net::Chunk& msg, std::uint8_t hop
 }
 
 void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
+  if (down_) return;  // a crashed node hears nothing
   ++stats_.messages_received;
   c_messages_received_->inc();
   if (msg.real.size() < 2) return;
@@ -251,7 +345,7 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
         const auto nzone = parse_zone(r);
         if (!nid || !ep || !nzone) return;
         if (zone_.is_neighbor(*nzone)) {
-          neighbors_[*nid] = NeighborInfo{*nid, *ep, *nzone, sim_.now()};
+          neighbors_[*nid] = NeighborInfo{*nid, *ep, *nzone, sim_.now(), {}};
         }
       }
       auto items = parse_items(r, sim_.now());
@@ -270,7 +364,17 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       const auto ep = parse_endpoint(r);
       const auto nzone = parse_zone(r);
       if (!nid || !ep || !nzone || *nid == id_) return;
-      refresh_neighbor(*nid, *ep, *nzone);
+      std::vector<NeighborLink> peers;
+      if (const auto count = r.u16()) {
+        for (std::uint16_t i = 0; i < *count; ++i) {
+          const auto pid = r.u64();
+          const auto pep = parse_endpoint(r);
+          const auto pzone = parse_zone(r);
+          if (!pid || !pep || !pzone) break;
+          peers.push_back(NeighborLink{*pid, *pep, *pzone});
+        }
+      }
+      refresh_neighbor(*nid, *ep, *nzone, std::move(peers));
       return;
     }
     case MsgType::kNeighborBye: {
@@ -315,6 +419,7 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       if (it == pending_queries_.end()) return;
       auto items = parse_items(r, sim_.now());
       auto callback = std::move(it->second.callback);
+      sim_.cancel(it->second.deadline);
       pending_queries_.erase(it);
       callback(items ? std::move(*items) : std::vector<Item>{});
       return;
@@ -347,7 +452,7 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
           const auto nzone = parse_zone(r);
           if (!nid || !ep || !nzone) break;
           if (*nid != id_ && zone_.is_neighbor(*nzone) && !neighbors_.contains(*nid)) {
-            neighbors_[*nid] = NeighborInfo{*nid, *ep, *nzone, sim_.now()};
+            neighbors_[*nid] = NeighborInfo{*nid, *ep, *nzone, sim_.now(), {}};
           }
         }
       }
@@ -408,7 +513,7 @@ void CanNode::handle_join_request(const net::Chunk& msg) {
   encode_items(w, transferred, sim_.now());
 
   zone_ = my_zone;
-  neighbors_[*joiner_id] = NeighborInfo{*joiner_id, *joiner_ep, joiner_zone, sim_.now()};
+  neighbors_[*joiner_id] = NeighborInfo{*joiner_id, *joiner_ep, joiner_zone, sim_.now(), {}};
   // Announce the shrunken zone to the *old* neighbor set first so nodes
   // that are no longer adjacent drop us; then prune them locally.
   announce_to_neighbors();
@@ -572,7 +677,11 @@ void CanNode::erase(const Point& point, ByteBuffer payload_equals) {
 
 void CanNode::query(const Point& point, std::size_t k, QueryCallback callback) {
   const std::uint64_t qid = next_query_id_++;
-  pending_queries_[qid] = PendingQuery{std::move(callback)};
+  // A reply can die anywhere (crashed owner, routing dead end mid-path,
+  // lost datagram); the deadline guarantees the callback always fires.
+  const sim::EventId deadline = sim_.schedule_after(
+      config_.query_timeout * 4, [this, qid] { expire_query(qid); });
+  pending_queries_[qid] = PendingQuery{std::move(callback), deadline};
 
   ByteBuffer out;
   ByteWriter w{out};
@@ -590,10 +699,21 @@ void CanNode::query(const Point& point, std::size_t k, QueryCallback callback) {
     const auto it = pending_queries_.find(qid);
     if (it != pending_queries_.end()) {
       auto cb = std::move(it->second.callback);
+      sim_.cancel(it->second.deadline);
       pending_queries_.erase(it);
       cb({});
     }
   }
+}
+
+void CanNode::expire_query(std::uint64_t query_id) {
+  const auto it = pending_queries_.find(query_id);
+  if (it == pending_queries_.end()) return;
+  auto callback = std::move(it->second.callback);
+  pending_queries_.erase(it);
+  ++stats_.queries_timed_out;
+  c_queries_timed_out_->inc();
+  callback({});
 }
 
 bool CanNode::leave() {
@@ -639,21 +759,38 @@ bool CanNode::leave() {
 }
 
 void CanNode::announce_to_neighbors() {
+  ByteBuffer hello;
+  ByteWriter w{hello};
+  w.u8(static_cast<std::uint8_t>(MsgType::kNeighborHello));
+  w.u8(0);
+  w.u64(id_);
+  encode_endpoint(w, self_);
+  encode_zone(w, zone_);
+  // Gossip our neighbor set (CAN-paper style): receivers cache it so
+  // that if we die silently they can elect a unique takeover claimant
+  // and introduce the winner to our other neighbors.
+  w.u16(static_cast<std::uint16_t>(neighbors_.size()));
   for (const auto& [nid, info] : neighbors_) {
-    ByteBuffer out;
-    ByteWriter w{out};
-    w.u8(static_cast<std::uint8_t>(MsgType::kNeighborHello));
-    w.u8(0);
-    w.u64(id_);
-    encode_endpoint(w, self_);
-    encode_zone(w, zone_);
-    send(info.endpoint, net::Chunk::from_bytes(std::move(out)));
+    w.u64(nid);
+    encode_endpoint(w, info.endpoint);
+    encode_zone(w, info.zone);
+  }
+  for (const auto& [nid, info] : neighbors_) {
+    send(info.endpoint, net::Chunk::from_bytes(ByteBuffer{hello}));
   }
 }
 
-void CanNode::refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone) {
+void CanNode::refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone,
+                               std::vector<NeighborLink> peers) {
   if (zone_.is_neighbor(zone)) {
-    neighbors_[nid] = NeighborInfo{nid, ep, zone, sim_.now()};
+    if (peers.empty()) {
+      // Gossip rides only on hellos; a gossip-less refresh (join,
+      // takeover inheritance) must not wipe the cached list.
+      if (const auto it = neighbors_.find(nid); it != neighbors_.end()) {
+        peers = std::move(it->second.peers);
+      }
+    }
+    neighbors_[nid] = NeighborInfo{nid, ep, zone, sim_.now(), std::move(peers)};
   } else {
     neighbors_.erase(nid);
   }

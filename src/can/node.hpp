@@ -24,11 +24,23 @@ namespace wav::can {
 
 using NodeId = std::uint64_t;
 
+/// One entry of a neighbor's gossiped neighbor set.
+struct NeighborLink {
+  NodeId id{0};
+  net::Endpoint endpoint{};
+  Zone zone;
+};
+
 struct NeighborInfo {
   NodeId id{0};
   net::Endpoint endpoint{};
   Zone zone;
   TimePoint last_seen{};
+  /// The neighbor's own neighbor set as of its last hello (the CAN
+  /// paper's neighbor-list gossip). When a node dies silently, every
+  /// survivor around it holds the same copy of this list, so they can
+  /// elect a unique takeover claimant without talking to each other.
+  std::vector<NeighborLink> peers;
 };
 
 struct Item {
@@ -47,6 +59,8 @@ struct CanStats {
   std::uint64_t routed_delivered{0};
   std::uint64_t routed_dead_end{0};
   std::uint64_t total_delivery_hops{0};
+  std::uint64_t zone_takeovers{0};   // dead-neighbor zones absorbed via liveness
+  std::uint64_t queries_timed_out{0};  // origin-side queries answered empty
 };
 
 class CanNode {
@@ -62,6 +76,13 @@ class CanNode {
     Duration hello_interval{seconds(10)};
     Duration query_timeout{milliseconds(800)};
     std::size_t neighbor_expansion{1};  // extra neighbor hop for short queries
+    // When a neighbor goes silent past the liveness window, absorb its
+    // zone if it merges with ours (ungraceful takeover). The dead node's
+    // items are lost — TTL'd re-stores repopulate them — but the
+    // coordinate space stays fully covered so routing keeps working.
+    // Several survivors may hold mergeable zones; the gossiped neighbor
+    // lists elect a unique claimant so zones never overlap.
+    bool liveness_takeover{true};
   };
 
   CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn send,
@@ -104,6 +125,20 @@ class CanNode {
   /// reassignment is out of scope).
   bool leave();
 
+  /// Ungraceful death: no ZoneTakeover message, no byes — the node just
+  /// stops. Neighbors detect the silence via hello-liveness and absorb
+  /// the orphaned zone (see Config::liveness_takeover). Pending state is
+  /// discarded; origin-side query callbacks fire empty first.
+  void crash();
+  /// Clears the crashed flag; the caller re-bootstraps or re-joins.
+  void restart();
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+  /// Origin-side queries still awaiting a reply (leak detector).
+  [[nodiscard]] std::size_t pending_query_count() const noexcept {
+    return pending_queries_.size();
+  }
+
   /// Feeds a received control message into the node.
   void on_message(const net::Endpoint& from, const net::Chunk& msg);
 
@@ -126,6 +161,7 @@ class CanNode {
 
   struct PendingQuery {
     QueryCallback callback;
+    sim::EventId deadline{};
   };
 
   /// Aggregation state while the owner waits for neighbor probe replies.
@@ -149,7 +185,16 @@ class CanNode {
   void finish_aggregation(std::uint64_t agg_id);
   void announce_to_neighbors();
   void prune_expired_items();
-  void refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone);
+  void expire_query(std::uint64_t query_id);
+  void drop_pending_state();
+  void take_over_zone(const NeighborInfo& dead);
+  /// True when this node wins the deterministic takeover election for
+  /// `dead_info`'s zone (smallest id among the mergeable candidates in
+  /// the victim's last gossiped neighbor list).
+  [[nodiscard]] bool wins_takeover_election(
+      const NeighborInfo& dead_info, const std::vector<NeighborInfo>& dead) const;
+  void refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone,
+                        std::vector<NeighborLink> peers = {});
   void prune_non_adjacent();
   void add_items_sorted_by_distance(const Point& p, std::vector<Item>& out,
                                     std::size_t k) const;
@@ -161,6 +206,7 @@ class CanNode {
   Config config_;
 
   bool joined_{false};
+  bool down_{false};
   Zone zone_;
   std::map<NodeId, NeighborInfo> neighbors_;
   std::vector<Item> items_;
@@ -179,6 +225,8 @@ class CanNode {
   obs::Counter* c_routed_delivered_{nullptr};
   obs::Counter* c_routed_dead_end_{nullptr};
   obs::Counter* c_zone_splits_{nullptr};
+  obs::Counter* c_zone_takeovers_{nullptr};
+  obs::Counter* c_queries_timed_out_{nullptr};
   obs::Histogram* h_query_hops_{nullptr};     // per-overlay (no instance)
   obs::Histogram* h_delivery_hops_{nullptr};  // all routed deliveries
 };

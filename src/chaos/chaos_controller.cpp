@@ -1,0 +1,166 @@
+#include "chaos/chaos_controller.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace wav::chaos {
+
+ChaosController::ChaosController(sim::Simulation& sim) : sim_(sim) {
+  c_faults_injected_ = &sim_.metrics().counter("chaos.faults_injected");
+}
+
+void ChaosController::add_nat(std::string name, nat::NatGateway& gateway) {
+  nats_[std::move(name)] = &gateway;
+}
+
+void ChaosController::add_rendezvous(std::string name,
+                                     overlay::RendezvousServer& server) {
+  rendezvous_[std::move(name)] = RendezvousTarget{&server, false, {}};
+}
+
+void ChaosController::add_rendezvous(std::string name,
+                                     overlay::RendezvousServer& server,
+                                     net::Endpoint rejoin_seed) {
+  rendezvous_[std::move(name)] = RendezvousTarget{&server, true, rejoin_seed};
+}
+
+void ChaosController::add_can(std::string name, can::CanNode& node) {
+  can_nodes_[std::move(name)] = &node;
+}
+
+void ChaosController::add_host_links(std::string name,
+                                     std::vector<fabric::Link*> links) {
+  host_links_[std::move(name)] = std::move(links);
+}
+
+void ChaosController::schedule(const FaultPlan& plan) {
+  const TimePoint now = sim_.now();
+  for (const FaultEvent& ev : plan.sorted()) {
+    if (ev.at < now) {
+      throw std::invalid_argument("fault event scheduled in the past: " +
+                                  std::string(to_string(ev.kind)));
+    }
+    sim_.schedule_at(ev.at, [this, ev] { execute(ev); });
+  }
+}
+
+const std::vector<fabric::Link*>& ChaosController::links_of(const std::string& name) {
+  if (const auto it = host_links_.find(name); it != host_links_.end()) {
+    return it->second;
+  }
+  if (wan_ == nullptr) {
+    throw std::invalid_argument("no WAN registered for link fault on " + name);
+  }
+  return wan_->access_links(name);
+}
+
+void ChaosController::set_links(const std::string& name, bool down) {
+  for (fabric::Link* link : links_of(name)) {
+    if (down) {
+      link->set_down();
+    } else {
+      link->set_up();
+    }
+  }
+}
+
+void ChaosController::trace(const FaultEvent& ev) {
+  ++faults_injected_;
+  c_faults_injected_->inc();
+  std::string args;
+  if (!ev.target.empty()) args = "\"target\":\"" + ev.target + "\"";
+  sim_.tracer().instant(obs::Category::kChaos,
+                        std::string("fault.") + to_string(ev.kind), "chaos",
+                        std::move(args));
+  log::debug("chaos", "t={} inject {} target={}", to_string(sim_.now()),
+             to_string(ev.kind), ev.target);
+}
+
+void ChaosController::execute(const FaultEvent& ev) {
+  trace(ev);
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kHostCrash:
+      set_links(ev.target, true);
+      return;
+    case FaultKind::kLinkUp:
+    case FaultKind::kHostRestart:
+      set_links(ev.target, false);
+      return;
+    case FaultKind::kLinkFlap: {
+      // One cycle = down for ~period/2, then up for ~period/2. Each half
+      // gets a ±10% draw from the simulation RNG: flaps de-phase from the
+      // protocol's own timers, yet the whole storm stays seed-exact.
+      Duration offset = kZeroDuration;
+      const auto jitter = [this](Duration d) {
+        return seconds_f(to_seconds(d) * (0.9 + 0.2 * sim_.rng().uniform()));
+      };
+      const std::string target = ev.target;
+      for (std::uint32_t i = 0; i < ev.cycles; ++i) {
+        sim_.schedule_after(offset, [this, target] { set_links(target, true); });
+        offset += jitter(ev.period / 2);
+        sim_.schedule_after(offset, [this, target] { set_links(target, false); });
+        offset += jitter(ev.period / 2);
+      }
+      return;
+    }
+    case FaultKind::kPartition:
+      if (wan_ == nullptr) throw std::invalid_argument("no WAN for partition");
+      wan_->set_partition(ev.group_a, ev.group_b, true);
+      return;
+    case FaultKind::kPartitionHeal:
+      if (wan_ == nullptr) throw std::invalid_argument("no WAN for heal");
+      wan_->set_partition(ev.group_a, ev.group_b, false);
+      return;
+    case FaultKind::kNatCrash:
+    case FaultKind::kNatRestart: {
+      const auto it = nats_.find(ev.target);
+      if (it == nats_.end()) {
+        throw std::invalid_argument("unknown NAT target " + ev.target);
+      }
+      if (ev.kind == FaultKind::kNatCrash) {
+        it->second->crash();
+      } else {
+        it->second->restart();
+      }
+      return;
+    }
+    case FaultKind::kRendezvousCrash:
+    case FaultKind::kRendezvousRestart: {
+      const auto it = rendezvous_.find(ev.target);
+      if (it == rendezvous_.end()) {
+        throw std::invalid_argument("unknown rendezvous target " + ev.target);
+      }
+      RendezvousTarget& rv = it->second;
+      if (ev.kind == FaultKind::kRendezvousCrash) {
+        rv.server->crash();
+      } else if (rv.rejoin) {
+        rv.server->restart(rv.rejoin_seed);
+      } else {
+        rv.server->restart();
+      }
+      return;
+    }
+    case FaultKind::kCanCrash:
+    case FaultKind::kCanRestart: {
+      const auto it = can_nodes_.find(ev.target);
+      if (it == can_nodes_.end()) {
+        throw std::invalid_argument("unknown CAN target " + ev.target);
+      }
+      if (ev.kind == FaultKind::kCanCrash) {
+        it->second->crash();
+      } else {
+        it->second->restart();
+      }
+      return;
+    }
+    case FaultKind::kPathStorm:
+      if (wan_ == nullptr) throw std::invalid_argument("no WAN for path storm");
+      wan_->set_path_quality(ev.target, ev.target_b, ev.path);
+      return;
+  }
+}
+
+}  // namespace wav::chaos

@@ -1,0 +1,82 @@
+// Executes FaultPlans against a live simulated deployment.
+//
+// Targets are registered by name (a Wan for link/partition/storm faults,
+// NAT gateways, rendezvous servers, raw CAN nodes, per-host link sets);
+// schedule() then arms every plan event on the simulation clock. Fault
+// injections are counted in the metrics registry and traced under the
+// chaos category, so the exact failure timeline lands in the same
+// deterministic exports as the protocol's reaction to it.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "can/node.hpp"
+#include "chaos/fault_plan.hpp"
+#include "nat/nat_gateway.hpp"
+#include "obs/metrics.hpp"
+#include "overlay/rendezvous.hpp"
+#include "sim/simulation.hpp"
+
+namespace wav::chaos {
+
+class ChaosController {
+ public:
+  explicit ChaosController(sim::Simulation& sim);
+
+  /// Wires the WAN used for kLinkDown/Up/Flap (access links by site or
+  /// public-host name), kPartition/kPartitionHeal and kPathStorm.
+  void set_wan(fabric::Wan& wan) { wan_ = &wan; }
+
+  /// Registers the NAT gateway faulted by kNatCrash/kNatRestart under
+  /// `name` (conventionally the site name).
+  void add_nat(std::string name, nat::NatGateway& gateway);
+
+  /// Registers a rendezvous server. On kRendezvousRestart the server
+  /// re-bootstraps its CAN zone; pass `rejoin_seed` to make it rejoin an
+  /// existing overlay instead.
+  void add_rendezvous(std::string name, overlay::RendezvousServer& server);
+  void add_rendezvous(std::string name, overlay::RendezvousServer& server,
+                      net::Endpoint rejoin_seed);
+
+  /// Registers a raw CAN node for kCanCrash/kCanRestart (restart clears
+  /// the crashed flag; the experiment re-joins it explicitly).
+  void add_can(std::string name, can::CanNode& node);
+
+  /// Registers the link set cut by kHostCrash/kHostRestart for a host.
+  void add_host_links(std::string name, std::vector<fabric::Link*> links);
+
+  /// Arms every event of the plan on the simulation clock. May be called
+  /// before or during a run; events strictly in the past are rejected.
+  void schedule(const FaultPlan& plan);
+
+  /// Executes one event immediately (tests drive single faults directly).
+  void execute(const FaultEvent& ev);
+
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
+
+ private:
+  struct RendezvousTarget {
+    overlay::RendezvousServer* server{nullptr};
+    bool rejoin{false};
+    net::Endpoint rejoin_seed{};
+  };
+
+  void set_links(const std::string& name, bool down);
+  [[nodiscard]] const std::vector<fabric::Link*>& links_of(const std::string& name);
+  void trace(const FaultEvent& ev);
+
+  sim::Simulation& sim_;
+  fabric::Wan* wan_{nullptr};
+  std::unordered_map<std::string, nat::NatGateway*> nats_;
+  std::unordered_map<std::string, RendezvousTarget> rendezvous_;
+  std::unordered_map<std::string, can::CanNode*> can_nodes_;
+  std::unordered_map<std::string, std::vector<fabric::Link*>> host_links_;
+  std::uint64_t faults_injected_{0};
+  obs::Counter* c_faults_injected_{nullptr};
+};
+
+}  // namespace wav::chaos

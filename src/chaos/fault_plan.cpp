@@ -1,0 +1,125 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace wav::chaos {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kLinkFlap: return "link_flap";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kPartitionHeal: return "partition_heal";
+    case FaultKind::kNatCrash: return "nat_crash";
+    case FaultKind::kNatRestart: return "nat_restart";
+    case FaultKind::kHostCrash: return "host_crash";
+    case FaultKind::kHostRestart: return "host_restart";
+    case FaultKind::kRendezvousCrash: return "rendezvous_crash";
+    case FaultKind::kRendezvousRestart: return "rendezvous_restart";
+    case FaultKind::kCanCrash: return "can_crash";
+    case FaultKind::kCanRestart: return "can_restart";
+    case FaultKind::kPathStorm: return "path_storm";
+  }
+  return "?";
+}
+
+FaultEvent& FaultPlan::push(TimePoint at, FaultKind kind, std::string target) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.target = std::move(target);
+  events_.push_back(std::move(ev));
+  return events_.back();
+}
+
+FaultPlan& FaultPlan::link_down(TimePoint at, std::string target) {
+  push(at, FaultKind::kLinkDown, std::move(target));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(TimePoint at, std::string target) {
+  push(at, FaultKind::kLinkUp, std::move(target));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_flap(TimePoint at, std::string target,
+                                std::uint32_t cycles, Duration period) {
+  FaultEvent& ev = push(at, FaultKind::kLinkFlap, std::move(target));
+  ev.cycles = cycles;
+  ev.period = period;
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(TimePoint at, std::vector<std::string> group_a,
+                                std::vector<std::string> group_b) {
+  FaultEvent& ev = push(at, FaultKind::kPartition, {});
+  ev.group_a = std::move(group_a);
+  ev.group_b = std::move(group_b);
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(TimePoint at, std::vector<std::string> group_a,
+                           std::vector<std::string> group_b) {
+  FaultEvent& ev = push(at, FaultKind::kPartitionHeal, {});
+  ev.group_a = std::move(group_a);
+  ev.group_b = std::move(group_b);
+  return *this;
+}
+
+FaultPlan& FaultPlan::nat_crash(TimePoint at, std::string site) {
+  push(at, FaultKind::kNatCrash, std::move(site));
+  return *this;
+}
+
+FaultPlan& FaultPlan::nat_restart(TimePoint at, std::string site) {
+  push(at, FaultKind::kNatRestart, std::move(site));
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_crash(TimePoint at, std::string host) {
+  push(at, FaultKind::kHostCrash, std::move(host));
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_restart(TimePoint at, std::string host) {
+  push(at, FaultKind::kHostRestart, std::move(host));
+  return *this;
+}
+
+FaultPlan& FaultPlan::rendezvous_crash(TimePoint at, std::string server) {
+  push(at, FaultKind::kRendezvousCrash, std::move(server));
+  return *this;
+}
+
+FaultPlan& FaultPlan::rendezvous_restart(TimePoint at, std::string server) {
+  push(at, FaultKind::kRendezvousRestart, std::move(server));
+  return *this;
+}
+
+FaultPlan& FaultPlan::can_crash(TimePoint at, std::string node) {
+  push(at, FaultKind::kCanCrash, std::move(node));
+  return *this;
+}
+
+FaultPlan& FaultPlan::can_restart(TimePoint at, std::string node) {
+  push(at, FaultKind::kCanRestart, std::move(node));
+  return *this;
+}
+
+FaultPlan& FaultPlan::path_storm(TimePoint at, std::string a, std::string b,
+                                 fabric::PairPath path) {
+  FaultEvent& ev = push(at, FaultKind::kPathStorm, std::move(a));
+  ev.target_b = std::move(b);
+  ev.path = path;
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+}  // namespace wav::chaos

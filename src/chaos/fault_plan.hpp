@@ -1,0 +1,90 @@
+// Deterministic fault schedules for resilience experiments.
+//
+// A FaultPlan is a declarative list of fault events pinned to simulation
+// time: link outages and flaps, WAN partitions between site groups, NAT
+// gateway reboots, whole-host crashes, rendezvous/CAN node failures and
+// path-quality storms. The plan itself is pure data — ChaosController
+// resolves names to live objects and executes it. Because execution and
+// every random draw (flap jitter) go through the per-simulation seeded
+// RNG, a given (plan, seed) pair produces a byte-identical fault
+// timeline, tracer stream and metrics export on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fabric/wan.hpp"
+
+namespace wav::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,          // target: site/public-host name (its access links)
+  kLinkUp,
+  kLinkFlap,          // cycles down/up transitions of `period`
+  kPartition,         // group_a <-/-> group_b at the Internet core
+  kPartitionHeal,
+  kNatCrash,          // target: site name (its NAT gateway)
+  kNatRestart,
+  kHostCrash,         // target: registered host name (all its links cut)
+  kHostRestart,
+  kRendezvousCrash,   // target: registered rendezvous name
+  kRendezvousRestart,
+  kCanCrash,          // target: registered raw CAN node name
+  kCanRestart,
+  kPathStorm,         // apply `path` loss/jitter between target/target_b
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+struct FaultEvent {
+  TimePoint at{};
+  FaultKind kind{FaultKind::kLinkDown};
+  std::string target;
+  std::string target_b;                // kPathStorm: the other attachment
+  std::vector<std::string> group_a;    // kPartition/kPartitionHeal
+  std::vector<std::string> group_b;
+  std::uint32_t cycles{1};             // kLinkFlap
+  Duration period{seconds(2)};         // kLinkFlap: one down+up cycle
+  fabric::PairPath path{};             // kPathStorm: quality to apply
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& link_down(TimePoint at, std::string target);
+  FaultPlan& link_up(TimePoint at, std::string target);
+  FaultPlan& link_flap(TimePoint at, std::string target, std::uint32_t cycles,
+                       Duration period);
+  FaultPlan& partition(TimePoint at, std::vector<std::string> group_a,
+                       std::vector<std::string> group_b);
+  FaultPlan& heal(TimePoint at, std::vector<std::string> group_a,
+                  std::vector<std::string> group_b);
+  FaultPlan& nat_crash(TimePoint at, std::string site);
+  FaultPlan& nat_restart(TimePoint at, std::string site);
+  FaultPlan& host_crash(TimePoint at, std::string host);
+  FaultPlan& host_restart(TimePoint at, std::string host);
+  FaultPlan& rendezvous_crash(TimePoint at, std::string server);
+  FaultPlan& rendezvous_restart(TimePoint at, std::string server);
+  FaultPlan& can_crash(TimePoint at, std::string node);
+  FaultPlan& can_restart(TimePoint at, std::string node);
+  FaultPlan& path_storm(TimePoint at, std::string a, std::string b,
+                        fabric::PairPath path);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events ordered by injection time; ties keep insertion order so the
+  /// execution sequence is fully determined by the plan.
+  [[nodiscard]] std::vector<FaultEvent> sorted() const;
+
+ private:
+  FaultEvent& push(TimePoint at, FaultKind kind, std::string target);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace wav::chaos

@@ -1,0 +1,50 @@
+#include "chaos/invariants.hpp"
+
+namespace wav::chaos {
+
+void InvariantChecker::expect_full_mesh() {
+  for (overlay::HostAgent* a : agents_) {
+    for (overlay::HostAgent* b : agents_) {
+      if (a != b) expected_links_.push_back({a, b->id()});
+    }
+  }
+}
+
+std::vector<std::string> InvariantChecker::violations() const {
+  std::vector<std::string> out;
+  for (const overlay::HostAgent* agent : agents_) {
+    const std::string& name = agent->config().name;
+    if (!agent->registered()) {
+      out.push_back("agent " + name + " not registered");
+    }
+    if (const std::size_t n = agent->pending_query_count(); n > 0) {
+      out.push_back("agent " + name + " leaks " + std::to_string(n) +
+                    " pending query handler(s)");
+    }
+  }
+  for (const ExpectedLink& link : expected_links_) {
+    if (!link.agent->link_established(link.peer)) {
+      out.push_back("link " + link.agent->config().name + " -> host#" +
+                    std::to_string(link.peer) + " not re-established");
+    }
+  }
+  for (const overlay::RendezvousServer* server : servers_) {
+    if (server->down()) {
+      out.push_back("rendezvous " + server->host_endpoint().to_string() +
+                    " still down");
+      continue;  // a dead server's internal state is not meaningful
+    }
+    if (const std::size_t n = server->pending_connect_count(); n > 0) {
+      out.push_back("rendezvous " + server->host_endpoint().to_string() +
+                    " holds " + std::to_string(n) + " stale pending connect(s)");
+    }
+    if (const std::size_t n = server->can_node().pending_query_count(); n > 0) {
+      out.push_back("rendezvous " + server->host_endpoint().to_string() +
+                    " CAN node leaks " + std::to_string(n) +
+                    " pending query handler(s)");
+    }
+  }
+  return out;
+}
+
+}  // namespace wav::chaos

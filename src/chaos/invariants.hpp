@@ -1,0 +1,52 @@
+// Convergence invariants checked after fault injection heals.
+//
+// The checker holds the experiment's expectations — which agents must be
+// registered, which host pairs must hold an established hole-punched
+// link — plus structural health rules that need no configuration: no
+// leaked pending query handlers on agents or CAN nodes, and no pending
+// connect brokering stuck on a live rendezvous server. violations()
+// reports everything currently false; converged() is the all-clear
+// benches poll while timing recovery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "overlay/host_agent.hpp"
+#include "overlay/rendezvous.hpp"
+
+namespace wav::chaos {
+
+class InvariantChecker {
+ public:
+  void add_agent(overlay::HostAgent& agent) { agents_.push_back(&agent); }
+  void add_rendezvous(overlay::RendezvousServer& server) {
+    servers_.push_back(&server);
+  }
+
+  /// Requires agent->peer to be an established link (one direction; call
+  /// twice or use expect_full_mesh for both).
+  void expect_link(overlay::HostAgent& agent, overlay::HostId peer) {
+    expected_links_.push_back({&agent, peer});
+  }
+
+  /// Requires every pair of added agents to hold links in both
+  /// directions (the bench harness deploys a full mesh).
+  void expect_full_mesh();
+
+  /// Every currently-violated invariant, one human-readable line each.
+  [[nodiscard]] std::vector<std::string> violations() const;
+  [[nodiscard]] bool converged() const { return violations().empty(); }
+
+ private:
+  struct ExpectedLink {
+    overlay::HostAgent* agent{nullptr};
+    overlay::HostId peer{0};
+  };
+
+  std::vector<overlay::HostAgent*> agents_;
+  std::vector<overlay::RendezvousServer*> servers_;
+  std::vector<ExpectedLink> expected_links_;
+};
+
+}  // namespace wav::chaos

@@ -8,10 +8,20 @@
 namespace wav::fabric {
 
 InternetNode::InternetNode(Network& network, std::string name)
-    : Node(network, std::move(name)) {}
+    : Node(network, std::move(name)) {
+  c_partition_drops_ = &sim().metrics().counter("internet.partition_drops", this->name());
+}
 
 void InternetNode::set_path(std::size_t iface_a, std::size_t iface_b, PathSpec spec) {
   paths_[key(iface_a, iface_b)] = spec;
+}
+
+void InternetNode::set_blocked(std::size_t iface_a, std::size_t iface_b, bool blocked) {
+  if (blocked) {
+    blocked_pairs_.insert(key(iface_a, iface_b));
+  } else {
+    blocked_pairs_.erase(key(iface_a, iface_b));
+  }
 }
 
 PathSpec InternetNode::path(std::size_t iface_a, std::size_t iface_b) const {
@@ -49,6 +59,12 @@ void InternetNode::forward(net::IpPacket pkt, Link& from) {
       out_idx = i;
       break;
     }
+  }
+
+  if (blocked_pairs_.contains(key(in_idx, out_idx))) {
+    ++partition_drops_;
+    c_partition_drops_->inc();
+    return;
   }
 
   const PathSpec spec = path(in_idx, out_idx);

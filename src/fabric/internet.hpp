@@ -8,6 +8,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "fabric/node.hpp"
 
@@ -29,6 +30,17 @@ class InternetNode : public Node {
 
   [[nodiscard]] PathSpec path(std::size_t iface_a, std::size_t iface_b) const;
 
+  /// WAN partition mask (fault injection): while a pair is blocked, every
+  /// packet between the two attachments is dropped in the core (symmetric,
+  /// like a BGP blackhole between two regions).
+  void set_blocked(std::size_t iface_a, std::size_t iface_b, bool blocked);
+  [[nodiscard]] bool blocked(std::size_t iface_a, std::size_t iface_b) const {
+    return blocked_pairs_.contains(key(iface_a, iface_b));
+  }
+  [[nodiscard]] std::uint64_t partition_drops() const noexcept {
+    return partition_drops_;
+  }
+
  protected:
   void forward(net::IpPacket pkt, Link& from) override;
 
@@ -41,6 +53,9 @@ class InternetNode : public Node {
   }
 
   std::unordered_map<std::uint64_t, PathSpec> paths_;
+  std::unordered_set<std::uint64_t> blocked_pairs_;
+  std::uint64_t partition_drops_{0};
+  obs::Counter* c_partition_drops_{nullptr};
   // FIFO clamp per directed (in,out) interface pair: core jitter must
   // not reorder packets of one flow.
   std::unordered_map<std::uint64_t, TimePoint> last_forward_;

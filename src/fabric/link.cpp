@@ -16,8 +16,22 @@ Node& Link::peer(const Node& n) const {
   return &n == a_ ? *b_ : *a_;
 }
 
+void Link::set_up() noexcept {
+  if (!down_) return;
+  down_ = false;
+  // A revived port starts with an empty transmit queue: the analytic
+  // backlog accumulated before the cut must not delay post-heal traffic.
+  const TimePoint now = sim_.now();
+  toward_a_.busy_until = std::min(toward_a_.busy_until, now);
+  toward_b_.busy_until = std::min(toward_b_.busy_until, now);
+}
+
 void Link::transmit(const Node& from, net::IpPacket pkt) {
   assert(has_endpoint(from));
+  if (down_) {
+    ++stats_.dropped_down;
+    return;
+  }
   DirectionState& dir = (&from == a_) ? toward_b_ : toward_a_;
   Node& dest = peer(from);
 

@@ -30,6 +30,7 @@ struct LinkStats {
   std::uint64_t delivered_bytes{0};
   std::uint64_t dropped_queue{0};
   std::uint64_t dropped_loss{0};
+  std::uint64_t dropped_down{0};  // transmit attempts while administratively down
 };
 
 class Link {
@@ -54,6 +55,14 @@ class Link {
   void set_rate(BitRate rate) noexcept { config_.rate = rate; }
   void set_delay(Duration delay) noexcept { config_.delay = delay; }
   void set_loss(double p) noexcept { config_.loss_probability = p; }
+  void set_jitter(Duration stddev) noexcept { config_.jitter_stddev = stddev; }
+
+  /// Administrative fault injection (cable cut / port down). A down link
+  /// drops every transmit attempt; packets already in flight still arrive
+  /// (they were on the wire when it was cut).
+  void set_down() noexcept { down_ = true; }
+  void set_up() noexcept;
+  [[nodiscard]] bool down() const noexcept { return down_; }
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
 
@@ -70,6 +79,7 @@ class Link {
   DirectionState toward_a_;
   DirectionState toward_b_;
   LinkStats stats_;
+  bool down_{false};
 };
 
 }  // namespace wav::fabric

@@ -164,6 +164,35 @@ void Wan::set_site_rate(const std::string& name, BitRate rate) {
   for (Link* link : it->second) link->set_rate(rate);
 }
 
+const std::vector<Link*>& Wan::access_links(const std::string& name) const {
+  const auto it = access_links_.find(name);
+  if (it == access_links_.end()) {
+    throw std::invalid_argument("unknown WAN attachment: " + name);
+  }
+  return it->second;
+}
+
+void Wan::set_partition(const std::vector<std::string>& group_a,
+                        const std::vector<std::string>& group_b, bool blocked) {
+  for (const auto& a : group_a) {
+    const auto ia = core_ifaces_.find(a);
+    if (ia == core_ifaces_.end()) {
+      throw std::invalid_argument("unknown WAN attachment: " + a);
+    }
+    for (const auto& b : group_b) {
+      const auto ib = core_ifaces_.find(b);
+      if (ib == core_ifaces_.end()) {
+        throw std::invalid_argument("unknown WAN attachment: " + b);
+      }
+      for (const std::size_t fa : ia->second) {
+        for (const std::size_t fb : ib->second) {
+          internet_->set_blocked(fa, fb, blocked);
+        }
+      }
+    }
+  }
+}
+
 // --- paper testbed ----------------------------------------------------------
 
 double paper_rtt_ms(const std::string& a, const std::string& b) {

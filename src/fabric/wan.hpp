@@ -74,6 +74,22 @@ class Wan {
   /// Re-shapes a site's access link rate (Figure 7's `tc` equivalent).
   void set_site_rate(const std::string& name, BitRate rate);
 
+  /// The access link(s) that attach a site or public host to the core —
+  /// chaos targets for link down/up/flap faults.
+  [[nodiscard]] const std::vector<Link*>& access_links(const std::string& name) const;
+
+  /// Blocks (or heals) every core path between the two attachment groups:
+  /// a WAN partition. Attachments absent from both groups stay reachable
+  /// from everyone.
+  void set_partition(const std::vector<std::string>& group_a,
+                     const std::vector<std::string>& group_b, bool blocked);
+
+  /// Overrides the core loss/jitter between two attachments (storm
+  /// injection); pass the original PairPath back to heal.
+  void set_path_quality(const std::string& a, const std::string& b, PairPath path) {
+    set_path(a, b, path);
+  }
+
  private:
   std::size_t attach_to_core(Node& node, net::Ipv4Address node_addr, BitRate rate,
                              Duration delay);

@@ -114,6 +114,18 @@ void NatGateway::flush_bindings() {
   port_to_binding_.clear();
 }
 
+void NatGateway::crash() {
+  down_ = true;
+  flush_bindings();
+  sim().tracer().instant(obs::Category::kChaos, "nat.crash", name());
+}
+
+void NatGateway::restart() {
+  if (!down_) return;
+  down_ = false;
+  sim().tracer().instant(obs::Category::kChaos, "nat.restart", name());
+}
+
 void NatGateway::drop_expired() {
   for (auto it = port_to_binding_.begin(); it != port_to_binding_.end();) {
     if (is_expired(it->second)) {
@@ -190,6 +202,10 @@ NatGateway::Binding* NatGateway::find_or_create_binding(const FlowKey& key) {
 }
 
 void NatGateway::forward(net::IpPacket pkt, fabric::Link& from) {
+  if (down_) {
+    ++nat_stats_.dropped_down;
+    return;
+  }
   const bool from_wan = interfaces()[wan_iface_].link == &from;
   if (from_wan) {
     // WAN-side packet not addressed to our public IP: a plain router
@@ -238,6 +254,10 @@ void NatGateway::translate_outbound(net::IpPacket pkt) {
 }
 
 void NatGateway::deliver_local(const net::IpPacket& pkt, fabric::Link& from) {
+  if (down_) {
+    ++nat_stats_.dropped_down;
+    return;
+  }
   const bool from_wan = interfaces()[wan_iface_].link == &from;
   if (!from_wan) {
     // Hairpin attempt from the LAN side; consumer NATs typically drop it.

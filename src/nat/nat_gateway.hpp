@@ -57,6 +57,7 @@ struct NatStats {
   std::uint64_t blocked_inbound{0};
   std::uint64_t expired_bindings{0};
   std::uint64_t bindings_created{0};
+  std::uint64_t dropped_down{0};  // packets that hit a crashed gateway
 };
 
 class NatGateway : public fabric::Node {
@@ -85,6 +86,14 @@ class NatGateway : public fabric::Node {
   /// Drops every binding immediately (models NAT reboot; used by failure
   /// injection tests).
   void flush_bindings();
+
+  /// Ungraceful power loss: bindings vanish AND the box stops forwarding
+  /// until restart(). restart() models the reboot completing — the
+  /// gateway forwards again, but with an empty translation table, which
+  /// invalidates every established hole-punched path through it.
+  void crash();
+  void restart();
+  [[nodiscard]] bool down() const noexcept { return down_; }
 
  protected:
   void forward(net::IpPacket pkt, fabric::Link& from) override;
@@ -130,6 +139,7 @@ class NatGateway : public fabric::Node {
   NatConfig config_;
   NatStats nat_stats_;
   std::size_t wan_iface_{1};
+  bool down_{false};
 
   std::unordered_map<FlowKey, std::uint16_t, FlowKeyHash> flow_to_port_;
   // Keyed by (public_port << 8 | protocol); ICMP uses the echo id as port.

@@ -19,6 +19,7 @@ const char* to_string(Category c) noexcept {
     case Category::kTcp: return "tcp";
     case Category::kMigration: return "migration";
     case Category::kOverlay: return "overlay";
+    case Category::kChaos: return "chaos";
   }
   return "?";
 }

@@ -28,8 +28,9 @@ enum class Category : std::uint8_t {
   kTcp,
   kMigration,
   kOverlay,
+  kChaos,
 };
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 
 [[nodiscard]] const char* to_string(Category c) noexcept;
 

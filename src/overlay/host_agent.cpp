@@ -41,15 +41,28 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
   c_links_lost_ = &reg.counter("overlay.links_lost", self_.name);
   c_punch_timeouts_ = &reg.counter("overlay.punch_timeouts", self_.name);
   c_heartbeats_sent_ = &reg.counter("overlay.heartbeats_sent", self_.name);
+  c_queries_timed_out_ = &reg.counter("overlay.queries_timed_out", self_.name);
+  c_reregistrations_ = &reg.counter("overlay.reregistrations", self_.name);
   h_punch_latency_ms_ = &reg.histogram(
       "punch.latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+
+  // De-phase the keepalive across agents: with hundreds of hosts sharing
+  // nominal intervals, identical periods would fire every pulse in the
+  // same simulation instant (and, in the real system, the same RTO tick).
+  pulse_timer_.set_period(jittered(config_.pulse_interval));
 
   socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
     on_datagram(from, d);
   });
 }
 
-HostAgent::~HostAgent() = default;
+HostAgent::~HostAgent() {
+  for (auto& [qid, pending] : pending_queries_) ip_.sim().cancel(pending.deadline);
+}
+
+Duration HostAgent::jittered(Duration d) {
+  return seconds_f(to_seconds(d) * (0.9 + 0.2 * ip_.sim().rng().uniform()));
+}
 
 void HostAgent::start(RegisteredHandler on_registered) {
   on_registered_ = std::move(on_registered);
@@ -82,15 +95,23 @@ void HostAgent::probe_rendezvous() {
   // (RegisterAck and QueryReply handlers also reset it.)
   // Drop the previous probe's pending entry so unanswered probes don't
   // accumulate while the server is down.
-  pending_queries_.erase(last_probe_query_id_);
+  if (const auto it = pending_queries_.find(last_probe_query_id_);
+      it != pending_queries_.end()) {
+    ip_.sim().cancel(it->second.deadline);
+    pending_queries_.erase(it);
+  }
   QueryMsg probe;
   probe.query_id = next_query_id_++;
   last_probe_query_id_ = probe.query_id;
   probe.k = 1;
   probe.target = {};
-  pending_queries_[probe.query_id] = [this](std::vector<HostInfo>) {
-    silent_probes_ = 0;
-  };
+  PendingQuery pending;
+  pending.handler = [this](std::vector<HostInfo>) { silent_probes_ = 0; };
+  pending.k = 1;
+  pending.probe = true;
+  pending.deadline = ip_.sim().schedule_after(
+      config_.query_timeout, [this, qid = probe.query_id] { expire_query(qid); });
+  pending_queries_[probe.query_id] = std::move(pending);
   socket_.send_to(active_rendezvous_, encode(probe));
   if (++silent_probes_ > config_.rendezvous_probe_failures) fail_over_rendezvous();
 }
@@ -121,8 +142,49 @@ void HostAgent::query(const std::vector<double>& target, std::size_t k,
   msg.query_id = next_query_id_++;
   msg.target = target;
   msg.k = static_cast<std::uint16_t>(k);
-  pending_queries_[msg.query_id] = std::move(handler);
+  PendingQuery pending;
+  pending.handler = std::move(handler);
+  pending.target = target;
+  pending.k = msg.k;
+  pending.deadline = ip_.sim().schedule_after(
+      config_.query_timeout, [this, qid = msg.query_id] { expire_query(qid); });
+  pending_queries_[msg.query_id] = std::move(pending);
   socket_.send_to(active_rendezvous_, encode(msg));
+}
+
+void HostAgent::expire_query(std::uint64_t query_id) {
+  const auto it = pending_queries_.find(query_id);
+  if (it == pending_queries_.end()) return;
+  PendingQuery& pending = it->second;
+  if (pending.probe) {
+    // A probe's silence is already accounted for by silent_probes_; its
+    // handler must NOT run on timeout (it would wrongly mark the server
+    // alive). Just drop the entry.
+    pending_queries_.erase(it);
+    return;
+  }
+  if (pending.attempts < config_.query_retries) {
+    // Resend under the same id with a linearly stretched deadline — the
+    // reply datagram may simply have been lost.
+    ++pending.attempts;
+    ++stats_.query_retries_sent;
+    QueryMsg msg;
+    msg.query_id = query_id;
+    msg.target = pending.target;
+    msg.k = pending.k;
+    pending.deadline = ip_.sim().schedule_after(
+        config_.query_timeout * (pending.attempts + 1),
+        [this, query_id] { expire_query(query_id); });
+    socket_.send_to(active_rendezvous_, encode(msg));
+    return;
+  }
+  auto handler = std::move(pending.handler);
+  pending_queries_.erase(it);
+  ++stats_.queries_timed_out;
+  c_queries_timed_out_->inc();
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "query.timeout", self_.name,
+                             "\"query_id\":" + std::to_string(query_id));
+  if (handler) handler({});
 }
 
 void HostAgent::connect_to(const HostInfo& peer, ConnectHandler handler) {
@@ -173,8 +235,11 @@ void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
   }
   if (!link.punch_timer) {
     const HostId peer_id = peer.host_id;
+    // Jittered per-link so two agents punching each other (or many links
+    // punching at once) don't lock their rounds into the same instant.
     link.punch_timer = std::make_unique<sim::PeriodicTimer>(
-        ip_.sim(), config_.punch_interval, [this, peer_id] { punch_round(peer_id); });
+        ip_.sim(), jittered(config_.punch_interval),
+        [this, peer_id] { punch_round(peer_id); });
   }
   link.punch_timer->start_after(kZeroDuration);
 }
@@ -191,12 +256,17 @@ void HostAgent::punch_round(HostId peer) {
     link.punch_timer->stop();
     auto handler = std::move(link.on_result);
     const TimePoint started = link.punch_started;
+    const HostInfo info = link.info;
     links_.erase(it);
     c_punch_timeouts_->inc();
     ip_.sim().tracer().complete(obs::Category::kPunch, "punch.timeout", started,
                                 self_.name, "\"peer\":" + std::to_string(peer));
     log::debug("agent", "{}: hole punch to {} timed out", self_.name, peer);
     if (handler) handler(false, peer);
+    // A timed-out punch during a partition must not be the end of the
+    // story: keep retrying with backoff so the link re-forms once the
+    // network heals, however long the outage lasted.
+    schedule_repunch(info);
     return;
   }
   for (const auto& candidate : link.candidates) {
@@ -213,6 +283,7 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
   if (link.established) return;
   link.established = true;
   if (link.punch_timer) link.punch_timer->stop();
+  repunch_backoff_.erase(link.peer);
   ++stats_.links_established;
   c_links_established_->inc();
   h_punch_latency_ms_->observe(
@@ -298,16 +369,25 @@ void HostAgent::reap_idle_links() {
     drop_link(peer);
     // NAT reboots invalidate both sides' bindings; a fresh brokered
     // connect re-learns the mappings and punches again.
-    if (config_.auto_repunch && !info.rendezvous.is_zero()) {
-      ip_.sim().schedule_after(config_.repunch_delay, [this, info] {
-        if (!links_.contains(info.host_id)) {
-          log::debug("agent", "{}: re-punching lost link to {}", self_.name,
-                     info.host_id);
-          connect_to(info, {});
-        }
-      });
-    }
+    schedule_repunch(info);
   }
+}
+
+void HostAgent::schedule_repunch(const HostInfo& info) {
+  if (!config_.auto_repunch || info.rendezvous.is_zero()) return;
+  // Exponential backoff per peer (reset when a link establishes), with
+  // seeded jitter so a fleet of agents doesn't retry in lockstep.
+  Duration& backoff = repunch_backoff_[info.host_id];
+  if (backoff <= kZeroDuration) backoff = config_.repunch_delay;
+  const Duration delay = jittered(backoff);
+  backoff = std::min(backoff * 2, config_.repunch_backoff_max);
+  ip_.sim().schedule_after(delay, [this, info] {
+    if (!links_.contains(info.host_id)) {
+      log::debug("agent", "{}: re-punching lost link to {}", self_.name,
+                 info.host_id);
+      connect_to(info, {});
+    }
+  });
 }
 
 HostAgent::Link* HostAgent::link_by_endpoint(const net::Endpoint& ep) {
@@ -366,7 +446,21 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
     }
     case MsgType::kRegisterAck: {
       const auto msg = parse_register_ack(*dgram.chunk());
-      if (!msg || !msg->ok) return;
+      if (!msg) return;
+      if (!msg->ok) {
+        // Negative ack: the server no longer has our record (it crashed
+        // and restarted with empty tables). Re-register so discovery and
+        // connect brokering work again.
+        if (registered_) {
+          registered_ = false;
+          ++stats_.reregistrations;
+          c_reregistrations_->inc();
+          ip_.sim().tracer().instant(obs::Category::kOverlay, "agent.reregister",
+                                     self_.name);
+          do_register();
+        }
+        return;
+      }
       self_.public_endpoint = msg->observed;
       self_.rendezvous = active_rendezvous_;
       silent_probes_ = 0;
@@ -388,7 +482,8 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       if (!msg) return;
       const auto it = pending_queries_.find(msg->query_id);
       if (it == pending_queries_.end()) return;
-      auto handler = std::move(it->second);
+      auto handler = std::move(it->second.handler);
+      ip_.sim().cancel(it->second.deadline);
       pending_queries_.erase(it);
       // Never hand back our own record.
       std::vector<HostInfo> hosts = msg->hosts;

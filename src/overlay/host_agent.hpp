@@ -48,6 +48,13 @@ class HostAgent {
     /// to re-broker and re-punch it through the rendezvous layer.
     bool auto_repunch{true};
     Duration repunch_delay{seconds(2)};
+    /// Repeated repunch attempts back off exponentially up to this cap,
+    /// so links lost to long partitions keep retrying until the WAN heals.
+    Duration repunch_backoff_max{seconds(30)};
+    /// A query unanswered past the timeout is retried with backoff; after
+    /// the retries run out its handler fires with an empty result.
+    Duration query_timeout{seconds(2)};
+    std::uint32_t query_retries{2};
   };
 
   using RegisteredHandler = std::function<void(bool ok)>;
@@ -100,6 +107,9 @@ class HostAgent {
     std::uint64_t frames_received{0};
     std::uint64_t links_established{0};
     std::uint64_t links_lost{0};
+    std::uint64_t queries_timed_out{0};
+    std::uint64_t query_retries_sent{0};
+    std::uint64_t reregistrations{0};  // server lost our record; registered anew
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -113,6 +123,15 @@ class HostAgent {
   }
   [[nodiscard]] std::uint32_t rendezvous_failovers() const noexcept {
     return rendezvous_failovers_;
+  }
+  /// Non-probe queries still awaiting a reply or their deadline — must
+  /// drain to zero once the overlay quiesces (leak detector).
+  [[nodiscard]] std::size_t pending_query_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [qid, q] : pending_queries_) {
+      if (!q.probe) ++n;
+    }
+    return n;
   }
 
  private:
@@ -130,7 +149,21 @@ class HostAgent {
     ConnectHandler on_result;
   };
 
+  struct PendingQuery {
+    QueryHandler handler;
+    std::vector<double> target;
+    std::uint16_t k{0};
+    std::uint32_t attempts{0};
+    bool probe{false};  // liveness probes never retry and never call back
+    sim::EventId deadline{};
+  };
+
   void on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram);
+  void expire_query(std::uint64_t query_id);
+  /// Applies a ±10% seeded jitter so periodic timers across many agents
+  /// don't stay phase-locked (thundering herds of pulses/punches).
+  [[nodiscard]] Duration jittered(Duration d);
+  void schedule_repunch(const HostInfo& info);
   void do_register();
   void probe_rendezvous();
   void fail_over_rendezvous();
@@ -157,8 +190,9 @@ class HostAgent {
   std::uint32_t rendezvous_failovers_{0};
 
   std::uint64_t next_query_id_{1};
-  std::unordered_map<std::uint64_t, QueryHandler> pending_queries_;
+  std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
   std::uint64_t next_request_id_;
+  std::unordered_map<HostId, Duration> repunch_backoff_;
 
   std::unordered_map<HostId, Link> links_;
   std::unordered_map<net::Endpoint, HostId> endpoint_to_peer_;
@@ -183,6 +217,8 @@ class HostAgent {
   obs::Counter* c_links_lost_{nullptr};
   obs::Counter* c_punch_timeouts_{nullptr};
   obs::Counter* c_heartbeats_sent_{nullptr};
+  obs::Counter* c_queries_timed_out_{nullptr};
+  obs::Counter* c_reregistrations_{nullptr};
   obs::Histogram* h_punch_latency_ms_{nullptr};
 };
 

@@ -27,6 +27,7 @@ RendezvousServer::RendezvousServer(stack::IpLayer& ip, Config config)
     on_host_datagram(from, d);
   });
   can_socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
+    if (down_) return;
     if (const auto* chunk = d.chunk()) can_.on_message(from, *chunk);
   });
   obs::MetricsRegistry& reg = ip_.sim().metrics();
@@ -46,6 +47,37 @@ void RendezvousServer::join(const net::Endpoint& seed_can_endpoint) {
   can_.join(seed_can_endpoint);
 }
 
+void RendezvousServer::crash() {
+  if (down_) return;
+  down_ = true;
+  hosts_.clear();
+  pending_connects_.clear();
+  expiry_timer_.stop();
+  can_.crash();
+  ip_.sim().tracer().instant(obs::Category::kChaos, "rendezvous.crash",
+                             ip_.ip_address().to_string());
+}
+
+void RendezvousServer::restart() {
+  if (!down_) return;
+  down_ = false;
+  expiry_timer_.start();
+  can_.restart();
+  can_.bootstrap();
+  ip_.sim().tracer().instant(obs::Category::kChaos, "rendezvous.restart",
+                             ip_.ip_address().to_string());
+}
+
+void RendezvousServer::restart(const net::Endpoint& seed_can_endpoint) {
+  if (!down_) return;
+  down_ = false;
+  expiry_timer_.start();
+  can_.restart();
+  can_.join(seed_can_endpoint);
+  ip_.sim().tracer().instant(obs::Category::kChaos, "rendezvous.restart",
+                             ip_.ip_address().to_string());
+}
+
 can::Point RendezvousServer::attrs_to_point(const std::vector<double>& attrs) const {
   can::Point p;
   p.coords.resize(config_.can_dims, 0.5);
@@ -57,6 +89,7 @@ can::Point RendezvousServer::attrs_to_point(const std::vector<double>& attrs) co
 
 void RendezvousServer::on_host_datagram(const net::Endpoint& from,
                                         const net::UdpDatagram& dgram) {
+  if (down_) return;  // crashed process: the port is deaf
   const auto* chunk = dgram.chunk();
   if (chunk == nullptr) return;
   const auto type = peek_type(dgram);
@@ -98,6 +131,15 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
           can_.erase(attrs_to_point(it->second.info.attributes), blob);
           can_.store(attrs_to_point(it->second.info.attributes), std::move(blob),
                      config_.host_expiry);
+        } else {
+          // A heartbeat from a host we don't know means our tables were
+          // wiped (crash/restart) after it registered. Telling it so —
+          // a negative ack — makes it re-register instead of heartbeating
+          // into the void until its tunnels rot.
+          RegisterAckMsg nack;
+          nack.ok = false;
+          nack.observed = from;
+          host_socket_.send_to(from, encode(nack));
         }
       }
       return;
@@ -287,9 +329,15 @@ void RendezvousServer::expire_stale_hosts() {
       ++it;
     }
   }
-  // Connect requests that never completed are garbage-collected too.
+  // Connect requests that never completed fail loudly: the requester
+  // gets a ConnectFail so its punch attempt can give up, and the failure
+  // shows up in stats instead of vanishing in a silent GC.
   for (auto it = pending_connects_.begin(); it != pending_connects_.end();) {
-    if (now - it->second.created > seconds(30)) {
+    if (now - it->second.created > config_.connect_timeout) {
+      ++stats_.connects_failed;
+      c_connects_failed_->inc();
+      host_socket_.send_to(it->second.requester_observed,
+                           encode(ConnectFailMsg{it->first, "timeout"}));
       it = pending_connects_.erase(it);
     } else {
       ++it;

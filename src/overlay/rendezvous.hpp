@@ -22,6 +22,9 @@ class RendezvousServer {
     std::uint16_t can_port{4001};
     std::size_t can_dims{2};
     Duration host_expiry{seconds(90)};
+    // A brokered connect that hasn't completed by then is reported back
+    // to the requester as a ConnectFail instead of being GC'd silently.
+    Duration connect_timeout{seconds(30)};
   };
 
   explicit RendezvousServer(stack::IpLayer& ip);
@@ -42,6 +45,20 @@ class RendezvousServer {
   [[nodiscard]] const can::CanNode& can_node() const noexcept { return can_; }
   [[nodiscard]] std::size_t registered_hosts() const noexcept { return hosts_.size(); }
   [[nodiscard]] bool knows_host(HostId id) const noexcept { return hosts_.contains(id); }
+  [[nodiscard]] std::size_t pending_connect_count() const noexcept {
+    return pending_connects_.size();
+  }
+
+  /// Ungraceful process death: every registration, pending connect and
+  /// the server's CAN state are lost, and both UDP ports go deaf until
+  /// restart(). Agents re-discover the loss via probe silence or
+  /// rejected heartbeats and re-register from scratch.
+  void crash();
+  /// The process is back with empty tables; re-bootstraps/re-joins the
+  /// CAN overlay (bootstrap when no seed is given).
+  void restart();
+  void restart(const net::Endpoint& seed_can_endpoint);
+  [[nodiscard]] bool down() const noexcept { return down_; }
 
   struct Stats {
     std::uint64_t registrations{0};
@@ -83,6 +100,7 @@ class RendezvousServer {
   std::unordered_map<std::uint64_t, PendingConnect> pending_connects_;
   sim::PeriodicTimer expiry_timer_;
   Stats stats_;
+  bool down_{false};
 
   obs::Counter* c_registrations_{nullptr};
   obs::Counter* c_heartbeats_{nullptr};

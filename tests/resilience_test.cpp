@@ -4,9 +4,13 @@
 // behaviour of established tunnels.
 #include <gtest/gtest.h>
 
+#include "can/node.hpp"
+#include "chaos/chaos_controller.hpp"
+#include "chaos/invariants.hpp"
 #include "fabric/wan.hpp"
 #include "overlay/rendezvous.hpp"
 #include "stack/icmp.hpp"
+#include "tcp/tcp.hpp"
 #include "wavnet/capture.hpp"
 #include "wavnet/dhcp.hpp"
 #include "wavnet/host.hpp"
@@ -348,6 +352,176 @@ TEST(Resilience, EstablishedTunnelsSurviveRendezvousLoss) {
   icmp_a.send_echo_request(env.b1->virtual_ip(), id, 1, 56);
   env.sim.run_for(seconds(3));
   EXPECT_EQ(replies, 1);
+}
+
+TEST(Chaos, RendezvousCrashMidQueryResolvesViaTimeout) {
+  // A query is in flight when the server dies: no reply will ever come,
+  // so the per-query deadline (with its bounded retries) must fire the
+  // handler with an empty result instead of leaking it forever.
+  TunnelFixture env;
+  ASSERT_TRUE(env.a1->agent().registered());
+
+  bool answered = false;
+  std::vector<HostInfo> results{HostInfo{}};  // sentinel: must be cleared
+  env.a1->agent().query({0.5, 0.5}, 4, [&](std::vector<HostInfo> h) {
+    answered = true;
+    results = std::move(h);
+  });
+  env.rendezvous->crash();  // dies before the query reaches it
+  ASSERT_EQ(env.a1->agent().pending_query_count(), 1u);
+
+  // Deadline ladder: 2 s + 4 s + 6 s of retries before giving up.
+  env.sim.run_for(seconds(30));
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(env.a1->agent().pending_query_count(), 0u);
+  EXPECT_GE(env.a1->agent().stats().queries_timed_out, 1u);
+
+  // After the server restarts with amnesia, nacked heartbeats drive
+  // re-registration and queries answer again.
+  env.rendezvous->restart();
+  env.sim.run_for(seconds(60));
+  EXPECT_TRUE(env.a1->agent().registered());
+  EXPECT_GE(env.a1->agent().stats().reregistrations, 1u);
+  std::vector<HostInfo> again;
+  env.a1->agent().query({0.5, 0.5}, 4, [&](std::vector<HostInfo> h) { again = std::move(h); });
+  env.sim.run_for(seconds(5));
+  EXPECT_FALSE(again.empty());
+}
+
+TEST(Chaos, LinkFlapHealsWithAutoRepunch) {
+  // Site A's access links flap through one long down/up cycle — the dark
+  // half outlives the idle timeout, so the tunnel dies and must be
+  // re-brokered once light returns. The InvariantChecker's definition of
+  // healthy (registered, re-punched, no leaked handlers) must hold.
+  TunnelFixture env;
+  ASSERT_TRUE(env.a1->agent().link_established(env.b1->agent().id()));
+
+  chaos::ChaosController controller{env.sim};
+  controller.set_wan(env.wan);
+  chaos::FaultPlan plan;
+  plan.link_flap(env.sim.now() + seconds(1), "A", 1, seconds(90));
+  controller.schedule(plan);
+
+  chaos::InvariantChecker checker;
+  checker.add_agent(env.a1->agent());
+  checker.add_agent(env.b1->agent());
+  checker.add_rendezvous(*env.rendezvous);
+  checker.expect_full_mesh();
+
+  env.sim.run_for(seconds(240));
+  EXPECT_EQ(controller.faults_injected(), 1u);
+  EXPECT_GE(env.a1->agent().stats().links_lost + env.b1->agent().stats().links_lost,
+            1u);
+  EXPECT_TRUE(checker.converged())
+      << ::testing::PrintToString(checker.violations());
+  for (fabric::Link* link : env.wan.access_links("A")) {
+    EXPECT_FALSE(link->down());
+    EXPECT_GT(link->stats().dropped_down, 0u);
+  }
+}
+
+TEST(Chaos, NatRebootUnderActiveTcpStreamRecovers) {
+  // A bulk TCP transfer is mid-flight when site A's gateway power-cycles
+  // (crash drops everything, restart comes back with empty bindings).
+  // Retransmissions bridge the outage, the idle detector + re-punch
+  // rebuild the tunnel, and the stream completes in full.
+  TunnelFixture env;
+  tcp::TcpLayer tcp_a{env.a1->stack()};
+  tcp::TcpLayer tcp_b{env.b1->stack()};
+
+  // 64 MiB at the 100 Mbit/s site uplink needs ~5.5 s of wire time, so a
+  // crash 2 s in is guaranteed to land mid-stream.
+  const std::uint64_t kTransfer = 64ull * 1024 * 1024;
+  std::uint64_t received = 0;
+  tcp_b.listen(5001, [&](tcp::TcpConnection::Ptr conn) {
+    conn->on_data([&received, conn](const std::vector<net::Chunk>& chunks) {
+      received += net::total_size(chunks);
+    });
+  });
+  auto conn = tcp_a.connect({env.b1->virtual_ip(), 5001});
+  conn->on_established([&] { conn->send_virtual(kTransfer); });
+  env.sim.run_for(seconds(2));  // connection up, transfer under way
+  ASSERT_GT(received, 0u);
+  ASSERT_LT(received, kTransfer);
+
+  env.site_a->gateway->crash();
+  env.sim.run_for(seconds(10));
+  env.site_a->gateway->restart();
+  env.sim.run_for(seconds(240));
+
+  EXPECT_GT(env.site_a->gateway->nat_stats().dropped_down, 0u);
+  EXPECT_TRUE(env.a1->agent().link_established(env.b1->agent().id()));
+  EXPECT_TRUE(env.b1->agent().link_established(env.a1->agent().id()));
+  EXPECT_EQ(received, kTransfer);
+}
+
+TEST(Chaos, CanNeighborCrashTakeoverKeepsLookupsRoutable) {
+  // A CAN node dies silently mid-overlay. Its neighbors' hello liveness
+  // notices, one of them absorbs the orphaned zone, and lookups for
+  // points in the dead node's former territory keep resolving.
+  sim::Simulation sim{2026};
+  can::CanNode::Config cfg;
+  cfg.dims = 2;
+  std::vector<std::unique_ptr<can::CanNode>> nodes;
+  auto find = [&](const net::Endpoint& ep) -> can::CanNode* {
+    for (auto& n : nodes) {
+      if (n->endpoint() == ep) return n.get();
+    }
+    return nullptr;
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    const net::Endpoint ep{net::Ipv4Address{static_cast<std::uint32_t>(i + 1)}, 9000};
+    nodes.push_back(std::make_unique<can::CanNode>(
+        sim, i + 1, ep,
+        [&sim, &find](const net::Endpoint& to, net::Chunk msg) {
+          sim.schedule_after(milliseconds(5), [&find, to, msg = std::move(msg)] {
+            if (auto* node = find(to)) node->on_message(net::Endpoint{}, msg);
+          });
+        },
+        cfg));
+  }
+  nodes[0]->bootstrap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    nodes[i]->join(nodes[0]->endpoint());
+    sim.run_for(seconds(1));
+  }
+  sim.run_for(seconds(30));  // neighbor tables settle
+
+  can::CanNode& victim = *nodes[3];
+  const can::Zone orphaned = victim.zone();
+  can::Point inside;
+  for (std::size_t d = 0; d < orphaned.dims(); ++d) {
+    inside.coords.push_back((orphaned.lo[d] + orphaned.hi[d]) / 2.0);
+  }
+  victim.crash();
+
+  // Past hello_interval * 3 the silence is conclusive; a mergeable
+  // neighbor takes the zone over (ungraceful leave, no handoff message).
+  sim.run_for(seconds(60));
+  std::uint64_t takeovers = 0;
+  double volume = 0.0;
+  for (const auto& n : nodes) {
+    if (n.get() == &victim) continue;
+    takeovers += n->stats().zone_takeovers;
+    volume += n->zone().volume();
+  }
+  EXPECT_GE(takeovers, 1u);
+  EXPECT_NEAR(volume, 1.0, 1e-9);  // no coverage hole left behind
+
+  // Store at the orphaned zone's center and look it up from afar: the
+  // greedy route must terminate at the new owner, not a dead end.
+  nodes[0]->store(inside, to_bytes("reclaimed"));
+  sim.run_for(seconds(2));
+  bool answered = false;
+  nodes[5]->query(inside, 1, [&](std::vector<can::Item> items) {
+    answered = true;
+    ASSERT_FALSE(items.empty());
+    EXPECT_EQ(items[0].point, inside);
+  });
+  sim.run_for(seconds(5));
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(nodes[5]->pending_query_count(), 0u);
 }
 
 }  // namespace
