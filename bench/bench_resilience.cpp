@@ -33,6 +33,11 @@ const fabric::PairPath kDefaultPath{kRtt / 2 - microseconds(200), kZeroDuration,
 struct ScenarioResult {
   std::string name;
   double recovery_s{-1.0};  // -1 = never converged within the deadline
+  /// What the SLO HealthMonitor *observed* from metrics alone: time from
+  /// fault start to the first non-healthy transition, and from heal to
+  /// the last return-to-healthy. -1 = never detected / never recovered.
+  double detect_s{-1.0};
+  double observed_recovery_s{-1.0};
   std::uint64_t faults{0};
   std::vector<std::string> violations;
 };
@@ -62,6 +67,7 @@ ScenarioResult run_scenario(const std::string& name, std::uint64_t seed,
   }
   checker.add_rendezvous(*world.rendezvous());
   checker.expect_full_mesh();
+  world.set_invariant_checker(&checker);
 
   const TimePoint t0 = world.sim().now();
   chaos::FaultPlan plan;
@@ -105,6 +111,26 @@ ScenarioResult run_scenario(const std::string& name, std::uint64_t seed,
   world.sim().metrics().gauge("chaos.recovery_s", name).set(result.recovery_s);
   world.sim().metrics().gauge("chaos.violations", name)
       .set(static_cast<double>(result.violations.size()));
+
+  // The same outage as seen from the telemetry side: when did the SLO
+  // monitor first flag a component after the fault started, and when did
+  // the last component swing back to healthy after the heal. Mild faults
+  // the mesh rides out legitimately never trip a transition (-1).
+  for (const auto& tr : world.health().transitions()) {
+    if (tr.at <= t0) continue;
+    if (result.detect_s < 0 && tr.to != obs::HealthState::kHealthy) {
+      result.detect_s = to_seconds(tr.at - t0);
+    }
+    if (tr.to == obs::HealthState::kHealthy && tr.at >= heal) {
+      result.observed_recovery_s = to_seconds(tr.at - heal);
+    }
+  }
+  if (world.health().worst_state() != obs::HealthState::kHealthy) {
+    result.observed_recovery_s = -1.0;  // still unhealthy at scenario end
+  }
+  world.sim().metrics().gauge("health.detect_s", name).set(result.detect_s);
+  world.sim().metrics().gauge("health.observed_recovery_s", name)
+      .set(result.observed_recovery_s);
   return result;
 }
 
@@ -179,13 +205,18 @@ int main(int argc, char** argv) {
 
   TextTable table{"Recovery time after heal (invariants: mesh re-punched, all "
                   "agents registered, no leaked handlers)"};
-  table.header({"Scenario", "Faults", "Recovery (s)", "Violations"});
+  table.header(
+      {"Scenario", "Faults", "Recovery (s)", "Detected (s)", "SLO recov (s)",
+       "Violations"});
   std::size_t total_violations = 0;
   for (const auto& [name, build] : scenarios) {
     const ScenarioResult result = run_scenario(name, seed, build);
     total_violations += result.violations.size();
     table.row({result.name, std::to_string(result.faults),
                result.recovery_s < 0 ? std::string("DNF") : fmt_f(result.recovery_s, 0),
+               result.detect_s < 0 ? std::string("-") : fmt_f(result.detect_s, 0),
+               result.observed_recovery_s < 0 ? std::string("-")
+                                              : fmt_f(result.observed_recovery_s, 0),
                std::to_string(result.violations.size())});
     for (const std::string& v : result.violations) {
       std::printf("  [%s] INVARIANT VIOLATED: %s\n", result.name.c_str(), v.c_str());

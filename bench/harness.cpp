@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace wav::benchx {
@@ -51,6 +52,13 @@ void obs_init(int argc, char** argv) {
       g_obs.metrics_out = v;
     } else if (const char* v2 = value_of("--trace-out")) {
       g_obs.trace_out = v2;
+    } else if (const char* v3 = value_of("--series-out")) {
+      g_obs.series_out = v3;
+    } else if (const char* v4 = value_of("--health-out")) {
+      g_obs.health_out = v4;
+    } else if (const char* v5 = value_of("--sample-interval")) {
+      const double s = std::strtod(v5, nullptr);
+      if (s > 0) g_obs.sample_interval_s = s;
     }
   }
   // Start the JSONL metrics file fresh; Worlds append as they die.
@@ -62,7 +70,10 @@ void obs_init(int argc, char** argv) {
 const ObsOptions& obs_options() noexcept { return g_obs; }
 
 void World::flush_observability() {
-  if (g_obs.metrics_out.empty() && g_obs.trace_out.empty()) return;
+  if (g_obs.metrics_out.empty() && g_obs.trace_out.empty() &&
+      g_obs.series_out.empty() && g_obs.health_out.empty()) {
+    return;
+  }
   const int run = ++g_worlds_flushed;
   if (!g_obs.metrics_out.empty()) {
     if (std::FILE* f = std::fopen(g_obs.metrics_out.c_str(), "a")) {
@@ -91,6 +102,12 @@ void World::flush_observability() {
   }
   if (!g_obs.trace_out.empty()) {
     sim_.tracer().write_chrome_json(numbered_path(g_obs.trace_out, run));
+  }
+  if (!g_obs.series_out.empty()) {
+    sampler_->write_jsonl(numbered_path(g_obs.series_out, run));
+  }
+  if (!g_obs.health_out.empty()) {
+    health_->write_jsonl(numbered_path(g_obs.health_out, run));
   }
 }
 
@@ -122,7 +139,33 @@ World::World(Plane plane, std::uint64_t seed)
       seed_(seed),
       sim_(seed),
       network_(sim_),
-      wan_(std::make_unique<fabric::Wan>(network_)) {}
+      wan_(std::make_unique<fabric::Wan>(network_)) {
+  const Duration interval = seconds_f(g_obs.sample_interval_s);
+  obs::TimeSeriesSampler::Config cfg;
+  cfg.interval = interval;
+  sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+      sim_.metrics(), [this] { return sim_.now(); }, cfg);
+  health_ =
+      std::make_unique<obs::HealthMonitor>(sim_.metrics(), [this] { return sim_.now(); });
+  health_->set_tracer(&sim_.tracer());
+  // Constant-period, RNG-free: the telemetry tick adds events but never
+  // perturbs protocol behavior, so seeded runs stay reproducible.
+  telemetry_timer_ = std::make_unique<sim::PeriodicTimer>(sim_, interval, [this] {
+    if (invariants_ != nullptr) {
+      g_invariant_violations_->set(static_cast<double>(invariants_->violations().size()));
+    }
+    sampler_->sample();
+    health_->evaluate();
+  });
+  telemetry_timer_->start();
+}
+
+void World::set_invariant_checker(chaos::InvariantChecker* checker) {
+  invariants_ = checker;
+  if (g_invariant_violations_ == nullptr) {
+    g_invariant_violations_ = &sim_.metrics().gauge("chaos.invariant_violations");
+  }
+}
 
 World::~World() { flush_observability(); }
 
@@ -260,6 +303,28 @@ void World::deploy_wavnet() {
     }
   }
   sim_.run_for(seconds(15));
+  add_default_slos();
+}
+
+void World::add_default_slos() {
+  // Punch outcomes across the whole deployment: timeouts are the failure
+  // arm (each timed-out punch also schedules a backoff retry).
+  health_->add_success_rate_rule("punch", "overlay.links_established",
+                                 "overlay.punch_timeouts", 0.9, 0.5, 4);
+  // Per-agent blackhole detection: once an agent holds established links
+  // it must keep hearing CONNECT_PULSEs. 15 s of silence (3 pulse
+  // intervals) degrades it; 30 s (the link idle timeout) is critical.
+  for (const auto& [name, d] : hosts_) {
+    health_->add_progress_rule("agent:" + name, "overlay.connect_pulse_received", name,
+                               "overlay.links_active", name, seconds(15), seconds(30));
+  }
+  // Registration liveness: the rendezvous table must hold every member.
+  health_->add_gauge_floor_rule("rendezvous", "rendezvous.registered_hosts",
+                                rendezvous_->host_endpoint().ip.to_string(),
+                                static_cast<double>(hosts_.size()), 1.0);
+  // Resource discovery latency ceiling over the simulated WAN.
+  health_->add_percentile_rule("can", "can.query_latency_ms", {}, 99.0, 500.0, 2000.0,
+                               8);
 }
 
 void World::deploy_ipop() {

@@ -14,8 +14,11 @@
 #include <memory>
 #include <string>
 
+#include "chaos/invariants.hpp"
 #include "fabric/wan.hpp"
 #include "ipop/ipop.hpp"
+#include "obs/health.hpp"
+#include "obs/timeseries.hpp"
 #include "overlay/rendezvous.hpp"
 #include "vm/migration.hpp"
 #include "wavnet/host.hpp"
@@ -35,12 +38,21 @@ enum class Plane { kPhysical, kWavnet, kIpop };
 ///   --trace-out <file>     write each World's Chrome trace_event JSON
 ///                          (the first World gets the exact path so it
 ///                          loads straight into Perfetto; later Worlds
-///                          get "<stem>-2<ext>", "<stem>-3<ext>", ...).
-/// Both flags also accept the --flag=value spelling. Worlds flush on
+///                          get "<stem>-2<ext>", "<stem>-3<ext>", ...),
+///   --series-out <file>    write each World's sampled time-series JSONL
+///                          (numbered like --trace-out),
+///   --health-out <file>    write each World's SLO health transitions
+///                          JSONL (numbered like --trace-out), and
+///   --sample-interval <s>  telemetry sampling cadence in simulated
+///                          seconds (default 1).
+/// All flags also accept the --flag=value spelling. Worlds flush on
 /// destruction, so a bench needs no per-experiment export code.
 struct ObsOptions {
   std::string metrics_out;  // empty = disabled
   std::string trace_out;    // empty = disabled
+  std::string series_out;   // empty = disabled
+  std::string health_out;   // empty = disabled
+  double sample_interval_s{1.0};
 };
 
 /// Parses the observability flags out of argv (unrecognised arguments are
@@ -101,6 +113,17 @@ class World {
     return rendezvous_.get();
   }
 
+  /// Continuous telemetry: every World samples its registry and evaluates
+  /// SLO health on the --sample-interval cadence (deploy_wavnet installs
+  /// the default WAVNet rules; benches may add their own before deploy).
+  [[nodiscard]] obs::TimeSeriesSampler& sampler() noexcept { return *sampler_; }
+  [[nodiscard]] obs::HealthMonitor& health() noexcept { return *health_; }
+
+  /// Attaches an invariant checker whose violation count is mirrored into
+  /// the chaos.invariant_violations gauge on every telemetry tick (so the
+  /// sampled series shows convergence, not just the final verdict).
+  void set_invariant_checker(chaos::InvariantChecker* checker);
+
   /// Sets the (site) access rate for the named host's site (Fig 7 sweep).
   void set_site_rate(const std::string& site, BitRate rate);
   /// Same, addressed by host name.
@@ -130,6 +153,7 @@ class World {
  private:
   void deploy_wavnet();
   void deploy_ipop();
+  void add_default_slos();
   void flush_observability();
   std::string site_of(const std::string& host_name) const;
 
@@ -145,6 +169,12 @@ class World {
   std::uint32_t next_vip_{10};
   bool paper_testbed_{false};
   IpopTopology ipop_topology_{IpopTopology::kFullMesh};
+
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<sim::PeriodicTimer> telemetry_timer_;
+  chaos::InvariantChecker* invariants_{nullptr};
+  obs::Gauge* g_invariant_violations_{nullptr};
 };
 
 /// Prints a bench banner with the experiment id and setup notes.

@@ -129,6 +129,8 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
   c_queries_timed_out_ = &reg.counter("can.queries_timed_out", inst);
   h_query_hops_ = &reg.histogram("can.query_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48});
   h_delivery_hops_ = &reg.histogram("can.delivery_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48});
+  h_query_latency_ms_ = &reg.histogram(
+      "can.query_latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
 }
 
 void CanNode::bootstrap() {
@@ -420,6 +422,7 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       auto items = parse_items(r, sim_.now());
       auto callback = std::move(it->second.callback);
       sim_.cancel(it->second.deadline);
+      h_query_latency_ms_->observe(to_milliseconds(sim_.now() - it->second.started));
       pending_queries_.erase(it);
       callback(items ? std::move(*items) : std::vector<Item>{});
       return;
@@ -681,7 +684,7 @@ void CanNode::query(const Point& point, std::size_t k, QueryCallback callback) {
   // lost datagram); the deadline guarantees the callback always fires.
   const sim::EventId deadline = sim_.schedule_after(
       config_.query_timeout * 4, [this, qid] { expire_query(qid); });
-  pending_queries_[qid] = PendingQuery{std::move(callback), deadline};
+  pending_queries_[qid] = PendingQuery{std::move(callback), deadline, sim_.now()};
 
   ByteBuffer out;
   ByteWriter w{out};

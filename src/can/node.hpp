@@ -162,6 +162,7 @@ class CanNode {
   struct PendingQuery {
     QueryCallback callback;
     sim::EventId deadline{};
+    TimePoint started{};  // anchor for the end-to-end latency histogram
   };
 
   /// Aggregation state while the owner waits for neighbor probe replies.
@@ -229,6 +230,7 @@ class CanNode {
   obs::Counter* c_queries_timed_out_{nullptr};
   obs::Histogram* h_query_hops_{nullptr};     // per-overlay (no instance)
   obs::Histogram* h_delivery_hops_{nullptr};  // all routed deliveries
+  obs::Histogram* h_query_latency_ms_{nullptr};  // origin-side answered queries
 };
 
 }  // namespace wav::can

@@ -90,6 +90,11 @@ NatGateway::NatGateway(fabric::Network& network, std::string name, NatConfig con
   c_blocked_inbound_ = &reg.counter("nat.blocked_inbound", this->name());
   c_expired_bindings_ = &reg.counter("nat.expired_bindings", this->name());
   c_bindings_created_ = &reg.counter("nat.bindings_created", this->name());
+  g_bindings_active_ = &reg.gauge("nat.bindings_active", this->name());
+}
+
+void NatGateway::sync_binding_gauge() {
+  g_bindings_active_->set(static_cast<double>(port_to_binding_.size()));
 }
 
 Duration NatGateway::timeout_for(std::uint8_t protocol) const noexcept {
@@ -112,6 +117,7 @@ std::size_t NatGateway::active_bindings() const {
 void NatGateway::flush_bindings() {
   flow_to_port_.clear();
   port_to_binding_.clear();
+  sync_binding_gauge();
 }
 
 void NatGateway::crash() {
@@ -138,6 +144,7 @@ void NatGateway::drop_expired() {
       sim().tracer().instant(obs::Category::kNat, "nat.binding_expired", name(),
                              "\"public_port\":" + std::to_string(b.public_port));
       it = port_to_binding_.erase(it);
+      sync_binding_gauge();
     } else {
       ++it;
     }
@@ -198,6 +205,7 @@ NatGateway::Binding* NatGateway::find_or_create_binding(const FlowKey& key) {
   const std::uint32_t pkey = (static_cast<std::uint32_t>(port) << 8) | key.protocol;
   auto [it, inserted] = port_to_binding_.insert_or_assign(pkey, std::move(b));
   (void)inserted;
+  sync_binding_gauge();
   return &it->second;
 }
 

@@ -151,6 +151,9 @@ class NatGateway : public fabric::Node {
   obs::Counter* c_blocked_inbound_{nullptr};
   obs::Counter* c_expired_bindings_{nullptr};
   obs::Counter* c_bindings_created_{nullptr};
+  obs::Gauge* g_bindings_active_{nullptr};  // live translation table size
+
+  void sync_binding_gauge();
 };
 
 /// Extracts the (src_port, dst_port) pair of any supported L4 body. ICMP

@@ -1,0 +1,378 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wav::obs {
+
+const char* to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kCritical: return "critical";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Compact deterministic rendering for human-readable reasons.
+std::string fmt(double v) { return json_double(v); }
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(MetricsRegistry& registry, ClockFn clock)
+    : registry_(registry), clock_(std::move(clock)) {
+  recovery_ms_ = &registry_.histogram(
+      "health.recovery_ms",
+      {10, 50, 100, 500, 1000, 5000, 10000, 30000, 60000, 120000, 300000});
+}
+
+HealthMonitor::Component& HealthMonitor::component(const std::string& name) {
+  const auto it = components_.find(name);
+  if (it != components_.end()) return it->second;
+  Component comp;
+  comp.state_gauge = &registry_.gauge("health.state", name);
+  comp.state_gauge->set(0.0);
+  comp.transitions_counter = &registry_.counter("health.transitions", name);
+  return components_.emplace(name, comp).first->second;
+}
+
+void HealthMonitor::add_success_rate_rule(std::string component_name,
+                                          std::string success_counter,
+                                          std::string failure_counter,
+                                          double degraded_below, double critical_below,
+                                          std::uint64_t min_events, Duration quiet_after) {
+  Rule rule;
+  rule.kind = RuleKind::kSuccessRate;
+  rule.component = std::move(component_name);
+  rule.metric = std::move(success_counter);
+  rule.metric2 = std::move(failure_counter);
+  rule.threshold_degraded = degraded_below;
+  rule.threshold_critical = critical_below;
+  rule.min_events = std::max<std::uint64_t>(min_events, 1);
+  rule.quiet_after = quiet_after;
+  component(rule.component);
+  rules_.push_back(std::move(rule));
+}
+
+void HealthMonitor::add_progress_rule(std::string component_name, std::string counter,
+                                      std::string counter_instance, std::string gate_gauge,
+                                      std::string gate_instance, Duration degraded_after,
+                                      Duration critical_after) {
+  Rule rule;
+  rule.kind = RuleKind::kProgress;
+  rule.component = std::move(component_name);
+  rule.metric = std::move(counter);
+  rule.instance = std::move(counter_instance);
+  rule.metric2 = std::move(gate_gauge);
+  rule.instance2 = std::move(gate_instance);
+  rule.degraded_after = degraded_after;
+  rule.critical_after = std::max(critical_after, degraded_after);
+  component(rule.component);
+  rules_.push_back(std::move(rule));
+}
+
+void HealthMonitor::add_percentile_rule(std::string component_name, std::string histogram,
+                                        std::string instance, double percentile,
+                                        double degraded_above, double critical_above,
+                                        std::uint64_t min_count, Duration quiet_after) {
+  Rule rule;
+  rule.kind = RuleKind::kPercentile;
+  rule.component = std::move(component_name);
+  rule.metric = std::move(histogram);
+  rule.instance = std::move(instance);
+  rule.percentile = percentile;
+  rule.threshold_degraded = degraded_above;
+  rule.threshold_critical = critical_above;
+  rule.min_events = std::max<std::uint64_t>(min_count, 1);
+  rule.quiet_after = quiet_after;
+  component(rule.component);
+  rules_.push_back(std::move(rule));
+}
+
+void HealthMonitor::add_gauge_floor_rule(std::string component_name, std::string gauge,
+                                         std::string instance, double degraded_floor,
+                                         double critical_floor) {
+  Rule rule;
+  rule.kind = RuleKind::kGaugeFloor;
+  rule.component = std::move(component_name);
+  rule.metric = std::move(gauge);
+  rule.instance = std::move(instance);
+  rule.threshold_degraded = degraded_floor;
+  rule.threshold_critical = critical_floor;
+  component(rule.component);
+  rules_.push_back(std::move(rule));
+}
+
+HealthState HealthMonitor::evaluate_rule(Rule& rule, TimePoint now, std::string& reason) {
+  switch (rule.kind) {
+    case RuleKind::kSuccessRate: {
+      const std::uint64_t success = registry_.counter_total(rule.metric);
+      const std::uint64_t failure = registry_.counter_total(rule.metric2);
+      if (!rule.armed) {
+        // First evaluation is the baseline; pre-existing history (e.g.
+        // deploy-time punches) must not count toward the first window.
+        rule.armed = true;
+        rule.prev_success = success;
+        rule.prev_failure = failure;
+        rule.last_advance = now;
+        return rule.verdict;
+      }
+      const std::uint64_t added =
+          (success - rule.prev_success) + (failure - rule.prev_failure);
+      rule.win_success += success - rule.prev_success;
+      rule.win_failure += failure - rule.prev_failure;
+      rule.prev_success = success;
+      rule.prev_failure = failure;
+      if (added > 0) rule.last_advance = now;
+      const std::uint64_t events = rule.win_success + rule.win_failure;
+      if (events < rule.min_events) {
+        // A half-filled window can't clear an unhealthy verdict on its
+        // own; after a long enough quiet spell the failures that tripped
+        // the rule have aged out and nothing has failed since.
+        if (rule.verdict != HealthState::kHealthy &&
+            now - rule.last_advance > rule.quiet_after) {
+          rule.win_success = 0;
+          rule.win_failure = 0;
+          rule.verdict = HealthState::kHealthy;
+        }
+        return rule.verdict;
+      }
+      const double rate =
+          static_cast<double>(rule.win_success) / static_cast<double>(events);
+      rule.win_success = 0;
+      rule.win_failure = 0;
+      if (rate < rule.threshold_critical) {
+        reason = rule.metric + " rate " + fmt(rate) + " < " +
+                 fmt(rule.threshold_critical) + " over " + std::to_string(events) +
+                 " events";
+        rule.verdict = HealthState::kCritical;
+      } else if (rate < rule.threshold_degraded) {
+        reason = rule.metric + " rate " + fmt(rate) + " < " +
+                 fmt(rule.threshold_degraded) + " over " + std::to_string(events) +
+                 " events";
+        rule.verdict = HealthState::kDegraded;
+      } else {
+        rule.verdict = HealthState::kHealthy;
+      }
+      return rule.verdict;
+    }
+    case RuleKind::kProgress: {
+      const Counter* c = registry_.find_counter(rule.metric, rule.instance);
+      if (c == nullptr) {
+        rule.armed = false;
+        rule.verdict = HealthState::kHealthy;
+        return rule.verdict;
+      }
+      const std::uint64_t value = c->value();
+      if (!rule.metric2.empty()) {
+        const Gauge* gate = registry_.find_gauge(rule.metric2, rule.instance2);
+        if (gate == nullptr || gate->value() <= 0) {
+          // Nothing expected while the gate is closed; re-arm fresh.
+          rule.armed = false;
+          rule.verdict = HealthState::kHealthy;
+          return rule.verdict;
+        }
+        if (!rule.armed) {  // gate just opened: grace window starts now
+          rule.armed = true;
+          rule.prev_counter = value;
+          rule.last_advance = now;
+          rule.verdict = HealthState::kHealthy;
+          return rule.verdict;
+        }
+      } else if (!rule.armed) {
+        // Gateless: arm on the first observed advance.
+        if (rule.seen && value > rule.prev_counter) {
+          rule.armed = true;
+          rule.last_advance = now;
+        }
+        rule.seen = true;
+        rule.prev_counter = value;
+        rule.verdict = HealthState::kHealthy;
+        return rule.verdict;
+      }
+      if (value != rule.prev_counter) {
+        rule.prev_counter = value;
+        rule.last_advance = now;
+        rule.verdict = HealthState::kHealthy;
+        return rule.verdict;
+      }
+      const Duration silence = now - rule.last_advance;
+      if (silence > rule.critical_after) {
+        reason = "no " + rule.metric + " progress for " + fmt(to_seconds(silence)) + " s";
+        rule.verdict = HealthState::kCritical;
+      } else if (silence > rule.degraded_after) {
+        reason = "no " + rule.metric + " progress for " + fmt(to_seconds(silence)) + " s";
+        rule.verdict = HealthState::kDegraded;
+      } else {
+        rule.verdict = HealthState::kHealthy;
+      }
+      return rule.verdict;
+    }
+    case RuleKind::kPercentile: {
+      const Histogram* h = registry_.find_histogram(rule.metric, rule.instance);
+      if (h == nullptr) return rule.verdict;
+      const std::vector<std::uint64_t>& counts = h->buckets();
+      if (rule.prev_buckets.size() != counts.size()) {
+        rule.prev_buckets = counts;  // baseline; history predates the monitor
+        rule.win_buckets.assign(counts.size(), 0);
+        rule.last_advance = now;
+        return rule.verdict;
+      }
+      std::uint64_t window_total = 0;
+      std::uint64_t added = 0;
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        added += counts[i] - rule.prev_buckets[i];
+        rule.win_buckets[i] += counts[i] - rule.prev_buckets[i];
+        rule.prev_buckets[i] = counts[i];
+        window_total += rule.win_buckets[i];
+      }
+      if (added > 0) rule.last_advance = now;
+      if (window_total < rule.min_events) {
+        // Same quiet-period recovery as success-rate rules.
+        if (rule.verdict != HealthState::kHealthy &&
+            now - rule.last_advance > rule.quiet_after) {
+          std::fill(rule.win_buckets.begin(), rule.win_buckets.end(), 0);
+          rule.verdict = HealthState::kHealthy;
+        }
+        return rule.verdict;
+      }
+      const std::vector<double>& bounds = h->bounds();
+      const double hi_edge =
+          bounds.empty() ? h->summary().max()
+                         : std::max(bounds.back(), h->summary().max());
+      const double value =
+          interpolated_percentile(bounds, rule.win_buckets, rule.percentile, 0.0, hi_edge);
+      std::fill(rule.win_buckets.begin(), rule.win_buckets.end(), 0);
+      if (value > rule.threshold_critical) {
+        reason = rule.metric + " p" + fmt(rule.percentile) + " " + fmt(value) + " > " +
+                 fmt(rule.threshold_critical) + " over " + std::to_string(window_total) +
+                 " obs";
+        rule.verdict = HealthState::kCritical;
+      } else if (value > rule.threshold_degraded) {
+        reason = rule.metric + " p" + fmt(rule.percentile) + " " + fmt(value) + " > " +
+                 fmt(rule.threshold_degraded) + " over " + std::to_string(window_total) +
+                 " obs";
+        rule.verdict = HealthState::kDegraded;
+      } else {
+        rule.verdict = HealthState::kHealthy;
+      }
+      return rule.verdict;
+    }
+    case RuleKind::kGaugeFloor: {
+      const Gauge* g = registry_.find_gauge(rule.metric, rule.instance);
+      if (g == nullptr) return rule.verdict;
+      const double value = g->value();
+      if (value < rule.threshold_critical) {
+        reason = rule.metric + " " + fmt(value) + " < " + fmt(rule.threshold_critical);
+        rule.verdict = HealthState::kCritical;
+      } else if (value < rule.threshold_degraded) {
+        reason = rule.metric + " " + fmt(value) + " < " + fmt(rule.threshold_degraded);
+        rule.verdict = HealthState::kDegraded;
+      } else {
+        rule.verdict = HealthState::kHealthy;
+      }
+      return rule.verdict;
+    }
+  }
+  return HealthState::kHealthy;
+}
+
+void HealthMonitor::evaluate() {
+  const TimePoint now = clock_();
+  // Worst verdict per component this pass, with the first tripping
+  // rule's reason (rules evaluate in add order — deterministic).
+  std::map<std::string, std::pair<HealthState, std::string>> worst;
+  for (Rule& rule : rules_) {
+    std::string reason;
+    const HealthState verdict = evaluate_rule(rule, now, reason);
+    auto [it, inserted] = worst.emplace(rule.component, std::pair{verdict, reason});
+    if (!inserted && verdict > it->second.first) it->second = {verdict, reason};
+  }
+  for (auto& [name, vr] : worst) {
+    Component& comp = component(name);
+    const HealthState next = vr.first;
+    if (next == comp.state) continue;
+    Transition tr;
+    tr.at = now;
+    tr.component = name;
+    tr.from = comp.state;
+    tr.to = next;
+    tr.reason = vr.second;
+    if (comp.state == HealthState::kHealthy) {
+      comp.unhealthy_since = now;
+    } else if (next == HealthState::kHealthy) {
+      tr.unhealthy_for = now - comp.unhealthy_since;
+      comp.last_recovery = tr.unhealthy_for;
+      recovery_ms_->observe(to_milliseconds(tr.unhealthy_for));
+    }
+    comp.state = next;
+    comp.state_gauge->set(static_cast<double>(static_cast<std::uint8_t>(next)));
+    comp.transitions_counter->inc();
+    if (tracer_ != nullptr) {
+      std::string args = "\"from\":\"" + std::string(to_string(tr.from)) +
+                         "\",\"to\":\"" + std::string(to_string(tr.to)) + "\"";
+      if (!tr.reason.empty()) args += ",\"reason\":\"" + json_escape(tr.reason) + "\"";
+      if (tr.to == HealthState::kHealthy) {
+        args += ",\"recovery_ms\":" + json_double(to_milliseconds(tr.unhealthy_for));
+      }
+      tracer_->instant(Category::kHealth, "health.transition", name, std::move(args));
+    }
+    transitions_.push_back(std::move(tr));
+  }
+}
+
+HealthState HealthMonitor::state(const std::string& component_name) const {
+  const auto it = components_.find(component_name);
+  return it == components_.end() ? HealthState::kHealthy : it->second.state;
+}
+
+HealthState HealthMonitor::worst_state() const {
+  HealthState worst = HealthState::kHealthy;
+  for (const auto& [name, comp] : components_) worst = std::max(worst, comp.state);
+  return worst;
+}
+
+std::vector<std::string> HealthMonitor::components() const {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const auto& [name, comp] : components_) names.push_back(name);
+  return names;
+}
+
+std::optional<Duration> HealthMonitor::last_recovery(
+    const std::string& component_name) const {
+  const auto it = components_.find(component_name);
+  return it == components_.end() ? std::nullopt : it->second.last_recovery;
+}
+
+std::string HealthMonitor::to_jsonl() const {
+  std::string out;
+  out.reserve(transitions_.size() * 160);
+  for (const Transition& tr : transitions_) {
+    out += "{\"t_ns\":" + std::to_string(tr.at.since_start.count());
+    out += ",\"component\":\"" + json_escape(tr.component) + "\"";
+    out += ",\"from\":\"";
+    out += to_string(tr.from);
+    out += "\",\"to\":\"";
+    out += to_string(tr.to);
+    out += "\"";
+    if (!tr.reason.empty()) out += ",\"reason\":\"" + json_escape(tr.reason) + "\"";
+    if (tr.to == HealthState::kHealthy) {
+      out += ",\"recovery_ns\":" + std::to_string(tr.unhealthy_for.count());
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool HealthMonitor::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_jsonl();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace wav::obs

@@ -1,0 +1,184 @@
+// Continuous health telemetry, part 2: a declarative SLO monitor driven
+// on the sampling cadence. Each rule maps registry metrics onto a
+// healthy -> degraded -> critical verdict for one named component; a
+// component's state is the worst verdict across its rules. Transitions
+// are timestamped with sim time, emitted as Category::kHealth trace
+// instants, mirrored into the registry (health.state gauge per
+// component, health.transitions counter, health.recovery_ms histogram)
+// and exported as deterministic JSONL.
+//
+// Where the chaos InvariantChecker *asserts* convergence from inside the
+// process, the HealthMonitor *observes* it from the metrics alone — the
+// same signal a production deployment would have.
+//
+// Rule kinds (all evaluate over windows of metric deltas, never
+// cumulative totals, so a component that degrades and then recovers
+// swings back to healthy instead of dragging its history around):
+//   * success-rate  — success/(success+failure) counter deltas, summed
+//                     across instances, evaluated once a window has
+//                     accumulated min_events outcomes;
+//   * progress      — a counter must keep advancing (pulse-miss /
+//                     blackhole detection). Armed by a gate gauge > 0 or,
+//                     gateless, by the counter's first advance; silence
+//                     past degraded_after/critical_after trips it;
+//   * percentile    — interpolated percentile of windowed histogram
+//                     bucket deltas against latency ceilings;
+//   * gauge-floor   — a gauge must stay at or above a floor (liveness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wav::obs {
+
+enum class HealthState : std::uint8_t { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+
+[[nodiscard]] const char* to_string(HealthState s) noexcept;
+
+class HealthMonitor {
+ public:
+  using ClockFn = std::function<TimePoint()>;
+
+  /// The monitor reads rule inputs from `registry` and writes its own
+  /// health.* metrics back into it (so health state is itself sampled).
+  HealthMonitor(MetricsRegistry& registry, ClockFn clock);
+
+  /// Transitions additionally emit Category::kHealth instants here.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  // --- declarative SLO rules (see file comment for semantics) ---------
+
+  /// success/(success+failure) over counter deltas summed across all
+  /// instances of the two names. Evaluates once a window holds at least
+  /// `min_events` outcomes; rate < critical_below is critical, else
+  /// < degraded_below is degraded. An unhealthy rule that sees no new
+  /// outcomes at all for `quiet_after` returns to healthy: the failures
+  /// that tripped it have aged out and nothing has failed since.
+  void add_success_rate_rule(std::string component, std::string success_counter,
+                             std::string failure_counter, double degraded_below,
+                             double critical_below, std::uint64_t min_events = 4,
+                             Duration quiet_after = seconds(30));
+
+  /// The (name, instance) counter must advance. With a gate gauge the
+  /// rule is active while gate > 0; with empty gate_gauge it arms on the
+  /// counter's first advance. Silence past `degraded_after` degrades,
+  /// past `critical_after` is critical.
+  void add_progress_rule(std::string component, std::string counter,
+                         std::string counter_instance, std::string gate_gauge,
+                         std::string gate_instance, Duration degraded_after,
+                         Duration critical_after);
+
+  /// Interpolated percentile of histogram bucket deltas accumulated
+  /// since the rule last fired, evaluated once the window holds
+  /// `min_count` observations. Value > critical_above is critical, else
+  /// > degraded_above degrades. Like success-rate rules, an unhealthy
+  /// rule with no new observations for `quiet_after` returns to healthy.
+  void add_percentile_rule(std::string component, std::string histogram,
+                           std::string instance, double percentile,
+                           double degraded_above, double critical_above,
+                           std::uint64_t min_count = 8,
+                           Duration quiet_after = seconds(30));
+
+  /// The (name, instance) gauge must stay >= degraded_floor; below
+  /// critical_floor is critical. An absent gauge is healthy (not yet
+  /// registered = not yet deployed).
+  void add_gauge_floor_rule(std::string component, std::string gauge,
+                            std::string instance, double degraded_floor,
+                            double critical_floor);
+
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Evaluates every rule at the current clock time; call once per
+  /// sampling tick. Rules whose inputs are absent or whose windows are
+  /// still filling keep their previous verdict.
+  void evaluate();
+
+  [[nodiscard]] HealthState state(const std::string& component) const;
+  [[nodiscard]] HealthState worst_state() const;
+  [[nodiscard]] std::vector<std::string> components() const;
+
+  struct Transition {
+    TimePoint at{};
+    std::string component;
+    HealthState from{HealthState::kHealthy};
+    HealthState to{HealthState::kHealthy};
+    std::string reason;
+    /// On a recovery (to == healthy): how long the component had been
+    /// unhealthy — the *observed* recovery time.
+    Duration unhealthy_for{kZeroDuration};
+  };
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// Observed recovery time of the component's most recent return to
+  /// healthy; nullopt when it never left or never returned.
+  [[nodiscard]] std::optional<Duration> last_recovery(const std::string& component) const;
+
+  /// One JSON object per transition, chronological:
+  ///   {"t_ns":...,"component":...,"from":"healthy","to":"degraded",
+  ///    "reason":...} (+"recovery_ns" on transitions back to healthy)
+  [[nodiscard]] std::string to_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  enum class RuleKind : std::uint8_t { kSuccessRate, kProgress, kPercentile, kGaugeFloor };
+
+  struct Rule {
+    RuleKind kind{RuleKind::kSuccessRate};
+    std::string component;
+    std::string metric;      // success counter / counter / histogram / gauge
+    std::string metric2;     // failure counter / gate gauge
+    std::string instance;    // of metric
+    std::string instance2;   // of metric2
+    double threshold_degraded{0};
+    double threshold_critical{0};
+    double percentile{99};
+    std::uint64_t min_events{1};
+    Duration degraded_after{kZeroDuration};
+    Duration critical_after{kZeroDuration};
+    Duration quiet_after{kZeroDuration};  // windowed rules: unhealthy + idle -> healthy
+
+    // --- windowed evaluation state ---
+    HealthState verdict{HealthState::kHealthy};
+    std::uint64_t win_success{0};   // success-rate: accumulated outcome deltas
+    std::uint64_t win_failure{0};
+    std::uint64_t prev_success{0};  // cumulative values at last evaluation
+    std::uint64_t prev_failure{0};
+    std::uint64_t prev_counter{0};  // progress: last seen counter value
+    TimePoint last_advance{};       // progress: when it last moved
+    bool armed{false};
+    bool seen{false};               // gateless progress: counter observed once
+    std::vector<std::uint64_t> prev_buckets;  // percentile: cumulative counts
+    std::vector<std::uint64_t> win_buckets;   // percentile: windowed deltas
+  };
+
+  struct Component {
+    HealthState state{HealthState::kHealthy};
+    TimePoint unhealthy_since{};
+    std::optional<Duration> last_recovery;
+    Gauge* state_gauge{nullptr};
+    Counter* transitions_counter{nullptr};
+  };
+
+  HealthState evaluate_rule(Rule& rule, TimePoint now, std::string& reason);
+  Component& component(const std::string& name);
+
+  MetricsRegistry& registry_;
+  ClockFn clock_;
+  Tracer* tracer_{nullptr};
+  std::vector<Rule> rules_;                    // evaluation order = add order
+  std::map<std::string, Component> components_;
+  std::vector<Transition> transitions_;
+  Histogram* recovery_ms_{nullptr};
+};
+
+}  // namespace wav::obs

@@ -1,0 +1,250 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wav::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::num_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+}
+
+std::string Value::str_or(const std::string& key, const std::string& fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->type == Type::kString ? v->str : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(Value& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': out.type = Value::Type::kString; return parse_string(out.str);
+      case 't': out.type = Value::Type::kBool; out.boolean = true; return literal("true");
+      case 'f': out.type = Value::Type::kBool; out.boolean = false; return literal("false");
+      case 'n': out.type = Value::Type::kNull; return literal("null");
+      default: out.type = Value::Type::kNumber; return parse_number(out.number);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      Value member;
+      if (!parse_value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Exports only escape control characters; encode the BMP code
+          // point as UTF-8 and don't bother with surrogate pairs.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          } else {
+            out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+            out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any_digit = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any_digit = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      digits();
+    }
+    if (!any_digit) return false;
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out = std::strtod(num.c_str(), &end);
+    return end == num.c_str() + num.size();
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text) {
+  Parser parser(text);
+  Value value;
+  if (!parser.parse_document(value)) return {std::nullopt, parser.pos()};
+  return {std::move(value), 0};
+}
+
+std::vector<Value> parse_jsonl(std::string_view text) {
+  std::vector<Value> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    ParseResult result = parse(line);
+    if (result.value) out.push_back(std::move(*result.value));
+  }
+  return out;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string body;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return body;
+}
+
+}  // namespace wav::obs::json

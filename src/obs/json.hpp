@@ -1,0 +1,56 @@
+// Minimal JSON reader for the observability tooling (wavnet-doctor,
+// metrics_diff). Parses the exports this repo writes — objects, arrays,
+// strings, numbers, booleans, null — into a small value DOM. Not a
+// general-purpose library: inputs are trusted local files, so errors
+// simply yield nullopt with a character offset for the message.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wav::obs::json {
+
+struct Value {
+  enum class Type : unsigned char { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string str;
+  std::vector<Value> array;
+  /// Insertion-ordered; exports never repeat keys.
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Convenience accessors with fallback for absent/mistyped members.
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   const std::string& fallback) const;
+};
+
+struct ParseResult {
+  std::optional<Value> value;
+  std::size_t error_offset{0};  // meaningful only when !value
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed).
+[[nodiscard]] ParseResult parse(std::string_view text);
+
+/// Parses newline-delimited JSON, skipping blank lines. Lines that fail
+/// to parse are skipped (a truncated final line must not sink a whole
+/// diagnosis run).
+[[nodiscard]] std::vector<Value> parse_jsonl(std::string_view text);
+
+/// Reads a whole file; nullopt when it cannot be opened.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace wav::obs::json

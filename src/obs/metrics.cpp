@@ -20,6 +20,35 @@ void Histogram::observe(double x) {
   summary_.add(x);
 }
 
+double interpolated_percentile(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& counts, double p,
+                               double lo_edge, double hi_edge) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    const double lo = i == 0 ? lo_edge : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : hi_edge;
+    const double frac = (rank - prev) / static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return hi_edge;  // unreachable: the loop always covers rank <= total
+}
+
+double Histogram::percentile(double p) const {
+  if (summary_.count() == 0) return 0.0;
+  const double v = interpolated_percentile(bounds_, counts_, p, summary_.min(),
+                                           summary_.max());
+  return std::clamp(v, summary_.min(), summary_.max());
+}
+
 Counter& MetricsRegistry::counter(const std::string& name, const std::string& instance) {
   return counters_[Key{name, instance}];
 }
@@ -69,6 +98,24 @@ std::uint64_t MetricsRegistry::next_instance_id(const std::string& kind) {
   return instance_ids_[kind]++;
 }
 
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, const std::string&, const Counter&)>&
+        fn) const {
+  for (const auto& [key, c] : counters_) fn(key.first, key.second, c);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, const std::string&, const Gauge&)>& fn)
+    const {
+  for (const auto& [key, g] : gauges_) fn(key.first, key.second, g);
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const std::string&, const Histogram&)>&
+        fn) const {
+  for (const auto& [key, h] : histograms_) fn(key.first, key.second, h);
+}
+
 std::string json_double(double v) {
   if (std::isnan(v)) v = 0.0;
   if (std::isinf(v)) {
@@ -114,7 +161,7 @@ void append_key(std::string& out, const std::pair<std::string, std::string>& key
 std::string MetricsRegistry::to_json() const {
   std::string out;
   out.reserve(4096);
-  out += "{\n  \"schema\": \"wavnet-metrics/1\",\n  \"counters\": [";
+  out += "{\n  \"schema\": \"wavnet-metrics/2\",\n  \"counters\": [";
   bool first = true;
   for (const auto& [key, c] : counters_) {
     out += first ? "\n" : ",\n";
@@ -131,7 +178,8 @@ std::string MetricsRegistry::to_json() const {
     first = false;
     out += "    {";
     append_key(out, key);
-    out += ",\"value\":" + json_double(g.value()) + ",\"max\":" + json_double(g.max()) + "}";
+    out += ",\"value\":" + json_double(g.value()) + ",\"min\":" + json_double(g.min()) +
+           ",\"max\":" + json_double(g.max()) + "}";
   }
   out += first ? "]" : "\n  ]";
   out += ",\n  \"histograms\": [";
@@ -147,6 +195,9 @@ std::string MetricsRegistry::to_json() const {
     out += ",\"mean\":" + json_double(s.mean());
     out += ",\"min\":" + json_double(s.min());
     out += ",\"max\":" + json_double(s.max());
+    out += ",\"p50\":" + json_double(h.percentile(50));
+    out += ",\"p95\":" + json_double(h.percentile(95));
+    out += ",\"p99\":" + json_double(h.percentile(99));
     out += ",\"buckets\":[";
     const auto& bounds = h.bounds();
     const auto& counts = h.buckets();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -28,20 +29,30 @@ class Counter {
   std::uint64_t value_{0};
 };
 
-/// Last-write-wins instantaneous value; tracks the high-water mark.
+/// Last-write-wins instantaneous value; tracks low- and high-water marks
+/// from the first set() (an all-negative gauge must not report max 0).
 class Gauge {
  public:
   void set(double v) noexcept {
     value_ = v;
+    if (!seen_) {
+      seen_ = true;
+      min_ = max_ = v;
+      return;
+    }
     if (v > max_) max_ = v;
+    if (v < min_) min_ = v;
   }
   void add(double delta) noexcept { set(value_ + delta); }
   [[nodiscard]] double value() const noexcept { return value_; }
-  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double max() const noexcept { return seen_ ? max_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return seen_ ? min_ : 0.0; }
 
  private:
   double value_{0};
+  double min_{0};
   double max_{0};
+  bool seen_{false};
 };
 
 /// Fixed-bucket histogram over explicit upper bounds plus an implicit
@@ -52,6 +63,12 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double x);
+
+  /// Interpolated percentile estimate (p in [0, 100]) over the bucketed
+  /// distribution: linear interpolation within the bucket holding the
+  /// target rank, with the summary's exact min/max as the outer edges and
+  /// the result clamped to [min, max]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
 
   [[nodiscard]] std::size_t count() const noexcept { return summary_.count(); }
   [[nodiscard]] const OnlineStats& summary() const noexcept { return summary_; }
@@ -98,6 +115,19 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  /// Ordered iteration over every registered metric, by (name, instance).
+  /// The TimeSeries sampler snapshots the registry through these; the
+  /// deterministic order is what keeps series exports byte-identical.
+  void for_each_counter(
+      const std::function<void(const std::string& name, const std::string& instance,
+                               const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string& name, const std::string& instance,
+                               const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string& name, const std::string& instance,
+                               const Histogram&)>& fn) const;
+
   /// Whole-registry export, ordered by (name, instance). Stable across
   /// identical-seed runs: nothing wall-clock-derived is registered here.
   [[nodiscard]] std::string to_json() const;
@@ -112,6 +142,17 @@ class MetricsRegistry {
   std::map<Key, Histogram> histograms_;
   std::map<std::string, std::uint64_t> instance_ids_;
 };
+
+/// Interpolated percentile over explicit bucket counts. `bounds` are the
+/// sorted inclusive upper bounds; `counts` has one extra trailing +inf
+/// bucket. `lo_edge`/`hi_edge` bound the first bucket from below and the
+/// +inf bucket from above (callers pass the observed min/max when known,
+/// or domain edges like 0 for latencies). The SLO evaluator uses this
+/// directly on windowed bucket deltas; Histogram::percentile wraps it
+/// with its cumulative counts. p outside [0, 100] is clamped.
+[[nodiscard]] double interpolated_percentile(const std::vector<double>& bounds,
+                                             const std::vector<std::uint64_t>& counts,
+                                             double p, double lo_edge, double hi_edge);
 
 /// Formats a double for JSON output (deterministic shortest-ish form;
 /// infinities clamp to the largest finite double, NaN renders as 0).

@@ -1,0 +1,105 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+
+namespace wav::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry& registry, ClockFn clock)
+    : TimeSeriesSampler(registry, std::move(clock), Config{}) {}
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry& registry, ClockFn clock,
+                                     Config config)
+    : registry_(registry), clock_(std::move(clock)), config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+void TimeSeriesSampler::push(Ring& ring, Point p) {
+  if (ring.buf.size() < config_.ring_capacity) {
+    ring.buf.push_back(p);
+    return;
+  }
+  ring.buf[ring.next_slot] = p;
+  ring.next_slot = (ring.next_slot + 1) % config_.ring_capacity;
+  ++ring.dropped;
+}
+
+void TimeSeriesSampler::record(int kind, const std::string& name,
+                               const std::string& instance, double value, TimePoint now,
+                               double dt_s) {
+  Ring& ring = rings_[Key{kind, name, instance}];
+  Point p;
+  p.at = now;
+  p.value = value;
+  p.rate = ring.has_last && dt_s > 0 ? (value - ring.last_value) / dt_s : 0.0;
+  ring.last_value = value;
+  ring.has_last = true;
+  push(ring, p);
+}
+
+void TimeSeriesSampler::sample() {
+  const TimePoint now = clock_();
+  const double dt_s = samples_ > 0 ? to_seconds(now - last_sample_) : 0.0;
+  registry_.for_each_counter(
+      [&](const std::string& name, const std::string& instance, const Counter& c) {
+        record(0, name, instance, static_cast<double>(c.value()), now, dt_s);
+      });
+  registry_.for_each_gauge(
+      [&](const std::string& name, const std::string& instance, const Gauge& g) {
+        record(1, name, instance, g.value(), now, dt_s);
+      });
+  last_sample_ = now;
+  ++samples_;
+}
+
+std::vector<TimeSeriesSampler::SeriesView> TimeSeriesSampler::series() const {
+  std::vector<SeriesView> out;
+  out.reserve(rings_.size());
+  for (const auto& [key, ring] : rings_) {
+    SeriesView view;
+    view.counter = std::get<0>(key) == 0;
+    view.name = std::get<1>(key);
+    view.instance = std::get<2>(key);
+    view.dropped = ring.dropped;
+    view.points.reserve(ring.buf.size());
+    // Oldest retained first: [next_slot, end) then [0, next_slot).
+    for (std::size_t i = 0; i < ring.buf.size(); ++i) {
+      view.points.push_back(ring.buf[(ring.next_slot + i) % ring.buf.size()]);
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::string TimeSeriesSampler::to_jsonl() const {
+  std::string out;
+  out.reserve(rings_.size() * 256);
+  for (const SeriesView& s : series()) {
+    out += "{\"kind\":\"";
+    out += s.counter ? "counter" : "gauge";
+    out += "\",\"name\":\"" + json_escape(s.name) + "\"";
+    if (!s.instance.empty()) out += ",\"instance\":\"" + json_escape(s.instance) + "\"";
+    out += ",\"interval_ns\":" + std::to_string(config_.interval.count());
+    out += ",\"dropped\":" + std::to_string(s.dropped);
+    out += ",\"points\":[";
+    bool first = true;
+    for (const Point& p : s.points) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"t_ns\":" + std::to_string(p.at.since_start.count());
+      out += ",\"v\":" + json_double(p.value);
+      out += ",\"rate\":" + json_double(p.rate) + "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+bool TimeSeriesSampler::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_jsonl();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace wav::obs

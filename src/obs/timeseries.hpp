@@ -1,0 +1,97 @@
+// Continuous health telemetry, part 1: a sim-time sampler that snapshots
+// every registered counter and gauge into a bounded per-metric ring of
+// (time, value, rate) points. End-of-run aggregates cannot tell a tunnel
+// that blackholed for 30 s and recovered apart from one that never
+// failed; the sampled series can.
+//
+// Sampling reads the registry through its ordered iteration API and the
+// clock is the owning Simulation's, so identical seeds produce
+// byte-identical JSONL exports (same contract as the Tracer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace wav::obs {
+
+class TimeSeriesSampler {
+ public:
+  struct Config {
+    /// Nominal sampling cadence; only used to label the export (the
+    /// caller drives sample() on whatever timer it owns).
+    Duration interval{seconds(1)};
+    /// Per-metric ring bound; oldest points are overwritten under
+    /// pressure and counted per series as `dropped`.
+    std::size_t ring_capacity{4096};
+  };
+
+  using ClockFn = std::function<TimePoint()>;
+
+  TimeSeriesSampler(const MetricsRegistry& registry, ClockFn clock);
+  TimeSeriesSampler(const MetricsRegistry& registry, ClockFn clock, Config config);
+
+  /// Snapshots every counter and gauge at the current clock time. Counter
+  /// points carry a derived per-second rate over the elapsed interval;
+  /// gauge points carry the signed rate of change. The first point of a
+  /// series has rate 0 (no earlier point to difference against).
+  void sample();
+
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t series_count() const noexcept { return rings_.size(); }
+
+  struct Point {
+    TimePoint at{};
+    double value{0};
+    double rate{0};  // per-second delta since the previous point
+  };
+
+  struct SeriesView {
+    std::string name;
+    std::string instance;
+    bool counter{false};  // false: gauge
+    std::uint64_t dropped{0};
+    std::vector<Point> points;  // oldest retained first
+  };
+
+  /// Materialized series ordered by (kind, name, instance) — the same
+  /// order the JSONL export uses.
+  [[nodiscard]] std::vector<SeriesView> series() const;
+
+  /// One JSON object per series:
+  ///   {"kind":"counter","name":...,"instance":...,"interval_ns":...,
+  ///    "dropped":0,"points":[{"t_ns":...,"v":...,"rate":...},...]}
+  [[nodiscard]] std::string to_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  // kind joins the key so a counter and a gauge sharing a name never
+  // collide; 0 = counter, 1 = gauge keeps counters first in the export.
+  using Key = std::tuple<int, std::string, std::string>;
+
+  struct Ring {
+    double last_value{0};
+    bool has_last{false};
+    std::uint64_t dropped{0};
+    std::vector<Point> buf;
+    std::size_t next_slot{0};
+  };
+
+  void push(Ring& ring, Point p);
+  void record(int kind, const std::string& name, const std::string& instance,
+              double value, TimePoint now, double dt_s);
+
+  const MetricsRegistry& registry_;
+  ClockFn clock_;
+  Config config_;
+  std::map<Key, Ring> rings_;
+  TimePoint last_sample_{};
+  std::uint64_t samples_{0};
+};
+
+}  // namespace wav::obs

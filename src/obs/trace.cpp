@@ -20,6 +20,7 @@ const char* to_string(Category c) noexcept {
     case Category::kMigration: return "migration";
     case Category::kOverlay: return "overlay";
     case Category::kChaos: return "chaos";
+    case Category::kHealth: return "health";
   }
   return "?";
 }

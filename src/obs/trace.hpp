@@ -29,8 +29,9 @@ enum class Category : std::uint8_t {
   kMigration,
   kOverlay,
   kChaos,
+  kHealth,
 };
-inline constexpr std::size_t kCategoryCount = 10;
+inline constexpr std::size_t kCategoryCount = 11;
 
 [[nodiscard]] const char* to_string(Category c) noexcept;
 

@@ -35,6 +35,7 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
   c_punches_sent_ = &reg.counter("overlay.punches_sent", self_.name);
   c_punch_acks_sent_ = &reg.counter("overlay.punch_acks_sent", self_.name);
   c_pulses_sent_ = &reg.counter("overlay.connect_pulse_sent", self_.name);
+  c_pulses_received_ = &reg.counter("overlay.connect_pulse_received", self_.name);
   c_frames_sent_ = &reg.counter("overlay.frames_sent", self_.name);
   c_frames_received_ = &reg.counter("overlay.frames_received", self_.name);
   c_links_established_ = &reg.counter("overlay.links_established", self_.name);
@@ -43,6 +44,7 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
   c_heartbeats_sent_ = &reg.counter("overlay.heartbeats_sent", self_.name);
   c_queries_timed_out_ = &reg.counter("overlay.queries_timed_out", self_.name);
   c_reregistrations_ = &reg.counter("overlay.reregistrations", self_.name);
+  g_links_active_ = &reg.gauge("overlay.links_active", self_.name);
   h_punch_latency_ms_ = &reg.histogram(
       "punch.latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
 
@@ -286,6 +288,7 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
   repunch_backoff_.erase(link.peer);
   ++stats_.links_established;
   c_links_established_->inc();
+  g_links_active_->add(1);
   h_punch_latency_ms_->observe(
       to_milliseconds(ip_.sim().now() - link.punch_started));
   ip_.sim().tracer().complete(obs::Category::kPunch, "punch.success",
@@ -340,6 +343,7 @@ void HostAgent::drop_link(HostId peer) {
   if (was_established) {
     ++stats_.links_lost;
     c_links_lost_->inc();
+    g_links_active_->add(-1);
     ip_.sim().tracer().instant(obs::Category::kOverlay, "link.down", self_.name,
                                "\"peer\":" + std::to_string(peer));
     if (on_link_down_) on_link_down_(peer);
@@ -414,7 +418,10 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       return;
     }
     case MsgType::kPulse: {
-      if (Link* link = link_by_endpoint(from)) link->last_rx = ip_.sim().now();
+      if (Link* link = link_by_endpoint(from)) {
+        link->last_rx = ip_.sim().now();
+        c_pulses_received_->inc();
+      }
       return;
     }
     case MsgType::kPunch: {

@@ -211,6 +211,7 @@ class HostAgent {
   obs::Counter* c_punches_sent_{nullptr};
   obs::Counter* c_punch_acks_sent_{nullptr};
   obs::Counter* c_pulses_sent_{nullptr};
+  obs::Counter* c_pulses_received_{nullptr};
   obs::Counter* c_frames_sent_{nullptr};
   obs::Counter* c_frames_received_{nullptr};
   obs::Counter* c_links_established_{nullptr};
@@ -219,6 +220,7 @@ class HostAgent {
   obs::Counter* c_heartbeats_sent_{nullptr};
   obs::Counter* c_queries_timed_out_{nullptr};
   obs::Counter* c_reregistrations_{nullptr};
+  obs::Gauge* g_links_active_{nullptr};  // established links right now
   obs::Histogram* h_punch_latency_ms_{nullptr};
 };
 

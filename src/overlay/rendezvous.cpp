@@ -38,7 +38,12 @@ RendezvousServer::RendezvousServer(stack::IpLayer& ip, Config config)
   c_connects_brokered_ = &reg.counter("rendezvous.connects_brokered", instance);
   c_connects_failed_ = &reg.counter("rendezvous.connects_failed", instance);
   c_hosts_expired_ = &reg.counter("rendezvous.hosts_expired", instance);
+  g_registered_hosts_ = &reg.gauge("rendezvous.registered_hosts", instance);
   expiry_timer_.start();
+}
+
+void RendezvousServer::sync_host_gauge() {
+  g_registered_hosts_->set(static_cast<double>(hosts_.size()));
 }
 
 void RendezvousServer::bootstrap() { can_.bootstrap(); }
@@ -51,6 +56,7 @@ void RendezvousServer::crash() {
   if (down_) return;
   down_ = true;
   hosts_.clear();
+  sync_host_gauge();
   pending_connects_.clear();
   expiry_timer_.stop();
   can_.crash();
@@ -111,6 +117,7 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
             return buf;
           }());
           hosts_.erase(it);
+          sync_host_gauge();
         }
       }
       return;
@@ -222,6 +229,7 @@ void RendezvousServer::handle_register(const net::Endpoint& from, const Register
   can_.store(attrs_to_point(reg.info.attributes), std::move(blob), config_.host_expiry);
 
   hosts_[msg.info.host_id] = std::move(reg);
+  sync_host_gauge();
 
   RegisterAckMsg ack;
   ack.ok = true;
@@ -329,6 +337,7 @@ void RendezvousServer::expire_stale_hosts() {
       ++it;
     }
   }
+  sync_host_gauge();
   // Connect requests that never completed fail loudly: the requester
   // gets a ConnectFail so its punch attempt can give up, and the failure
   // shows up in stats instead of vanishing in a silent GC.

@@ -86,6 +86,9 @@ class RendezvousServer {
   void handle_connect_request(const net::Endpoint& from, const ConnectRequestMsg& msg);
   void handle_rv_forward(const net::Endpoint& from, const RvForwardNotifyMsg& msg);
   void expire_stale_hosts();
+  /// Mirrors hosts_.size() into the rendezvous.registered_hosts gauge
+  /// after every table mutation (the SLO liveness floor reads it).
+  void sync_host_gauge();
 
   [[nodiscard]] can::Point attrs_to_point(const std::vector<double>& attrs) const;
 
@@ -108,6 +111,7 @@ class RendezvousServer {
   obs::Counter* c_connects_brokered_{nullptr};
   obs::Counter* c_connects_failed_{nullptr};
   obs::Counter* c_hosts_expired_{nullptr};
+  obs::Gauge* g_registered_hosts_{nullptr};  // live registration table size
 };
 
 }  // namespace wav::overlay

@@ -9,7 +9,9 @@
 #include <limits>
 #include <string>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace wav {
@@ -178,6 +180,64 @@ TEST(Metrics, HistogramBucketsUseInclusiveUpperBounds) {
   EXPECT_EQ(&again, &h);
 }
 
+TEST(Metrics, GaugeWatermarksTrackFromFirstSet) {
+  obs::Gauge g;
+  // Untouched gauge: no watermarks to report.
+  EXPECT_DOUBLE_EQ(g.min(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+
+  // All-negative history must not report a phantom max of 0.
+  g.set(-5.0);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  EXPECT_DOUBLE_EQ(g.min(), -5.0);
+  EXPECT_DOUBLE_EQ(g.max(), -2.0);
+
+  g.add(-10.0);
+  EXPECT_DOUBLE_EQ(g.min(), -12.0);
+  EXPECT_DOUBLE_EQ(g.max(), -2.0);
+}
+
+TEST(Metrics, InterpolatedPercentileHitsBucketBoundariesExactly) {
+  const std::vector<double> bounds{10, 20};
+  const std::vector<std::uint64_t> counts{1, 1, 0};  // one <=10, one in (10,20]
+  // Rank 1 of 2 lands exactly on the first bucket's upper edge...
+  EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, counts, 50.0, 0.0, 20.0), 10.0);
+  // ...and rank 2 of 2 exactly on the second's.
+  EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, counts, 100.0, 0.0, 20.0), 20.0);
+  // p0 pins to the lower edge; out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, counts, 0.0, 3.0, 20.0), 3.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, counts, 150.0, 0.0, 20.0), 20.0);
+  // Empty distribution: defined as 0.
+  EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, {0, 0, 0}, 99.0, 0.0, 20.0), 0.0);
+
+  // Uniform mass in one bucket interpolates linearly across it.
+  const std::vector<std::uint64_t> uniform{4, 0};
+  EXPECT_DOUBLE_EQ(
+      obs::interpolated_percentile({100}, uniform, 25.0, 0.0, 100.0), 25.0);
+  EXPECT_DOUBLE_EQ(
+      obs::interpolated_percentile({100}, uniform, 75.0, 0.0, 100.0), 75.0);
+}
+
+TEST(Metrics, HistogramPercentileClampsToObservedRange) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {10});
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);  // empty
+
+  // A single observation is every percentile: interpolation inside the
+  // (min=5, bound=10) bucket would over-estimate, the clamp corrects it.
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 5.0);
+
+  // The +inf bucket is bounded above by the observed max.
+  auto& h2 = reg.histogram("lat2", {1, 2, 4});
+  for (const double v : {0.5, 1.5, 3.0, 8.0}) h2.observe(v);
+  EXPECT_DOUBLE_EQ(h2.percentile(100.0), 8.0);
+  EXPECT_DOUBLE_EQ(h2.percentile(0.0), 0.5);
+}
+
 TEST(Metrics, InstanceIdsAreSequentialPerKind) {
   MetricsRegistry reg;
   EXPECT_EQ(reg.next_instance_id("bridge"), 0u);
@@ -331,6 +391,136 @@ TEST(Trace, ExportsAreByteIdenticalForIdenticalRuns) {
   const auto [chrome_b, jsonl_b] = run();
   EXPECT_EQ(chrome_a, chrome_b);
   EXPECT_EQ(jsonl_a, jsonl_b);
+}
+
+TEST(Trace, RingSeqStaysContinuousAcrossOverflow) {
+  TimePoint now{};
+  Tracer tracer{[&] { return now; }, Tracer::Config{.capacity = 8}};
+  for (int i = 0; i < 29; ++i) {
+    now += microseconds(100);
+    tracer.instant(Category::kSim, "e", "");
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 21u);
+  // Retention drops the oldest events but never punches holes: the
+  // surviving window is exactly [dropped, recorded).
+  EXPECT_EQ(events.front().seq, tracer.dropped());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, tracer.dropped() + i);
+  }
+  EXPECT_EQ(events.back().seq + 1, tracer.recorded());
+}
+
+// --- time-series sampler ----------------------------------------------------
+
+TEST(TimeSeries, DerivesRatesFromCounterAndGaugeDeltas) {
+  MetricsRegistry reg;
+  TimePoint now{};
+  obs::TimeSeriesSampler sampler{reg, [&] { return now; }};
+
+  auto& c = reg.counter("rx.frames", "h1");
+  auto& g = reg.gauge("q.depth");
+  c.inc(5);
+  g.set(3.0);
+  now += seconds(1);
+  sampler.sample();
+  c.inc(10);
+  g.set(1.0);
+  now += seconds(2);
+  sampler.sample();
+
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  const auto series = sampler.series();
+  ASSERT_EQ(series.size(), 2u);
+  // Counters sort ahead of gauges.
+  EXPECT_TRUE(series[0].counter);
+  EXPECT_EQ(series[0].name, "rx.frames");
+  EXPECT_EQ(series[0].instance, "h1");
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].points[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(series[0].points[0].rate, 0.0);  // first point: no delta yet
+  EXPECT_DOUBLE_EQ(series[0].points[1].value, 15.0);
+  EXPECT_DOUBLE_EQ(series[0].points[1].rate, 5.0);  // +10 over 2 s
+
+  EXPECT_FALSE(series[1].counter);
+  EXPECT_DOUBLE_EQ(series[1].points[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(series[1].points[1].rate, -1.0);  // -2 over 2 s
+}
+
+TEST(TimeSeries, RingDropsOldestAndCounts) {
+  MetricsRegistry reg;
+  TimePoint now{};
+  obs::TimeSeriesSampler::Config cfg;
+  cfg.ring_capacity = 4;
+  obs::TimeSeriesSampler sampler{reg, [&] { return now; }, cfg};
+  auto& c = reg.counter("x");
+  for (int i = 0; i < 10; ++i) {
+    c.inc();
+    now += seconds(1);
+    sampler.sample();
+  }
+  const auto series = sampler.series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].dropped, 6u);
+  ASSERT_EQ(series[0].points.size(), 4u);
+  // Oldest retained first, chronological.
+  EXPECT_EQ(series[0].points.front().at, TimePoint{} + seconds(7));
+  EXPECT_EQ(series[0].points.back().at, TimePoint{} + seconds(10));
+  EXPECT_DOUBLE_EQ(series[0].points.back().value, 10.0);
+}
+
+TEST(TimeSeries, ExportIsByteIdenticalForIdenticalRuns) {
+  const auto run = [] {
+    MetricsRegistry reg;
+    TimePoint now{};
+    obs::TimeSeriesSampler sampler{reg, [&] { return now; }};
+    auto& a = reg.counter("a.frames", "s1");
+    auto& b = reg.gauge("b.depth");
+    for (int i = 1; i <= 20; ++i) {
+      a.inc(static_cast<std::uint64_t>(i));
+      b.set(17.5 / i);
+      now += milliseconds(250);
+      sampler.sample();
+    }
+    return sampler.to_jsonl();
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  // And the export is real JSONL: every line parses.
+  std::size_t lines = 0;
+  for (const auto& v : obs::json::parse_jsonl(a)) {
+    EXPECT_TRUE(v.is_object());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// --- JSON parser (tooling side of the exports) ------------------------------
+
+TEST(Json, ParsesNestedDocumentsAndEscapes) {
+  const auto parsed = obs::json::parse(
+      R"({"name":"a\"bA","n":-1.5e2,"flag":true,"null":null,)"
+      R"("arr":[1,2,{"k":"v"}]})");
+  ASSERT_TRUE(parsed.value.has_value());
+  const obs::json::Value& v = *parsed.value;
+  EXPECT_EQ(v.str_or("name", ""), "a\"bA");
+  EXPECT_DOUBLE_EQ(v.num_or("n", 0), -150.0);
+  ASSERT_NE(v.find("arr"), nullptr);
+  ASSERT_EQ(v.find("arr")->array.size(), 3u);
+  EXPECT_EQ(v.find("arr")->array[2].str_or("k", ""), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputAndSkipsBadJsonlLines) {
+  EXPECT_FALSE(obs::json::parse("{\"unterminated\":").value.has_value());
+  EXPECT_FALSE(obs::json::parse("{} trailing").value.has_value());
+  EXPECT_FALSE(obs::json::parse("").value.has_value());
+
+  const auto lines = obs::json::parse_jsonl("{\"a\":1}\nnot json\n\n{\"b\":2}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_DOUBLE_EQ(lines[0].num_or("a", 0), 1.0);
+  EXPECT_DOUBLE_EQ(lines[1].num_or("b", 0), 2.0);
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+// metrics_diff: the CI regression gate over bench --metrics-out exports.
+// Compares a candidate JSONL file against a committed golden baseline,
+// world line by world line, metric by metric, with per-metric tolerance
+// thresholds (built-in rules by name pattern, overridable with a JSON
+// rules file). Exit 0 when every compared metric is within tolerance,
+// 1 on any violation or a missing metric, 2 on unreadable input.
+//
+// Tolerances exist because the baselines are committed from one compiler
+// and build type while CI compares Debug/sanitizer builds: floating-point
+// contraction differences shift event timing slightly, so counts drift a
+// little even with identical seeds. Identical builds stay byte-identical
+// (that property is asserted separately with cmp in CI).
+//
+// Also writes a canonical machine-readable summary (--summary-out,
+// default BENCH_summary.json) with the worst deviations per metric.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"  // json_escape / json_double
+
+namespace {
+
+using wav::obs::json::Value;
+
+struct Tolerance {
+  std::string prefix;  // matches metric keys "name" or "name/instance"
+  double abs_tol{0};
+  double rel_tol{0};
+};
+
+/// First matching rule wins; the catch-all "" rule must come last.
+std::vector<Tolerance> default_tolerances() {
+  return {
+      // Exactness where it matters: an invariant violation or an
+      // unexpected fault count is a regression however small.
+      {"chaos.violations", 0.4, 0.0},
+      {"chaos.faults_injected", 0.4, 0.0},
+      // Recovery timing is quantized by pulse/idle/backoff intervals and
+      // shifts across build flavors; bound it loosely but finitely.
+      {"chaos.recovery_s", 30.0, 0.5},
+      {"health.detect_s", 30.0, 0.5},
+      {"health.observed_recovery_s", 45.0, 0.5},
+      {"health.recovery_ms", 45000.0, 0.5},
+      {"health.transitions", 6.0, 1.0},
+      {"health.state", 0.4, 0.0},  // worlds must END healthy either way
+      // Latency distributions wobble with event-order jitter.
+      {"punch.latency_ms", 50.0, 0.75},
+      {"can.query_latency_ms", 50.0, 0.75},
+      // Catch-all: generous relative band plus an absolute floor so
+      // tiny counters (0 vs 2 events) don't trip the relative test.
+      {"", 8.0, 0.35},
+  };
+}
+
+const Tolerance& tolerance_for(const std::vector<Tolerance>& rules,
+                               const std::string& key) {
+  for (const Tolerance& t : rules) {
+    if (t.prefix.empty() || key.compare(0, t.prefix.size(), t.prefix) == 0) return t;
+  }
+  static const Tolerance exact{"", 0, 0};
+  return exact;
+}
+
+bool within(double base, double cand, const Tolerance& tol) {
+  const double diff = std::fabs(cand - base);
+  const double bound =
+      tol.abs_tol + tol.rel_tol * std::max(std::fabs(base), std::fabs(cand));
+  return diff <= bound;
+}
+
+struct Deviation {
+  std::string key;
+  double base{0};
+  double cand{0};
+  double excess{0};  // how far past the allowed bound (0 = within)
+  bool missing{false};
+};
+
+/// Flattens one world line's metrics object into comparable scalars.
+/// Histogram buckets are deliberately skipped: count/mean/percentiles
+/// capture regressions without turning tiny bin shifts into failures.
+std::map<std::string, double> flatten(const Value& world) {
+  std::map<std::string, double> out;
+  const Value* metrics = world.find("metrics");
+  if (metrics == nullptr) return out;
+  const auto key_of = [](const Value& m, const char* field) {
+    std::string key = m.str_or("name", "?");
+    const std::string instance = m.str_or("instance", "");
+    if (!instance.empty()) key += "/" + instance;
+    return key + ":" + field;
+  };
+  if (const Value* counters = metrics->find("counters"); counters != nullptr) {
+    for (const Value& c : counters->array) {
+      out[key_of(c, "value")] = c.num_or("value", 0);
+    }
+  }
+  if (const Value* gauges = metrics->find("gauges"); gauges != nullptr) {
+    for (const Value& g : gauges->array) {
+      out[key_of(g, "value")] = g.num_or("value", 0);
+    }
+  }
+  if (const Value* hists = metrics->find("histograms"); hists != nullptr) {
+    for (const Value& h : hists->array) {
+      out[key_of(h, "count")] = h.num_or("count", 0);
+      out[key_of(h, "mean")] = h.num_or("mean", 0);
+      out[key_of(h, "p99")] = h.num_or("p99", 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  std::string summary_out = "BENCH_summary.json";
+  std::string label = "bench";
+  std::vector<std::string> positional;
+  std::vector<Tolerance> rules = default_tolerances();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      if (arg.size() > len + 1 && arg.compare(0, len, flag) == 0 && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--summary-out")) {
+      summary_out = v;
+    } else if (const char* v2 = value_of("--label")) {
+      label = v2;
+    } else if (const char* v3 = value_of("--tolerances")) {
+      // Optional override file: [{"prefix":"...","abs_tol":N,"rel_tol":N},...]
+      const auto body = wav::obs::json::read_file(v3);
+      if (!body) {
+        std::fprintf(stderr, "metrics_diff: cannot read tolerances %s\n", v3);
+        return 2;
+      }
+      const auto parsed = wav::obs::json::parse(*body);
+      if (!parsed.value || !parsed.value->is_array()) {
+        std::fprintf(stderr, "metrics_diff: bad tolerances file %s\n", v3);
+        return 2;
+      }
+      std::vector<Tolerance> custom;
+      for (const Value& rule : parsed.value->array) {
+        custom.push_back({rule.str_or("prefix", ""), rule.num_or("abs_tol", 0),
+                          rule.num_or("rel_tol", 0)});
+      }
+      // Custom rules take precedence; the built-ins (with their final
+      // catch-all) still apply to anything the file doesn't name.
+      custom.insert(custom.end(), rules.begin(), rules.end());
+      rules = std::move(custom);
+    } else if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: metrics_diff <baseline.jsonl> <candidate.jsonl>\n"
+                 "       [--tolerances rules.json] [--summary-out out.json]\n"
+                 "       [--label name]\n");
+    return 2;
+  }
+  baseline_path = positional[0];
+  candidate_path = positional[1];
+
+  const auto base_body = wav::obs::json::read_file(baseline_path);
+  const auto cand_body = wav::obs::json::read_file(candidate_path);
+  if (!base_body || !cand_body) {
+    std::fprintf(stderr, "metrics_diff: cannot read %s\n",
+                 (!base_body ? baseline_path : candidate_path).c_str());
+    return 2;
+  }
+  const std::vector<Value> base_worlds = wav::obs::json::parse_jsonl(*base_body);
+  const std::vector<Value> cand_worlds = wav::obs::json::parse_jsonl(*cand_body);
+
+  std::vector<Deviation> failures;
+  std::size_t compared = 0;
+  if (base_worlds.size() != cand_worlds.size()) {
+    std::printf("metrics_diff: world count mismatch: baseline %zu vs candidate %zu\n",
+                base_worlds.size(), cand_worlds.size());
+    failures.push_back({"<world count>", static_cast<double>(base_worlds.size()),
+                        static_cast<double>(cand_worlds.size()), 0, true});
+  }
+  const std::size_t worlds = std::min(base_worlds.size(), cand_worlds.size());
+  for (std::size_t w = 0; w < worlds; ++w) {
+    const auto base = flatten(base_worlds[w]);
+    const auto cand = flatten(cand_worlds[w]);
+    const std::string world_tag = "world " + std::to_string(w + 1) + " ";
+    for (const auto& [key, base_value] : base) {
+      const auto it = cand.find(key);
+      if (it == cand.end()) {
+        failures.push_back({world_tag + key, base_value, 0, 0, true});
+        continue;
+      }
+      ++compared;
+      const Tolerance& tol = tolerance_for(rules, key);
+      if (!within(base_value, it->second, tol)) {
+        const double bound = tol.abs_tol + tol.rel_tol * std::max(std::fabs(base_value),
+                                                                  std::fabs(it->second));
+        failures.push_back({world_tag + key, base_value, it->second,
+                            std::fabs(it->second - base_value) - bound, false});
+      }
+    }
+    // New metrics in the candidate are fine (the codebase grows); only
+    // disappearing metrics fail, handled above.
+  }
+
+  std::stable_sort(failures.begin(), failures.end(),
+                   [](const Deviation& a, const Deviation& b) {
+                     return a.excess > b.excess;
+                   });
+  for (const Deviation& f : failures) {
+    if (f.missing) {
+      std::printf("MISSING  %-50s baseline=%s\n", f.key.c_str(),
+                  wav::obs::json_double(f.base).c_str());
+    } else {
+      std::printf("EXCEEDS  %-50s baseline=%s candidate=%s (over by %s)\n",
+                  f.key.c_str(), wav::obs::json_double(f.base).c_str(),
+                  wav::obs::json_double(f.cand).c_str(),
+                  wav::obs::json_double(f.excess).c_str());
+    }
+  }
+  std::printf("metrics_diff: %zu metric(s) compared, %zu failure(s)\n", compared,
+              failures.size());
+
+  // Canonical summary for CI artifact publication.
+  std::string summary;
+  summary += "{\"bench\":\"" + wav::obs::json_escape(label) + "\"";
+  summary += ",\"baseline\":\"" + wav::obs::json_escape(baseline_path) + "\"";
+  summary += ",\"candidate\":\"" + wav::obs::json_escape(candidate_path) + "\"";
+  summary += ",\"worlds\":" + std::to_string(worlds);
+  summary += ",\"metrics_compared\":" + std::to_string(compared);
+  summary += ",\"failures\":" + std::to_string(failures.size());
+  summary += ",\"pass\":";
+  summary += failures.empty() ? "true" : "false";
+  summary += ",\"worst\":[";
+  for (std::size_t i = 0; i < failures.size() && i < 10; ++i) {
+    const Deviation& f = failures[i];
+    if (i != 0) summary += ",";
+    summary += "{\"metric\":\"" + wav::obs::json_escape(f.key) + "\"";
+    summary += ",\"baseline\":" + wav::obs::json_double(f.base);
+    summary += ",\"candidate\":" + wav::obs::json_double(f.cand);
+    summary += ",\"missing\":";
+    summary += f.missing ? "true" : "false";
+    summary += "}";
+  }
+  summary += "]}\n";
+  if (std::FILE* f = std::fopen(summary_out.c_str(), "w")) {
+    std::fwrite(summary.data(), 1, summary.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "metrics_diff: cannot write %s\n", summary_out.c_str());
+  }
+  return failures.empty() ? 0 : 1;
+}

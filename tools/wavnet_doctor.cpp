@@ -1,0 +1,320 @@
+// wavnet-doctor: offline diagnosis over the exports a bench run leaves
+// behind. Point it at any subset of
+//   --metrics <file>   bench --metrics-out JSONL (one World per line),
+//   --series  <file>   World time-series JSONL (--series-out),
+//   --health  <file>   SLO health transition JSONL (--health-out),
+//   --trace   <file>   tracer JSONL (Tracer::write_jsonl format),
+// and it prints a human-readable report: SLO violations with their time
+// windows and observed recovery, the slowest hole punches, the noisiest
+// NAT gateway, and the fault/recovery timeline. Exit 0 when every input
+// parsed (diagnosis is reporting, not gating; metrics_diff is the gate).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using wav::obs::json::Value;
+
+double ns_to_s(double ns) { return ns / 1e9; }
+
+struct Transition {
+  double t_ns{0};
+  std::string component;
+  std::string from;
+  std::string to;
+  std::string reason;
+  std::optional<double> recovery_ns;
+};
+
+void report_health(const std::string& path) {
+  const auto body = wav::obs::json::read_file(path);
+  if (!body) {
+    std::printf("health: cannot read %s\n", path.c_str());
+    return;
+  }
+  std::vector<Transition> transitions;
+  for (const Value& line : wav::obs::json::parse_jsonl(*body)) {
+    Transition tr;
+    tr.t_ns = line.num_or("t_ns", 0);
+    tr.component = line.str_or("component", "?");
+    tr.from = line.str_or("from", "?");
+    tr.to = line.str_or("to", "?");
+    tr.reason = line.str_or("reason", "");
+    if (const Value* rec = line.find("recovery_ns")) tr.recovery_ns = rec->number;
+    transitions.push_back(std::move(tr));
+  }
+  std::printf("== SLO health (%s) ==\n", path.c_str());
+  if (transitions.empty()) {
+    std::printf("  no transitions: every component stayed healthy\n\n");
+    return;
+  }
+
+  std::printf("  recovery timeline (%zu transitions):\n", transitions.size());
+  for (const Transition& tr : transitions) {
+    std::printf("    t=%8.1fs  %-16s %s -> %s", ns_to_s(tr.t_ns), tr.component.c_str(),
+                tr.from.c_str(), tr.to.c_str());
+    if (tr.recovery_ns) std::printf("  (unhealthy %.1fs)", ns_to_s(*tr.recovery_ns));
+    if (!tr.reason.empty()) std::printf("  [%s]", tr.reason.c_str());
+    std::printf("\n");
+  }
+
+  // Per-component incident windows: first departure from healthy to the
+  // matching return. An open window means the run ended unhealthy.
+  std::map<std::string, std::vector<std::pair<double, std::optional<double>>>> windows;
+  std::map<std::string, double> open;
+  for (const Transition& tr : transitions) {
+    const bool was_healthy = tr.from == "healthy";
+    const bool now_healthy = tr.to == "healthy";
+    if (was_healthy && !now_healthy) open[tr.component] = tr.t_ns;
+    if (now_healthy) {
+      const auto it = open.find(tr.component);
+      if (it != open.end()) {
+        windows[tr.component].push_back({it->second, tr.t_ns});
+        open.erase(it);
+      }
+    }
+  }
+  for (const auto& [component, start] : open) {
+    windows[component].push_back({start, std::nullopt});
+  }
+  std::printf("  SLO violation windows:\n");
+  std::size_t recovered = 0;
+  std::size_t unrecovered = 0;
+  for (const auto& [component, spans] : windows) {
+    for (const auto& [start, end] : spans) {
+      if (end) {
+        ++recovered;
+        std::printf("    %-16s %8.1fs -> %8.1fs  (recovered in %.1fs)\n",
+                    component.c_str(), ns_to_s(start), ns_to_s(*end),
+                    ns_to_s(*end - start));
+      } else {
+        ++unrecovered;
+        std::printf("    %-16s %8.1fs -> end of run  (NEVER recovered)\n",
+                    component.c_str(), ns_to_s(start));
+      }
+    }
+  }
+  std::printf("  verdict: %zu incident(s) recovered, %zu still unhealthy\n\n",
+              recovered, unrecovered);
+}
+
+// The tracer writes Chrome trace-event JSON: one event object per line
+// inside a {"traceEvents":[...]} wrapper, trailing commas between lines,
+// "ts"/"dur" in microseconds, and instance names carried as thread_name
+// metadata keyed by "tid".
+void report_trace(const std::string& path) {
+  const auto body = wav::obs::json::read_file(path);
+  if (!body) {
+    std::printf("trace: cannot read %s\n", path.c_str());
+    return;
+  }
+  std::string stripped;
+  stripped.reserve(body->size());
+  for (std::size_t pos = 0; pos < body->size();) {
+    std::size_t eol = body->find('\n', pos);
+    if (eol == std::string::npos) eol = body->size();
+    std::string_view line(body->data() + pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && (line.back() == ',' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() != '{') continue;  // wrapper / "]}"
+    stripped.append(line);
+    stripped.push_back('\n');
+  }
+  struct Punch {
+    double dur_us{0};
+    double ts_us{0};
+    std::string instance;
+    bool success{false};
+  };
+  std::vector<Punch> punches;
+  std::map<double, std::string> thread_names;  // tid -> instance
+  std::size_t events = 0;
+  for (const Value& ev : wav::obs::json::parse_jsonl(stripped)) {
+    const std::string name = ev.str_or("name", "");
+    if (ev.str_or("ph", "") == "M") {
+      if (name == "thread_name") {
+        if (const Value* meta_args = ev.find("args"); meta_args != nullptr) {
+          thread_names[ev.num_or("tid", -1)] = meta_args->str_or("name", "?");
+        }
+      }
+      continue;
+    }
+    ++events;
+    if (name != "punch.success" && name != "punch.timeout") continue;
+    Punch p;
+    p.dur_us = ev.num_or("dur", 0);
+    p.ts_us = ev.num_or("ts", 0);
+    const auto it = thread_names.find(ev.num_or("tid", -1));
+    p.instance = it == thread_names.end() ? "?" : it->second;
+    p.success = name == "punch.success";
+    punches.push_back(std::move(p));
+  }
+  std::printf("== trace (%s): %zu events ==\n", path.c_str(), events);
+  const std::size_t timeouts = static_cast<std::size_t>(
+      std::count_if(punches.begin(), punches.end(), [](const Punch& p) {
+        return !p.success;
+      }));
+  std::printf("  punches: %zu completed, %zu timed out\n", punches.size() - timeouts,
+              timeouts);
+  std::stable_sort(punches.begin(), punches.end(),
+                   [](const Punch& a, const Punch& b) { return a.dur_us > b.dur_us; });
+  std::printf("  slowest punches:\n");
+  for (std::size_t i = 0; i < punches.size() && i < 5; ++i) {
+    const Punch& p = punches[i];
+    std::printf("    %8.1f ms  %-10s at t=%.1fs  (%s)\n", p.dur_us / 1e3,
+                p.instance.c_str(), p.ts_us / 1e6,
+                p.success ? "succeeded" : "timed out");
+  }
+  std::printf("\n");
+}
+
+void report_metrics(const std::string& path) {
+  const auto body = wav::obs::json::read_file(path);
+  if (!body) {
+    std::printf("metrics: cannot read %s\n", path.c_str());
+    return;
+  }
+  const std::vector<Value> worlds = wav::obs::json::parse_jsonl(*body);
+  std::printf("== metrics (%s): %zu world(s) ==\n", path.c_str(), worlds.size());
+  for (const Value& world : worlds) {
+    const Value* metrics = world.find("metrics");
+    if (metrics == nullptr) continue;
+    std::printf("  [%s seed %.0f]\n", world.str_or("plane", "?").c_str(),
+                world.num_or("seed", 0));
+
+    // Noisiest NAT: rank gateways by binding churn + blocked traffic.
+    std::map<std::string, double> nat_noise;
+    if (const Value* counters = metrics->find("counters"); counters != nullptr) {
+      for (const Value& c : counters->array) {
+        const std::string name = c.str_or("name", "");
+        if (name == "nat.bindings_created" || name == "nat.expired_bindings" ||
+            name == "nat.blocked_inbound") {
+          nat_noise[c.str_or("instance", "?")] += c.num_or("value", 0);
+        }
+      }
+    }
+    if (!nat_noise.empty()) {
+      const auto noisiest = std::max_element(
+          nat_noise.begin(), nat_noise.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::printf("    noisiest NAT: %s (%.0f binding churn + blocked events)\n",
+                  noisiest->first.c_str(), noisiest->second);
+    }
+
+    if (const Value* gauges = metrics->find("gauges"); gauges != nullptr) {
+      for (const Value& g : gauges->array) {
+        const std::string name = g.str_or("name", "");
+        if (name == "chaos.recovery_s" || name == "health.detect_s" ||
+            name == "health.observed_recovery_s" || name == "chaos.violations") {
+          std::printf("    %-26s %-18s %8.1f\n", name.c_str(),
+                      g.str_or("instance", "").c_str(), g.num_or("value", 0));
+        }
+      }
+    }
+    if (const Value* hists = metrics->find("histograms"); hists != nullptr) {
+      for (const Value& h : hists->array) {
+        const std::string name = h.str_or("name", "");
+        if (name == "punch.latency_ms" || name == "can.query_latency_ms" ||
+            name == "health.recovery_ms") {
+          std::printf("    %-26s n=%-6.0f mean=%8.2f p99=%8.2f max=%8.2f\n",
+                      name.c_str(), h.num_or("count", 0), h.num_or("mean", 0),
+                      h.num_or("p99", 0), h.num_or("max", 0));
+        }
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+void report_series(const std::string& path) {
+  const auto body = wav::obs::json::read_file(path);
+  if (!body) {
+    std::printf("series: cannot read %s\n", path.c_str());
+    return;
+  }
+  const std::vector<Value> series = wav::obs::json::parse_jsonl(*body);
+  std::size_t points = 0;
+  std::uint64_t dropped = 0;
+  for (const Value& s : series) {
+    if (const Value* pts = s.find("points"); pts != nullptr) points += pts->array.size();
+    dropped += static_cast<std::uint64_t>(s.num_or("dropped", 0));
+  }
+  std::printf("== series (%s): %zu series, %zu points, %llu dropped ==\n", path.c_str(),
+              series.size(), points, static_cast<unsigned long long>(dropped));
+  // Convergence as the sampler saw it: when invariant violations peaked
+  // and when they last returned to zero.
+  for (const Value& s : series) {
+    if (s.str_or("name", "") != "chaos.invariant_violations") continue;
+    const Value* pts = s.find("points");
+    if (pts == nullptr || pts->array.empty()) continue;
+    double peak = 0;
+    double peak_t = 0;
+    double last_nonzero_t = -1;
+    for (const Value& p : pts->array) {
+      const double v = p.num_or("v", 0);
+      if (v > peak) {
+        peak = v;
+        peak_t = p.num_or("t_ns", 0);
+      }
+      if (v > 0) last_nonzero_t = p.num_or("t_ns", 0);
+    }
+    if (peak > 0) {
+      std::printf("  invariant violations peaked at %.0f (t=%.1fs), last seen t=%.1fs\n",
+                  peak, ns_to_s(peak_t), ns_to_s(last_nonzero_t));
+    } else {
+      std::printf("  invariant violations stayed at zero\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics;
+  std::string series;
+  std::string health;
+  std::string trace;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      if (arg.size() > len + 1 && arg.compare(0, len, flag) == 0 && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--metrics")) {
+      metrics = v;
+    } else if (const char* v2 = value_of("--series")) {
+      series = v2;
+    } else if (const char* v3 = value_of("--health")) {
+      health = v3;
+    } else if (const char* v4 = value_of("--trace")) {
+      trace = v4;
+    }
+  }
+  if (metrics.empty() && series.empty() && health.empty() && trace.empty()) {
+    std::printf(
+        "usage: wavnet-doctor [--metrics m.jsonl] [--series s.jsonl]\n"
+        "                     [--health h.jsonl] [--trace t.jsonl]\n");
+    return 2;
+  }
+  std::printf("wavnet-doctor report\n====================\n\n");
+  if (!health.empty()) report_health(health);
+  if (!metrics.empty()) report_metrics(metrics);
+  if (!trace.empty()) report_trace(trace);
+  if (!series.empty()) report_series(series);
+  return 0;
+}
