@@ -2,19 +2,37 @@
 // codecs: frame serialization/parsing, bridge forwarding, simulation
 // event throughput, and TCP bulk transfer events — the constant factors
 // behind every experiment binary.
+//
+// Besides the google-benchmark suite, `--perf-out=<file>` runs the
+// deterministic throughput mode the CI perf-smoke job gates: an event-core
+// churn phase (events/sec) and a two-host WAVNet tunnel phase (frames/sec),
+// exported as metrics JSONL. All simulation-visible counts are a pure
+// function of --seed; wall-clock rates ride along as `perf.*` gauges,
+// which metrics_diff records but never gates. See docs/PERFORMANCE.md.
 #include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "fabric/host.hpp"
 #include "fabric/network.hpp"
+#include "fabric/wan.hpp"
 #include "net/codec.hpp"
+#include "overlay/rendezvous.hpp"
 #include "tcp/tcp.hpp"
 #include "wavnet/bridge.hpp"
+#include "wavnet/host.hpp"
 
 namespace {
 
 using namespace wav;
 
-net::EthernetFrame sample_frame() {
+net::EthernetFrame sample_frame_to(net::MacAddress dst, net::MacAddress src) {
   net::IpPacket pkt;
   pkt.src = net::Ipv4Address::parse("10.10.0.1").value();
   pkt.dst = net::Ipv4Address::parse("10.10.0.2").value();
@@ -23,8 +41,11 @@ net::EthernetFrame sample_frame() {
   dgram.dst_port = 7777;
   dgram.payload = net::Chunk::from_bytes(ByteBuffer(1024));
   pkt.body = std::move(dgram);
-  return net::EthernetFrame::make_ip(wavnet::make_mac(2), wavnet::make_mac(1),
-                                     std::move(pkt));
+  return net::EthernetFrame::make_ip(dst, src, std::move(pkt));
+}
+
+net::EthernetFrame sample_frame() {
+  return sample_frame_to(wavnet::make_mac(2), wavnet::make_mac(1));
 }
 
 void BM_FrameSerialize(benchmark::State& state) {
@@ -120,6 +141,208 @@ void BM_TcpBulkTransfer1MiB(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpBulkTransfer1MiB);
 
+// --- deterministic throughput mode (--perf-out) -----------------------------
+
+/// Compacts the registry's pretty-printed JSON onto one line (same
+/// transform the bench harness applies for --metrics-out JSONL).
+std::string compact_json(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  bool at_line_start = false;
+  for (const char c : pretty) {
+    if (c == '\n') {
+      at_line_start = true;
+      continue;
+    }
+    if (at_line_start && c == ' ') continue;
+    at_line_start = false;
+    out += c;
+  }
+  return out;
+}
+
+void write_world_line(std::FILE* f, const char* plane, std::uint64_t seed,
+                      obs::MetricsRegistry& registry) {
+  const std::string line = "{\"plane\":\"" + std::string(plane) +
+                           "\",\"seed\":" + std::to_string(seed) +
+                           ",\"metrics\":" + compact_json(registry.to_json()) + "}\n";
+  std::fwrite(line.data(), 1, line.size(), f);
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Phase 1: raw event-core throughput under churn — the schedule /
+/// cancel / fire mix the overlay timers and processing queues generate.
+/// Payload lambdas capture 24 bytes so the inline-callback path is the
+/// one measured (no allocation), and every 4th event is cancelled so
+/// true O(log n) removal is on the hot path.
+void perf_event_phase(std::FILE* out, std::uint64_t seed) {
+  constexpr int kRounds = 20000;
+  constexpr int kPerRound = 64;
+  sim::Simulation sim{seed};
+  std::uint64_t checksum = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t state = seed;
+  std::array<sim::EventId, kPerRound> ids{};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRounds; ++r) {
+    for (int i = 0; i < kPerRound; ++i) {
+      state += 0x9E3779B97F4A7C15ull;
+      const std::uint64_t a = state;
+      const std::uint64_t b = static_cast<std::uint64_t>(i);
+      const std::uint64_t c = static_cast<std::uint64_t>(r);
+      ids[static_cast<std::size_t>(i)] = sim.schedule_after(
+          microseconds(i % 50), [&checksum, a, b, c] { checksum += a ^ (b << 1) ^ c; });
+    }
+    for (int i = 0; i < kPerRound; i += 4) {
+      if (sim.cancel(ids[static_cast<std::size_t>(i)])) ++cancelled;
+    }
+    sim.run();
+  }
+  const double wall = wall_seconds_since(t0);
+  const double executed = static_cast<double>(sim.events_executed());
+
+  obs::MetricsRegistry& reg = sim.metrics();
+  reg.gauge("bench.events_executed").set(executed);
+  reg.gauge("bench.events_cancelled").set(static_cast<double>(cancelled));
+  reg.gauge("bench.checksum_low32").set(static_cast<double>(checksum & 0xFFFFFFFFull));
+  reg.gauge("perf.events_per_sec").set(executed / wall);
+  reg.gauge("perf.events_wall_ms").set(wall * 1e3);
+  write_world_line(out, "micro-events", seed, reg);
+  std::printf("perf: events  %12.0f executed  %8.2f ms  %10.2f M events/s\n", executed,
+              wall * 1e3, executed / wall / 1e6);
+}
+
+/// Phase 2: end-to-end frame path — a two-site WAVNet world pumping
+/// unicast 1 KiB frames through the learned-MAC tunnel (Packet Assembler
+/// -> pooled frame -> UDP tunnel -> WAN -> ingress -> bridge).
+int perf_frame_phase(std::FILE* out, std::uint64_t seed) {
+  constexpr int kFrames = 16384;
+  constexpr int kBatch = 128;
+  sim::Simulation sim{seed};
+  fabric::Network network{sim};
+  fabric::Wan wan{network};
+  fabric::SiteConfig sa;
+  sa.name = "A";
+  fabric::SiteConfig sb;
+  sb.name = "B";
+  auto& site_a = wan.add_site(sa);
+  auto& site_b = wan.add_site(sb);
+  auto& rv_host = wan.add_public_host("rendezvous");
+  fabric::PairPath path;
+  path.one_way = milliseconds(25);
+  wan.set_default_paths(path);
+  overlay::RendezvousServer rendezvous{rv_host};
+  rendezvous.bootstrap();
+
+  const auto make_cfg = [&](const char* name, const char* vip) {
+    wavnet::WavnetHost::Config cfg;
+    cfg.agent.name = name;
+    cfg.agent.rendezvous = rendezvous.host_endpoint();
+    cfg.virtual_ip = net::Ipv4Address::parse(vip).value();
+    return cfg;
+  };
+  wavnet::WavnetHost a1{*site_a.hosts[0], make_cfg("a1", "10.10.0.1")};
+  wavnet::WavnetHost b1{*site_b.hosts[0], make_cfg("b1", "10.10.0.2")};
+  a1.start();
+  b1.start();
+  sim.run_for(seconds(5));
+
+  std::vector<overlay::HostInfo> results;
+  a1.agent().query({0.5, 0.5}, 8, [&](std::vector<overlay::HostInfo> h) {
+    results = std::move(h);
+  });
+  sim.run_for(seconds(3));
+  if (results.empty()) {
+    std::fprintf(stderr, "perf: rendezvous query returned no peers\n");
+    return 1;
+  }
+  a1.connect(results[0]);
+  sim.run_for(seconds(10));
+  if (!a1.agent().link_established(b1.agent().id())) {
+    std::fprintf(stderr, "perf: tunnel a1->b1 did not establish\n");
+    return 1;
+  }
+  // Teach a1 the destination MAC so the pump exercises the learned
+  // unicast path, not flooding.
+  b1.stack().announce_gratuitous_arp();
+  sim.run_for(seconds(2));
+  if (a1.wav_switch().learned_macs() != 1) {
+    std::fprintf(stderr, "perf: a1 did not learn b1's MAC\n");
+    return 1;
+  }
+
+  const net::EthernetFrame frame = sample_frame_to(b1.host_nic().mac(),
+                                                   a1.host_nic().mac());
+  const std::uint64_t received_before = b1.wav_switch().stats().frames_received;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int sent = 0; sent < kFrames; sent += kBatch) {
+    for (int i = 0; i < kBatch; ++i) a1.wav_switch().deliver(frame);
+    // Drain the batch: Packet Assembler service + 25 ms WAN latency.
+    sim.run_for(milliseconds(100));
+  }
+  const double wall = wall_seconds_since(t0);
+  const double received =
+      static_cast<double>(b1.wav_switch().stats().frames_received - received_before);
+
+  obs::MetricsRegistry& reg = sim.metrics();
+  reg.gauge("bench.frames_injected").set(static_cast<double>(kFrames));
+  reg.gauge("bench.pool_frames_acquired")
+      .set(static_cast<double>(net::FramePool::local().frames_acquired()));
+  reg.gauge("bench.pool_blocks_reused")
+      .set(static_cast<double>(net::FramePool::local().blocks_reused()));
+  reg.gauge("perf.frames_per_sec").set(received / wall);
+  reg.gauge("perf.frames_wall_ms").set(wall * 1e3);
+  write_world_line(out, "micro-frames", seed, reg);
+  std::printf("perf: frames  %12.0f received  %8.2f ms  %10.2f K frames/s\n", received,
+              wall * 1e3, received / wall / 1e3);
+  if (received != static_cast<double>(kFrames)) {
+    std::fprintf(stderr, "perf: expected %d frames, received %.0f\n", kFrames, received);
+    return 1;
+  }
+  return 0;
+}
+
+int run_perf_mode(const std::string& out_path, std::uint64_t seed) {
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  perf_event_phase(f, seed);
+  const int rc = perf_frame_phase(f, seed);
+  std::fclose(f);
+  return rc;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string perf_out;
+  std::uint64_t seed = 2026;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      if (arg.size() > len + 1 && arg.compare(0, len, flag) == 0 && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--perf-out")) {
+      perf_out = v;
+    } else if (const char* v2 = value_of("--seed")) {
+      seed = std::strtoull(v2, nullptr, 10);
+    }
+  }
+  if (!perf_out.empty()) return run_perf_mode(perf_out, seed);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,7 +41,8 @@ IpopHost::IpopHost(fabric::HostNode& host, BindingTable& bindings, Config config
       host_nic_(wavnet::make_mac(config.virtual_ip.value)),
       host_stack_(host.fabric::Node::sim(), host_nic_, config.virtual_ip,
                   config.virtual_subnet),
-      router_(host.fabric::Node::sim(), config.hop_processing) {
+      router_(host.fabric::Node::sim(), config.hop_processing),
+      frame_pool_(net::FramePool::local()) {
   bridge_.attach(*this);
   bridge_.attach(host_nic_);
   agent_.on_frame([this](overlay::HostId from, const net::EncapFrame& encap) {
@@ -103,7 +104,7 @@ void IpopHost::route(const net::EthernetFrame& frame, OverlayId target,
     return;
   }
   const std::uint64_t size = frame.wire_size() + config_.p2p_header_bytes;
-  auto shared = std::make_shared<const net::EthernetFrame>(frame);
+  auto shared = frame_pool_.acquire(frame);
   // Every traversal of this node's P2P routing stack costs processing
   // time — the decisive difference from WAVNet's direct path.
   const bool accepted = router_.submit(size, [this, shared, target, hops] {

@@ -22,6 +22,7 @@
 #include <map>
 
 #include "fabric/host.hpp"
+#include "net/frame_pool.hpp"
 #include "overlay/host_agent.hpp"
 #include "wavnet/bridge.hpp"
 #include "wavnet/processing.hpp"
@@ -115,6 +116,7 @@ class IpopHost : public wavnet::BridgePort {
   wavnet::VirtualNic host_nic_;
   wavnet::VirtualIpStack host_stack_;
   wavnet::ProcessingQueue router_;
+  net::FramePool& frame_pool_;
 
   // peer overlay id -> agent host id for connected ring/shortcut links.
   std::map<OverlayId, overlay::HostId> connected_;

@@ -1,0 +1,129 @@
+// Pooled frame-buffer arena for the tunnel data path.
+//
+// Every frame a WAV-Switch tunnels (and every frame an IPOP router
+// relays) needs a refcounted, immutable EthernetFrame that survives the
+// Packet Assembler's processing delay and the WAN transit. Allocating a
+// fresh shared_ptr control block per frame puts one malloc/free pair on
+// the per-frame hot path; the pool recycles those blocks through a free
+// list instead, so the steady-state frame path allocates nothing.
+//
+// Frames come out as plain std::shared_ptr<const EthernetFrame>, so the
+// rest of the codebase (EncapFrame, the UDP stack, IPOP) is unchanged.
+// The recycled block is released back to the pool when the last reference
+// drops; the pool core is kept alive by the outstanding references, so
+// frames may safely outlive the pool object itself.
+//
+// Pools are not thread-safe. FramePool::local() hands each thread its
+// own pool, which matches the simulator's execution model: a Simulation
+// runs on one thread, and frames never cross simulations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace wav::net {
+
+class FramePool {
+ public:
+  using FrameRef = std::shared_ptr<const EthernetFrame>;
+
+  FramePool() : core_(std::make_shared<Core>()) {}
+
+  /// Copies `frame` into a pooled refcounted buffer. For IP frames this
+  /// is cheap (the payload is itself a shared_ptr); for ARP/raw frames it
+  /// copies the small body.
+  [[nodiscard]] FrameRef acquire(const EthernetFrame& frame) {
+    ++core_->acquired;
+    return std::allocate_shared<EthernetFrame>(Recycler<EthernetFrame>{core_}, frame);
+  }
+
+  /// Moves `frame` into a pooled refcounted buffer.
+  [[nodiscard]] FrameRef acquire(EthernetFrame&& frame) {
+    ++core_->acquired;
+    return std::allocate_shared<EthernetFrame>(Recycler<EthernetFrame>{core_},
+                                               std::move(frame));
+  }
+
+  /// The calling thread's pool (one per thread; see file comment).
+  [[nodiscard]] static FramePool& local() {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  [[nodiscard]] std::uint64_t frames_acquired() const noexcept { return core_->acquired; }
+  [[nodiscard]] std::uint64_t blocks_allocated() const noexcept { return core_->allocated; }
+  [[nodiscard]] std::uint64_t blocks_reused() const noexcept { return core_->reused; }
+  [[nodiscard]] std::size_t free_blocks() const noexcept { return core_->free.size(); }
+
+ private:
+  /// Free list of raw blocks of the one size allocate_shared asks for
+  /// (control block + frame, a single combined allocation). Owned by
+  /// shared_ptr so in-flight frames keep it alive past pool destruction.
+  struct Core {
+    std::vector<void*> free;
+    std::size_t block_size{0};
+    std::uint64_t acquired{0};
+    std::uint64_t allocated{0};
+    std::uint64_t reused{0};
+
+    ~Core() {
+      for (void* p : free) ::operator delete(p);
+    }
+
+    [[nodiscard]] void* take(std::size_t bytes) {
+      if (block_size == 0) block_size = bytes;
+      if (bytes == block_size && !free.empty()) {
+        void* p = free.back();
+        free.pop_back();
+        ++reused;
+        return p;
+      }
+      ++allocated;
+      return ::operator new(bytes);
+    }
+
+    void give(void* p, std::size_t bytes) {
+      // Bound the free list so a burst does not pin memory forever.
+      if (bytes == block_size && free.size() < kMaxFreeBlocks) {
+        free.push_back(p);
+        return;
+      }
+      ::operator delete(p);
+    }
+  };
+
+  static constexpr std::size_t kMaxFreeBlocks = 8192;
+
+  /// Minimal allocator handed to allocate_shared. Only one rebound type
+  /// is ever materialized per pool, so Core sees a single block size.
+  template <class T>
+  struct Recycler {
+    using value_type = T;
+
+    std::shared_ptr<Core> core;
+
+    explicit Recycler(std::shared_ptr<Core> c) noexcept : core(std::move(c)) {}
+    template <class U>
+    // NOLINTNEXTLINE(google-explicit-constructor): allocator rebind
+    Recycler(const Recycler<U>& other) noexcept : core(other.core) {}
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+      return static_cast<T*>(core->take(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t n) noexcept {
+      core->give(p, n * sizeof(T));
+    }
+
+    template <class U>
+    [[nodiscard]] bool operator==(const Recycler<U>& other) const noexcept {
+      return core == other.core;
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace wav::net

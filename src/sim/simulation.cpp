@@ -1,8 +1,8 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <memory>
 #include <utility>
 
 namespace wav::sim {
@@ -15,53 +15,121 @@ Simulation::Simulation(std::uint64_t seed)
   queue_depth_gauge_ = &metrics_->gauge("sim.queue_depth");
 }
 
-EventId Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
+EventId Simulation::schedule_impl(TimePoint at, EventCallback fn) {
   if (at < now_) at = now_;
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq, seq,
-                    std::make_shared<std::function<void()>>(std::move(fn))});
-  return EventId{seq};
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[idx];
+  slot.at = at;
+  slot.seq = next_seq_++;
+  slot.fn = std::move(fn);
+  slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(idx);
+  sift_up(heap_.size() - 1);
+  return EventId{(static_cast<std::uint64_t>(slot.generation) << 32) | idx};
 }
 
-EventId Simulation::schedule_after(Duration delay, std::function<void()> fn) {
-  if (delay < kZeroDuration) delay = kZeroDuration;
-  return schedule_at(now_ + delay, std::move(fn));
+void Simulation::release_slot(std::uint32_t idx) {
+  Slot& slot = slots_[idx];
+  // Bumping the generation invalidates every outstanding id for this
+  // incarnation; 0 is skipped so a packed id can never equal the
+  // "invalid" sentinel.
+  if (++slot.generation == 0) slot.generation = 1;
+  slot.heap_pos = kNotInHeap;
+  slot.fn.reset();
+  free_slots_.push_back(idx);
 }
 
 bool Simulation::cancel(EventId id) {
-  if (!id.valid() || id.value >= next_seq_) return false;
-  // We cannot remove from the middle of a binary heap; tombstone instead
-  // and skip at pop time. The set stays small because entries are erased
-  // when their tombstone is encountered.
-  return cancelled_.insert(id.value).second;
+  const auto idx = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (gen == 0 || idx >= slots_.size()) return false;
+  Slot& slot = slots_[idx];
+  if (slot.generation != gen || slot.heap_pos == kNotInHeap) return false;
+  heap_remove(slot.heap_pos);
+  release_slot(idx);
+  return true;
+}
+
+void Simulation::sift_up(std::size_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(idx, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = idx;
+  slots_[idx].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulation::sift_down(std::size_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], idx)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = idx;
+  slots_[idx].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulation::heap_remove(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // The relocated element may belong either direction from `pos`.
+    sift_down(pos);
+    sift_up(slots_[heap_[pos]].heap_pos);
+  }
 }
 
 bool Simulation::pop_and_run_next(TimePoint deadline) {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    if (top.at > deadline) return false;
-    queue_.pop();
-    if (const auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(top.at >= now_ && "event queue must be monotonic");
-    now_ = top.at;
-    ++executed_;
-    events_counter_->inc();
-    queue_depth_gauge_->set(static_cast<double>(queue_.size() - cancelled_.size()));
-    if (profiling_) {
-      const auto t0 = std::chrono::steady_clock::now();
-      (*top.fn)();
-      const auto t1 = std::chrono::steady_clock::now();
-      callback_wall_ns_.add(static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
-    } else {
-      (*top.fn)();
-    }
-    return true;
+  if (heap_.empty()) return false;
+  const std::uint32_t idx = heap_[0];
+  Slot& slot = slots_[idx];
+  if (slot.at > deadline) return false;
+  assert(slot.at >= now_ && "event queue must be monotonic");
+  now_ = slot.at;
+  // Move the callback out and retire the slot before invoking, so the
+  // callback can freely schedule (reusing this slot) or cancel; a cancel
+  // of the in-flight event's own id correctly reports false.
+  EventCallback fn = std::move(slot.fn);
+  heap_remove(0);
+  release_slot(idx);
+  ++executed_;
+  events_counter_->inc();
+  queue_depth_gauge_->set(static_cast<double>(heap_.size()));
+  if (profiling_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    callback_wall_ns_.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  } else {
+    fn();
   }
-  return false;
+  return true;
 }
 
 void Simulation::run() {

@@ -5,13 +5,19 @@
 // Events fire in (time, insertion-sequence) order, which makes a run a
 // pure function of (program, seed): the foundation for reproducible
 // experiments and property tests.
+//
+// The event store is a slab of reusable slots indexed by a 4-ary heap of
+// slot numbers keyed on (time, seq). Scheduling is allocation-free in the
+// steady state (slots recycle; callbacks live inline in the slot, see
+// event_callback.hpp), cancellation is a true O(log n) heap removal, and
+// pending_events() is exact — there are no tombstones to drift. EventIds
+// carry a per-slot generation so a stale id (event already fired or
+// cancelled, slot since reused) is always rejected.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,10 +25,12 @@
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_callback.hpp"
 
 namespace wav::sim {
 
-/// Handle for cancelling a scheduled event. Id 0 is "invalid".
+/// Handle for cancelling a scheduled event. Id 0 is "invalid". The value
+/// packs (slot generation << 32 | slot index) and is opaque to callers.
 struct EventId {
   std::uint64_t value{0};
   [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
@@ -40,14 +48,23 @@ class Simulation {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
   /// Schedules `fn` at absolute time `at` (>= now; earlier times are
-  /// clamped to now, i.e. "immediately after current event").
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  /// clamped to now, i.e. "immediately after current event"). Accepts any
+  /// void() callable; small captures are stored inline in the event slab.
+  template <class F>
+  EventId schedule_at(TimePoint at, F&& fn) {
+    return schedule_impl(at, EventCallback(std::forward<F>(fn)));
+  }
 
   /// Schedules `fn` after a relative delay (negative clamps to zero).
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  template <class F>
+  EventId schedule_after(Duration delay, F&& fn) {
+    if (delay < kZeroDuration) delay = kZeroDuration;
+    return schedule_impl(now_ + delay, EventCallback(std::forward<F>(fn)));
+  }
 
   /// Cancels a pending event; returns false if it already ran, was
-  /// cancelled, or the id is invalid.
+  /// cancelled, or the id is invalid. Ids of executed events are rejected
+  /// by the slot generation check, so a cancel never leaks state.
   bool cancel(EventId id);
 
   /// Runs until the queue drains or stop() is called.
@@ -67,9 +84,8 @@ class Simulation {
 
   /// Number of events executed since construction (for tests/diagnostics).
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size() - cancelled_.size();
-  }
+  /// Exact count of scheduled-but-not-yet-fired events.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
 
   /// Per-simulation observability: every component instrumenting itself
   /// reaches its registry/tracer through the Simulation it runs on, so
@@ -88,26 +104,37 @@ class Simulation {
   }
 
  private:
-  struct Entry {
-    TimePoint at;
-    std::uint64_t seq;  // tiebreaker: FIFO among same-time events
-    std::uint64_t id;
-    // `fn` lives outside the priority queue ordering; shared_ptr keeps the
-    // Entry copyable for std::priority_queue.
-    std::shared_ptr<std::function<void()>> fn;
+  static constexpr std::uint32_t kNotInHeap = 0xFFFFFFFFu;
 
-    bool operator>(const Entry& other) const noexcept {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
+  /// One slab slot. Reused across events; `generation` distinguishes the
+  /// incarnations so stale EventIds never alias a newer event.
+  struct Slot {
+    TimePoint at{};
+    std::uint64_t seq{0};  // tiebreaker: FIFO among same-time events
+    std::uint32_t generation{1};
+    std::uint32_t heap_pos{kNotInHeap};
+    EventCallback fn;
   };
 
+  EventId schedule_impl(TimePoint at, EventCallback fn);
+  void release_slot(std::uint32_t idx);
+  /// Strict total order: (at, seq); seq values are unique.
+  [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
   bool pop_and_run_next(TimePoint deadline);
 
   TimePoint now_{};
   Rng rng_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;               // slab; grows, never shrinks
+  std::vector<std::uint32_t> free_slots_; // recycled slot indices
+  std::vector<std::uint32_t> heap_;       // 4-ary min-heap of slot indices
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
   bool stopped_{false};

@@ -1,0 +1,140 @@
+// Open-addressed MAC forwarding table for the WAV-Switch.
+//
+// The remote FDB sits on the per-frame forwarding path: one lookup per
+// unicast frame out, one learn per frame in. A node-based unordered_map
+// pays a pointer chase and an allocation per learned MAC; this table is
+// a flat linear-probing array keyed on the 48-bit MAC (one cache line
+// per probe, no per-entry allocation) with backward-shift deletion, so
+// there are no tombstones and load stays honest after heavy churn
+// (link flaps purging whole peers, TTL expiry).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/address.hpp"
+
+namespace wav::wavnet {
+
+class MacTable {
+ public:
+  struct Entry {
+    std::uint64_t peer{0};  // overlay::HostId
+    TimePoint learned{};
+  };
+
+  MacTable() { rehash(kInitialCapacity); }
+
+  /// Inserts or refreshes the entry for `mac`.
+  void learn(net::MacAddress mac, std::uint64_t peer, TimePoint now) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+    Slot& slot = probe(mac.as_u64());
+    if (!slot.used) {
+      slot.used = true;
+      slot.key = mac.as_u64();
+      ++size_;
+    }
+    slot.entry.peer = peer;
+    slot.entry.learned = now;
+  }
+
+  /// Entry for `mac`, or nullptr. No TTL logic here — the switch decides
+  /// what "expired" means and erases explicitly.
+  [[nodiscard]] const Entry* find(net::MacAddress mac) const {
+    const Slot& slot = const_cast<MacTable*>(this)->probe(mac.as_u64());
+    return slot.used ? &slot.entry : nullptr;
+  }
+
+  /// Removes the entry for `mac`; false when absent.
+  bool erase(net::MacAddress mac) {
+    Slot& slot = probe(mac.as_u64());
+    if (!slot.used) return false;
+    erase_at(static_cast<std::size_t>(&slot - slots_.data()));
+    return true;
+  }
+
+  /// Removes every entry whose value matches `pred(entry)`; returns the
+  /// number removed. Used for link-down purges.
+  template <class Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < slots_.size();) {
+      if (slots_[i].used && pred(slots_[i].entry)) {
+        erase_at(i);
+        ++removed;
+        // erase_at may shift a later entry into i; re-examine it.
+        continue;
+      }
+      ++i;
+    }
+    return removed;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+  struct Slot {
+    std::uint64_t key{0};
+    Entry entry;
+    bool used{false};
+  };
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    // splitmix64 finalizer: the low MAC bits (sequential in tests and
+    // DHCP-style allocation) must spread over the whole table.
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] Slot& probe(std::uint64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask;
+    return slots_[i];
+  }
+
+  void erase_at(std::size_t hole) {
+    const std::size_t mask = slots_.size() - 1;
+    slots_[hole].used = false;
+    --size_;
+    // Backward-shift deletion: walk the probe chain after the hole and
+    // pull back any entry whose home position precedes the hole.
+    std::size_t i = (hole + 1) & mask;
+    while (slots_[i].used) {
+      const std::size_t home = static_cast<std::size_t>(mix(slots_[i].key)) & mask;
+      // Move when the hole lies cyclically within [home, i).
+      const bool reachable = ((i - home) & mask) >= ((i - hole) & mask);
+      if (reachable) {
+        slots_[hole] = slots_[i];
+        slots_[i].used = false;
+        hole = i;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      Slot& dst = probe(s.key);
+      dst = s;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_{0};
+};
+
+}  // namespace wav::wavnet

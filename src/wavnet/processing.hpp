@@ -5,7 +5,7 @@
 // encapsulation versus IPOP's per-hop P2P routing stack.
 #pragma once
 
-#include <functional>
+#include <utility>
 
 #include "sim/simulation.hpp"
 
@@ -23,8 +23,10 @@ class ProcessingQueue {
 
   /// Schedules `done` after the job's service time, honoring FIFO
   /// occupancy. Returns false (dropping the job) when the backlog bound
-  /// is exceeded.
-  bool submit(std::uint64_t bytes, std::function<void()> done) {
+  /// is exceeded. Any void() callable; forwarded straight into the event
+  /// slab so the per-frame path stays allocation-free.
+  template <class F>
+  bool submit(std::uint64_t bytes, F&& done) {
     const TimePoint now = sim_.now();
     if (busy_until_ < now) busy_until_ = now;
     if (busy_until_ - now > config_.max_backlog) {
@@ -35,7 +37,7 @@ class ProcessingQueue {
         config_.per_packet + config_.per_byte * static_cast<std::int64_t>(bytes);
     busy_until_ += service;
     ++processed_;
-    sim_.schedule_at(busy_until_, std::move(done));
+    sim_.schedule_at(busy_until_, std::forward<F>(done));
     return true;
   }
 

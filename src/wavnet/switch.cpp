@@ -10,7 +10,8 @@ WavSwitch::WavSwitch(overlay::HostAgent& agent, Config config)
     : agent_(agent),
       config_(config),
       egress_(agent.sim(), config.processing),
-      ingress_(agent.sim(), config.processing) {
+      ingress_(agent.sim(), config.processing),
+      frame_pool_(net::FramePool::local()) {
   agent_.on_frame([this](overlay::HostId from, const net::EncapFrame& encap) {
     on_wan_frame(from, encap);
   });
@@ -43,24 +44,21 @@ void WavSwitch::on_link_down(overlay::HostId peer) {
   // A dead tunnel's MACs must not pin unicast traffic to a black hole;
   // purging them makes the next frame flood (and re-learn once the peer
   // is re-punched).
-  for (auto it = remote_fdb_.begin(); it != remote_fdb_.end();) {
-    if (it->second.peer == peer) {
-      it = remote_fdb_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  remote_fdb_.erase_if([peer](const MacTable::Entry& e) { return e.peer == peer; });
 }
 
 void WavSwitch::deliver(const net::EthernetFrame& frame) {
-  // Drop stale remote-MAC entries lazily.
   const TimePoint now = agent_.sim().now();
 
   if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
-    const auto it = remote_fdb_.find(frame.dst);
-    if (it != remote_fdb_.end() && now - it->second.learned <= config_.mac_ttl) {
-      tunnel_to(it->second.peer, frame);
-      return;
+    if (const MacTable::Entry* e = remote_fdb_.find(frame.dst)) {
+      if (now - e->learned <= config_.mac_ttl) {
+        tunnel_to(e->peer, frame);
+        return;
+      }
+      // Drop the stale remote-MAC entry so it neither pins memory nor
+      // inflates learned_macs(); the flood below re-learns the owner.
+      remote_fdb_.erase(frame.dst);
     }
     // Unknown unicast: replicate to all peers (they will learn/deliver).
   }
@@ -75,8 +73,9 @@ void WavSwitch::deliver(const net::EthernetFrame& frame) {
 
 void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame) {
   const std::uint64_t size = frame.wire_size() + config_.encap_header_bytes;
-  // Packet Assembler: the user-space capture + encapsulation cost.
-  auto shared = std::make_shared<const net::EthernetFrame>(frame);
+  // Packet Assembler: the user-space capture + encapsulation cost. The
+  // frame rides in a pooled refcounted buffer — no per-frame allocation.
+  auto shared = frame_pool_.acquire(frame);
   const bool accepted = egress_.submit(size, [this, peer, shared, size] {
     net::EncapFrame encap;
     encap.header_bytes = config_.encap_header_bytes;
@@ -94,14 +93,18 @@ void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame)
 void WavSwitch::on_wan_frame(overlay::HostId from, const net::EncapFrame& encap) {
   if (!encap.frame) return;
   const auto shared = encap.frame;
+  // Ingress decapsulation handles the same on-wire bytes egress
+  // assembled: frame + encap header. Submitting and counting the same
+  // size keeps switch.bytes_received equal to the sender's
+  // switch.bytes_tunneled when nothing drops.
   const std::uint64_t wire_bytes = shared->wire_size() + encap.header_bytes;
   const bool accepted =
-      ingress_.submit(shared->wire_size(), [this, from, shared, wire_bytes] {
+      ingress_.submit(wire_bytes, [this, from, shared, wire_bytes] {
         c_frames_received_->inc();
         c_bytes_received_->inc(wire_bytes);
         const net::EthernetFrame& frame = *shared;
         if (!frame.src.is_multicast() && !frame.src.is_zero()) {
-          remote_fdb_[frame.src] = RemoteMac{from, agent_.sim().now()};
+          remote_fdb_.learn(frame.src, from, agent_.sim().now());
         }
         inject_to_bridge(frame);
       });

@@ -12,10 +12,10 @@
 // source MAC and are injected into the local bridge.
 #pragma once
 
-#include <unordered_map>
-
+#include "net/frame_pool.hpp"
 #include "overlay/host_agent.hpp"
 #include "wavnet/bridge.hpp"
+#include "wavnet/mac_table.hpp"
 #include "wavnet/processing.hpp"
 
 namespace wav::wavnet {
@@ -50,6 +50,11 @@ class WavSwitch : public BridgePort {
   [[nodiscard]] Stats stats() const noexcept;
   [[nodiscard]] std::size_t learned_macs() const noexcept { return remote_fdb_.size(); }
 
+  /// Runtime-tunable FDB entry lifetime (tests shrink it to exercise the
+  /// lazy-expiry path without simulating five minutes).
+  void set_mac_ttl(Duration ttl) noexcept { config_.mac_ttl = ttl; }
+  [[nodiscard]] Duration mac_ttl() const noexcept { return config_.mac_ttl; }
+
  private:
   void on_wan_frame(overlay::HostId from, const net::EncapFrame& encap);
   void on_link_down(overlay::HostId peer);
@@ -60,11 +65,11 @@ class WavSwitch : public BridgePort {
   ProcessingQueue egress_;
   ProcessingQueue ingress_;
 
-  struct RemoteMac {
-    overlay::HostId peer{0};
-    TimePoint learned{};
-  };
-  std::unordered_map<net::MacAddress, RemoteMac> remote_fdb_;
+  /// Remote MACs -> owning peer, open-addressed (mac_table.hpp). Entries
+  /// expire lazily: a lookup that hits a stale entry erases it, so
+  /// learned_macs() never counts dead state.
+  MacTable remote_fdb_;
+  net::FramePool& frame_pool_;
 
   obs::Counter* c_frames_tunneled_{nullptr};
   obs::Counter* c_frames_flooded_{nullptr};

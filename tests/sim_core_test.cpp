@@ -184,6 +184,116 @@ TEST(Simulation, StopInsideEvent) {
   EXPECT_TRUE(sim.stopped());
 }
 
+TEST(Simulation, CancelAfterExecuteReturnsFalse) {
+  sim::Simulation sim;
+  int fired = 0;
+  const auto id = sim.schedule_after(milliseconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  // Cancelling an already-executed event must be a no-op that reports
+  // false; before the slab rewrite it returned true and left a permanent
+  // tombstone that made pending_events() underflow.
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  const auto id2 = sim.schedule_after(milliseconds(1), [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.cancel(id2));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.cancel(id2));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, StaleIdNeverCancelsReusedSlot) {
+  sim::Simulation sim;
+  const auto old_id = sim.schedule_after(milliseconds(1), [] {});
+  sim.run();
+
+  // The next schedule recycles old_id's slab slot; the stale handle must
+  // not be able to cancel the new occupant.
+  int fired = 0;
+  const auto fresh = sim.schedule_after(milliseconds(1), [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(old_id));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(fresh.valid());
+}
+
+TEST(Simulation, CancelInsideCallback) {
+  sim::Simulation sim;
+  bool victim_fired = false;
+  bool self_cancel = true;
+  bool peer_cancel = false;
+  const auto victim = sim.schedule_after(milliseconds(2), [&] { victim_fired = true; });
+  sim::EventId self{};
+  self = sim.schedule_after(milliseconds(1), [&] {
+    // The running event has already been retired: cancelling your own id
+    // from inside the callback reports false...
+    self_cancel = sim.cancel(self);
+    // ...while cancelling a still-pending peer works normally.
+    peer_cancel = sim.cancel(victim);
+  });
+  sim.run();
+  EXPECT_FALSE(self_cancel);
+  EXPECT_TRUE(peer_cancel);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, PendingEventsExactUnderChurn) {
+  sim::Simulation sim;
+  std::uint64_t fired = 0;
+  std::vector<sim::EventId> ids;
+  constexpr std::size_t kEvents = 1000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    ids.push_back(
+        sim.schedule_after(microseconds(static_cast<std::int64_t>(i % 97)), [&] { ++fired; }));
+  }
+  EXPECT_EQ(sim.pending_events(), kEvents);
+
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+    ++cancelled;
+  }
+  EXPECT_EQ(sim.pending_events(), kEvents - cancelled);
+
+  // Double-cancel: every repeat reports false and the count is unchanged.
+  for (std::size_t i = 0; i < ids.size(); i += 3) EXPECT_FALSE(sim.cancel(ids[i]));
+  EXPECT_EQ(sim.pending_events(), kEvents - cancelled);
+
+  sim.run();
+  EXPECT_EQ(fired, kEvents - cancelled);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Handles of executed events are all stale now.
+  for (const auto id : ids) EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, OrderingPreservedUnderSlabReuse) {
+  // Several rounds of schedule/cancel/run force slot recycling; firing
+  // order must stay strictly (time, insertion) ordered throughout.
+  sim::Simulation sim;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int> order;
+    std::vector<sim::EventId> ids;
+    const std::array<int, 8> delays{30, 10, 20, 10, 30, 20, 10, 5};
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      const int tag = static_cast<int>(i);
+      ids.push_back(sim.schedule_after(milliseconds(delays[i]),
+                                       [&order, tag] { order.push_back(tag); }));
+    }
+    EXPECT_TRUE(sim.cancel(ids[3]));  // one of the 10 ms pair
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{7, 1, 6, 2, 5, 0, 4}));
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
 TEST(ThreadPool, RunsTasksAndParallelFor) {
   ThreadPool pool{4};
   EXPECT_EQ(pool.thread_count(), 4u);

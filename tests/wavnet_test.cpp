@@ -208,6 +208,94 @@ TEST(Wavnet, PromiscuousCaptureSeesTunneledGratuitousArp) {
   EXPECT_EQ(arp_captured, 1);
 }
 
+TEST(Wavnet, FdbTtlExpiryErasesStaleEntryAndRelearnsAfterLinkDown) {
+  VpcFixture env;
+  env.link_hosts();
+  env.a1->wav_switch().set_mac_ttl(seconds(2));
+
+  stack::IcmpLayer icmp_a{env.a1->stack()};
+  stack::IcmpLayer icmp_b{env.b1->stack()};
+  int replies = 0;
+  const std::uint16_t id = icmp_a.allocate_id();
+  icmp_a.on_reply(id, [&](net::Ipv4Address, const net::IcmpMessage&) { ++replies; });
+  icmp_a.send_echo_request(env.b1->virtual_ip(), id, 1, 56);
+  env.sim.run_for(seconds(5));
+  ASSERT_EQ(replies, 1);
+  ASSERT_EQ(env.a1->wav_switch().learned_macs(), 1u);
+
+  // Idle past the TTL, then present the stale MAC on the WAN port: the
+  // lazy-expiry path must erase the entry on the spot (it used to linger
+  // forever, inflating learned_macs) and fall back to flooding.
+  env.sim.run_for(seconds(10));
+  const auto flooded_before = env.a1->wav_switch().stats().frames_flooded;
+  net::EthernetFrame probe;
+  probe.src = env.a1->host_nic().mac();
+  probe.dst = env.b1->host_nic().mac();
+  env.a1->wav_switch().deliver(probe);
+  EXPECT_EQ(env.a1->wav_switch().learned_macs(), 0u);
+  EXPECT_EQ(env.a1->wav_switch().stats().frames_flooded, flooded_before + 1);
+  env.sim.run_for(seconds(2));
+
+  // Traffic re-teaches the entry (the echo reply's source MAC).
+  icmp_a.send_echo_request(env.b1->virtual_ip(), id, 2, 56);
+  env.sim.run_for(seconds(5));
+  ASSERT_EQ(replies, 2);
+  ASSERT_EQ(env.a1->wav_switch().learned_macs(), 1u);
+
+  // Losing the tunnel purges the peer's MACs immediately...
+  env.a1->agent().drop_link(env.b1->agent().id());
+  EXPECT_EQ(env.a1->wav_switch().learned_macs(), 0u);
+
+  // ...and once the tunnel is re-punched, traffic re-learns them.
+  std::vector<HostInfo> results;
+  env.a1->agent().query({0.5, 0.5}, 8, [&](std::vector<HostInfo> h) { results = h; });
+  env.sim.run_for(seconds(3));
+  ASSERT_FALSE(results.empty());
+  env.a1->connect(results[0]);
+  env.sim.run_for(seconds(10));
+  ASSERT_TRUE(env.a1->agent().link_established(env.b1->agent().id()));
+  icmp_a.send_echo_request(env.b1->virtual_ip(), id, 3, 56);
+  env.sim.run_for(seconds(5));
+  EXPECT_EQ(replies, 3);
+  EXPECT_EQ(env.a1->wav_switch().learned_macs(), 1u);
+}
+
+TEST(Wavnet, ByteAccountingMatchesAcrossTunnel) {
+  VpcFixture env;
+  env.link_hosts();
+
+  stack::IcmpLayer icmp_a{env.a1->stack()};
+  stack::IcmpLayer icmp_b{env.b1->stack()};
+  int replies = 0;
+  const std::uint16_t id = icmp_a.allocate_id();
+  icmp_a.on_reply(id, [&](net::Ipv4Address, const net::IcmpMessage&) {
+    ++replies;
+    if (replies < 8) {
+      icmp_a.send_echo_request(env.b1->virtual_ip(), id,
+                               static_cast<std::uint16_t>(replies + 1), 256);
+    }
+  });
+  icmp_a.send_echo_request(env.b1->virtual_ip(), id, 1, 256);
+  env.sim.run_for(seconds(30));
+  ASSERT_EQ(replies, 8);
+
+  // With zero drops, every on-wire byte egress accounted must appear in
+  // the receiver's ingress accounting — in both directions. (Ingress
+  // used to omit the encapsulation header it was billed for.)
+  const auto sa = env.a1->wav_switch().stats();
+  const auto sb = env.b1->wav_switch().stats();
+  ASSERT_EQ(sa.frames_dropped_backlog, 0u);
+  ASSERT_EQ(sb.frames_dropped_backlog, 0u);
+  ASSERT_EQ(sa.frames_dropped_no_peer, 0u);
+  ASSERT_EQ(sb.frames_dropped_no_peer, 0u);
+  EXPECT_GT(sa.bytes_tunneled, 0u);
+  EXPECT_GT(sb.bytes_tunneled, 0u);
+  EXPECT_EQ(sa.bytes_tunneled, sb.bytes_received);
+  EXPECT_EQ(sb.bytes_tunneled, sa.bytes_received);
+  EXPECT_EQ(sa.frames_tunneled, sb.frames_received);
+  EXPECT_EQ(sb.frames_tunneled, sa.frames_received);
+}
+
 TEST(Wavnet, FloodReachesAllConnectedPeers) {
   VpcFixture env;
   // Third host at site A.

@@ -52,6 +52,10 @@ std::vector<Tolerance> default_tolerances() {
       // Latency distributions wobble with event-order jitter.
       {"punch.latency_ms", 50.0, 0.75},
       {"can.query_latency_ms", 50.0, 0.75},
+      // Wall-clock throughput gauges (bench --perf-out): machine- and
+      // load-dependent, so recorded for the artifact but never gated.
+      // Absolute regressions are caught by reviewing the BENCH summary.
+      {"perf.", 1e18, 0.0},
       // Catch-all: generous relative band plus an absolute floor so
       // tiny counters (0 vs 2 events) don't trip the relative test.
       {"", 8.0, 0.35},
