@@ -69,37 +69,41 @@ void obs_init(int argc, char** argv) {
 
 const ObsOptions& obs_options() noexcept { return g_obs; }
 
+void append_metrics_line(sim::Simulation& sim, const std::string& label,
+                         std::uint64_t seed) {
+  if (g_obs.metrics_out.empty()) return;
+  std::FILE* f = std::fopen(g_obs.metrics_out.c_str(), "a");
+  if (f == nullptr) return;
+  // Compact the pretty-printed registry dump onto one line so the file
+  // stays valid JSONL. Newlines inside string values are escaped by the
+  // exporter, so every raw newline here is formatting.
+  const std::string pretty = sim.metrics().to_json();
+  std::string metrics;
+  metrics.reserve(pretty.size());
+  bool at_line_start = false;
+  for (const char c : pretty) {
+    if (c == '\n') {
+      at_line_start = true;
+      continue;
+    }
+    if (at_line_start && c == ' ') continue;
+    at_line_start = false;
+    metrics += c;
+  }
+  const std::string line = "{\"plane\":\"" + label +
+                           "\",\"seed\":" + std::to_string(seed) +
+                           ",\"metrics\":" + metrics + "}\n";
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+}
+
 void World::flush_observability() {
   if (g_obs.metrics_out.empty() && g_obs.trace_out.empty() &&
       g_obs.series_out.empty() && g_obs.health_out.empty()) {
     return;
   }
   const int run = ++g_worlds_flushed;
-  if (!g_obs.metrics_out.empty()) {
-    if (std::FILE* f = std::fopen(g_obs.metrics_out.c_str(), "a")) {
-      // Compact the pretty-printed registry dump onto one line so the file
-      // stays valid JSONL. Newlines inside string values are escaped by the
-      // exporter, so every raw newline here is formatting.
-      const std::string pretty = sim_.metrics().to_json();
-      std::string metrics;
-      metrics.reserve(pretty.size());
-      bool at_line_start = false;
-      for (const char c : pretty) {
-        if (c == '\n') {
-          at_line_start = true;
-          continue;
-        }
-        if (at_line_start && c == ' ') continue;
-        at_line_start = false;
-        metrics += c;
-      }
-      const std::string line = "{\"plane\":\"" + std::string(to_string(plane_)) +
-                               "\",\"seed\":" + std::to_string(seed_) +
-                               ",\"metrics\":" + metrics + "}\n";
-      std::fwrite(line.data(), 1, line.size(), f);
-      std::fclose(f);
-    }
-  }
+  append_metrics_line(sim_, to_string(plane_), seed_);
   if (!g_obs.trace_out.empty()) {
     sim_.tracer().write_chrome_json(numbered_path(g_obs.trace_out, run));
   }
@@ -280,7 +284,20 @@ void World::deploy() {
 void World::deploy_wavnet() {
   auto* rv_host = wan_->public_host("rendezvous");
   if (rv_host == nullptr) rv_host = &wan_->add_public_host("rendezvous");
-  rendezvous_ = std::make_unique<overlay::RendezvousServer>(*rv_host);
+  overlay::RendezvousServer::Config rv_cfg;
+  for (std::size_t i = 0; i < relay_count_; ++i) {
+    rv_cfg.relays.push_back({rv_host->primary_address(),
+                             static_cast<std::uint16_t>(5300 + i)});
+  }
+  rendezvous_ = std::make_unique<overlay::RendezvousServer>(*rv_host, rv_cfg);
+  // Relays co-host on the rendezvous node: they share its UdpLayer (an
+  // IpLayer carries exactly one) and take the ports advertised above.
+  for (std::size_t i = 0; i < relay_count_; ++i) {
+    relay::RelayServer::Config relay_cfg;
+    relay_cfg.port = static_cast<std::uint16_t>(5300 + i);
+    relays_.push_back(
+        std::make_unique<relay::RelayServer>(rendezvous_->udp(), relay_cfg));
+  }
   rendezvous_->bootstrap();
 
   for (auto& [name, d] : hosts_) {
@@ -317,6 +334,15 @@ void World::add_default_slos() {
   for (const auto& [name, d] : hosts_) {
     health_->add_progress_rule("agent:" + name, "overlay.connect_pulse_received", name,
                                "overlay.links_active", name, seconds(15), seconds(30));
+  }
+  // Traversal outcomes across the whole ladder: a connect that exhausts
+  // direct punching AND the relay fallback is a hard failure.
+  health_->add_success_rate_rule("traversal", "overlay.links_established",
+                                 "overlay.connects_failed", 0.9, 0.5, 4);
+  if (!relays_.empty()) {
+    // Relay allocation health: capacity nacks starve the fallback arm.
+    health_->add_success_rate_rule("relay", "relay.allocations",
+                                   "relay.alloc_failures", 0.9, 0.5, 4);
   }
   // Registration liveness: the rendezvous table must hold every member.
   health_->add_gauge_floor_rule("rendezvous", "rendezvous.registered_hosts",

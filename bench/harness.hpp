@@ -20,6 +20,7 @@
 #include "obs/health.hpp"
 #include "obs/timeseries.hpp"
 #include "overlay/rendezvous.hpp"
+#include "relay/relay_server.hpp"
 #include "vm/migration.hpp"
 #include "wavnet/host.hpp"
 
@@ -113,6 +114,14 @@ class World {
     return rendezvous_.get();
   }
 
+  /// Before deploy(): co-hosts `count` TURN-style relay servers on the
+  /// rendezvous node (ports 5300, 5301, ...) and advertises them in the
+  /// registration ack, enabling the relayed-tunnel fallback (WAVNet
+  /// plane only).
+  void enable_relay(std::size_t count = 1) { relay_count_ = count; }
+  [[nodiscard]] std::size_t relay_count() const noexcept { return relays_.size(); }
+  [[nodiscard]] relay::RelayServer& relay(std::size_t i) { return *relays_.at(i); }
+
   /// Continuous telemetry: every World samples its registry and evaluates
   /// SLO health on the --sample-interval cadence (deploy_wavnet installs
   /// the default WAVNet rules; benches may add their own before deploy).
@@ -163,6 +172,8 @@ class World {
   fabric::Network network_;
   std::unique_ptr<fabric::Wan> wan_;
   std::unique_ptr<overlay::RendezvousServer> rendezvous_;
+  std::vector<std::unique_ptr<relay::RelayServer>> relays_;
+  std::size_t relay_count_{0};
   ipop::BindingTable bindings_;
   std::map<std::string, Deployed> hosts_;
   std::map<std::string, std::string> host_site_;
@@ -179,5 +190,13 @@ class World {
 
 /// Prints a bench banner with the experiment id and setup notes.
 void banner(const std::string& experiment, const std::string& description);
+
+/// Appends one --metrics-out JSONL line (same shape as a World flush: the
+/// label in the "plane" field, the seed, and the full registry dump) for
+/// benches that build raw per-experiment Simulations instead of Worlds —
+/// e.g. the traversal matrix, one fixture per NAT×NAT cell. No-op when
+/// --metrics-out was not given.
+void append_metrics_line(sim::Simulation& sim, const std::string& label,
+                         std::uint64_t seed);
 
 }  // namespace wav::benchx

@@ -30,6 +30,10 @@ void ChaosController::add_can(std::string name, can::CanNode& node) {
   can_nodes_[std::move(name)] = &node;
 }
 
+void ChaosController::add_relay(std::string name, relay::RelayServer& relay) {
+  relays_[std::move(name)] = &relay;
+}
+
 void ChaosController::add_host_links(std::string name,
                                      std::vector<fabric::Link*> links) {
   host_links_[std::move(name)] = std::move(links);
@@ -160,6 +164,19 @@ void ChaosController::execute(const FaultEvent& ev) {
       if (wan_ == nullptr) throw std::invalid_argument("no WAN for path storm");
       wan_->set_path_quality(ev.target, ev.target_b, ev.path);
       return;
+    case FaultKind::kRelayCrash:
+    case FaultKind::kRelayRestart: {
+      const auto it = relays_.find(ev.target);
+      if (it == relays_.end()) {
+        throw std::invalid_argument("unknown relay target " + ev.target);
+      }
+      if (ev.kind == FaultKind::kRelayCrash) {
+        it->second->crash();
+      } else {
+        it->second->restart();
+      }
+      return;
+    }
   }
 }
 

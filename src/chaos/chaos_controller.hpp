@@ -17,6 +17,7 @@
 #include "nat/nat_gateway.hpp"
 #include "obs/metrics.hpp"
 #include "overlay/rendezvous.hpp"
+#include "relay/relay_server.hpp"
 #include "sim/simulation.hpp"
 
 namespace wav::chaos {
@@ -43,6 +44,10 @@ class ChaosController {
   /// Registers a raw CAN node for kCanCrash/kCanRestart (restart clears
   /// the crashed flag; the experiment re-joins it explicitly).
   void add_can(std::string name, can::CanNode& node);
+
+  /// Registers a relay server for kRelayCrash/kRelayRestart (crash drops
+  /// every allocated channel; agents must re-allocate after restart).
+  void add_relay(std::string name, relay::RelayServer& relay);
 
   /// Registers the link set cut by kHostCrash/kHostRestart for a host.
   void add_host_links(std::string name, std::vector<fabric::Link*> links);
@@ -74,6 +79,7 @@ class ChaosController {
   std::unordered_map<std::string, nat::NatGateway*> nats_;
   std::unordered_map<std::string, RendezvousTarget> rendezvous_;
   std::unordered_map<std::string, can::CanNode*> can_nodes_;
+  std::unordered_map<std::string, relay::RelayServer*> relays_;
   std::unordered_map<std::string, std::vector<fabric::Link*>> host_links_;
   std::uint64_t faults_injected_{0};
   obs::Counter* c_faults_injected_{nullptr};

@@ -20,6 +20,8 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kCanCrash: return "can_crash";
     case FaultKind::kCanRestart: return "can_restart";
     case FaultKind::kPathStorm: return "path_storm";
+    case FaultKind::kRelayCrash: return "relay_crash";
+    case FaultKind::kRelayRestart: return "relay_restart";
   }
   return "?";
 }
@@ -104,6 +106,16 @@ FaultPlan& FaultPlan::can_crash(TimePoint at, std::string node) {
 
 FaultPlan& FaultPlan::can_restart(TimePoint at, std::string node) {
   push(at, FaultKind::kCanRestart, std::move(node));
+  return *this;
+}
+
+FaultPlan& FaultPlan::relay_crash(TimePoint at, std::string relay) {
+  push(at, FaultKind::kRelayCrash, std::move(relay));
+  return *this;
+}
+
+FaultPlan& FaultPlan::relay_restart(TimePoint at, std::string relay) {
+  push(at, FaultKind::kRelayRestart, std::move(relay));
   return *this;
 }
 

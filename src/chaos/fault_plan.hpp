@@ -34,6 +34,8 @@ enum class FaultKind : std::uint8_t {
   kCanCrash,          // target: registered raw CAN node name
   kCanRestart,
   kPathStorm,         // apply `path` loss/jitter between target/target_b
+  kRelayCrash,        // target: registered relay server name
+  kRelayRestart,
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -68,6 +70,8 @@ class FaultPlan {
   FaultPlan& rendezvous_restart(TimePoint at, std::string server);
   FaultPlan& can_crash(TimePoint at, std::string node);
   FaultPlan& can_restart(TimePoint at, std::string node);
+  FaultPlan& relay_crash(TimePoint at, std::string relay);
+  FaultPlan& relay_restart(TimePoint at, std::string relay);
   FaultPlan& path_storm(TimePoint at, std::string a, std::string b,
                         fabric::PairPath path);
 

@@ -28,6 +28,19 @@ std::vector<std::string> InvariantChecker::violations() const {
                     std::to_string(link.peer) + " not re-established");
     }
   }
+  for (const overlay::HostAgent* agent : agents_) {
+    for (const overlay::HostId peer : agent->relayed_peers()) {
+      const auto relay_ep = agent->link_relay(peer);
+      if (!relay_ep) continue;
+      for (const relay::RelayServer* relay : relays_) {
+        if (relay->down() && relay->endpoint() == *relay_ep) {
+          out.push_back("agent " + agent->config().name + " link to host#" +
+                        std::to_string(peer) + " relayed via dead relay " +
+                        relay_ep->to_string());
+        }
+      }
+    }
+  }
   for (const overlay::RendezvousServer* server : servers_) {
     if (server->down()) {
       out.push_back("rendezvous " + server->host_endpoint().to_string() +

@@ -14,6 +14,7 @@
 
 #include "overlay/host_agent.hpp"
 #include "overlay/rendezvous.hpp"
+#include "relay/relay_server.hpp"
 
 namespace wav::chaos {
 
@@ -23,6 +24,10 @@ class InvariantChecker {
   void add_rendezvous(overlay::RendezvousServer& server) {
     servers_.push_back(&server);
   }
+  /// Registers a relay server: no added agent may hold a relayed link
+  /// through it while it is down (agents must fail over to a survivor).
+  /// A dead relay itself is not a violation — only traffic pinned to it.
+  void add_relay(relay::RelayServer& relay) { relays_.push_back(&relay); }
 
   /// Requires agent->peer to be an established link (one direction; call
   /// twice or use expect_full_mesh for both).
@@ -46,6 +51,7 @@ class InvariantChecker {
 
   std::vector<overlay::HostAgent*> agents_;
   std::vector<overlay::RendezvousServer*> servers_;
+  std::vector<relay::RelayServer*> relays_;
   std::vector<ExpectedLink> expected_links_;
 };
 

@@ -99,8 +99,10 @@ struct EthernetFrame;
 /// IPOP overlay both use this, with different header overheads and, for
 /// IPOP, overlay routing metadata).
 struct EncapFrame {
-  std::uint32_t header_bytes{0};            // encapsulation overhead on the wire
-  std::uint64_t overlay_src{0};             // P2P node ids (IPOP routing only)
+  std::uint32_t header_bytes{0};  // encapsulation overhead on the wire
+  // P2P node ids: IPOP overlay routing, and WAVNet relayed tunnels use
+  // the same fields as the (src, dst) pair addressing a relay channel.
+  std::uint64_t overlay_src{0};
   std::uint64_t overlay_dst{0};
   std::uint8_t hop_count{0};                // hops taken so far in overlay routing
   std::shared_ptr<const EthernetFrame> frame;

@@ -23,8 +23,13 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
                        }),
       pulse_timer_(ip.sim(), config_.pulse_interval, [this] { pulse_links(); }),
       idle_check_timer_(ip.sim(), std::max(config_.link_idle_timeout / 3, seconds(1)),
-                        [this] { reap_idle_links(); }) {
+                        [this] { reap_idle_links(); }),
+      relay_refresh_timer_(ip.sim(), config_.relay_refresh_interval,
+                           [this] { refresh_relayed_links(); }),
+      upgrade_probe_timer_(ip.sim(), config_.upgrade_probe_interval,
+                           [this] { probe_upgrades(); }) {
   active_rendezvous_ = config_.rendezvous;
+  relays_ = config_.relays;
   self_.host_id = config_.host_id != 0 ? config_.host_id : ip.ip_address().value;
   self_.name = config_.name.empty() ? ip.ip_address().to_string() : config_.name;
   self_.private_endpoint = net::Endpoint{ip.ip_address(), config_.port};
@@ -44,14 +49,31 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
   c_heartbeats_sent_ = &reg.counter("overlay.heartbeats_sent", self_.name);
   c_queries_timed_out_ = &reg.counter("overlay.queries_timed_out", self_.name);
   c_reregistrations_ = &reg.counter("overlay.reregistrations", self_.name);
+  c_connects_failed_ = &reg.counter("overlay.connects_failed", self_.name);
+  c_failed_timeout_ = &reg.counter("overlay.connects_failed.timeout", self_.name);
+  c_failed_incompatible_ =
+      &reg.counter("overlay.connects_failed.incompatible_nat", self_.name);
+  c_failed_relay_ = &reg.counter("overlay.connects_failed.relay", self_.name);
+  c_failed_broker_ = &reg.counter("overlay.connects_failed.broker", self_.name);
+  c_traversal_direct_ = &reg.counter("overlay.traversal_direct", self_.name);
+  c_traversal_relayed_ = &reg.counter("overlay.traversal_relayed", self_.name);
+  c_relay_fallbacks_ = &reg.counter("overlay.relay_fallbacks", self_.name);
+  c_relay_failovers_ = &reg.counter("overlay.relay_failovers", self_.name);
+  c_relay_upgrades_ = &reg.counter("overlay.relay_upgrades", self_.name);
+  c_relay_upgrade_aborts_ = &reg.counter("overlay.relay_upgrade_aborts", self_.name);
   g_links_active_ = &reg.gauge("overlay.links_active", self_.name);
+  g_links_relayed_ = &reg.gauge("overlay.links_relayed", self_.name);
   h_punch_latency_ms_ = &reg.histogram(
       "punch.latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  h_relay_alloc_ms_ = &reg.histogram(
+      "relay.alloc_latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
 
   // De-phase the keepalive across agents: with hundreds of hosts sharing
   // nominal intervals, identical periods would fire every pulse in the
   // same simulation instant (and, in the real system, the same RTO tick).
   pulse_timer_.set_period(jittered(config_.pulse_interval));
+  relay_refresh_timer_.set_period(jittered(config_.relay_refresh_interval));
+  upgrade_probe_timer_.set_period(jittered(config_.upgrade_probe_interval));
 
   socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
     on_datagram(from, d);
@@ -206,8 +228,12 @@ void HostAgent::connect_to(const HostInfo& peer, ConnectHandler handler) {
   req.target = peer.host_id;
   req.target_rendezvous = peer.rendezvous;
   socket_.send_to(active_rendezvous_, encode(req));
+  request_to_peer_[req.request_id] = peer.host_id;
   // ...and start punching immediately with the info we already have.
   begin_punching(peer, std::move(handler));
+  if (const auto it = links_.find(peer.host_id); it != links_.end()) {
+    it->second.request_id = req.request_id;
+  }
 }
 
 void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
@@ -219,6 +245,9 @@ void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
     return;
   }
   if (handler) link.on_result = std::move(handler);
+  // The relay ladder owns the link once entered: a ConnectNotify for the
+  // same pair must not restart punching underneath the allocation.
+  if (link.relay_tried) return;
   link.nonce = ip_.sim().rng().next();
 
   link.candidates.clear();
@@ -235,6 +264,14 @@ void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
   if (!link.punch_timer || !link.punch_timer->running()) {
     link.punch_started = ip_.sim().now();
   }
+  // Known-incompatible NAT pair with a relay tier available: punching is
+  // futile (RFC 5128 §3.4), skip straight to the relay rung. Both sides
+  // see the same two NAT types, so both jump together.
+  if (!relays_.empty() &&
+      !nat::hole_punch_compatible(self_.nat_type, peer.nat_type)) {
+    begin_relay(link, "incompatible-nat");
+    return;
+  }
   if (!link.punch_timer) {
     const HostId peer_id = peer.host_id;
     // Jittered per-link so two agents punching each other (or many links
@@ -250,25 +287,35 @@ void HostAgent::punch_round(HostId peer) {
   const auto it = links_.find(peer);
   if (it == links_.end()) return;
   Link& link = it->second;
-  if (link.established) {
+  if (link.established && !link.probing) {
     link.punch_timer->stop();
     return;
   }
   if (ip_.sim().now() >= link.punch_deadline) {
     link.punch_timer->stop();
-    auto handler = std::move(link.on_result);
-    const TimePoint started = link.punch_started;
-    const HostInfo info = link.info;
-    links_.erase(it);
+    if (link.established) {
+      // Upgrade probe window closed without an ack: stay relayed and let
+      // the next probe interval try again.
+      link.probing = false;
+      return;
+    }
     c_punch_timeouts_->inc();
-    ip_.sim().tracer().complete(obs::Category::kPunch, "punch.timeout", started,
-                                self_.name, "\"peer\":" + std::to_string(peer));
+    ip_.sim().tracer().complete(obs::Category::kPunch, "punch.timeout",
+                                link.punch_started, self_.name,
+                                "\"peer\":" + std::to_string(peer));
     log::debug("agent", "{}: hole punch to {} timed out", self_.name, peer);
-    if (handler) handler(false, peer);
-    // A timed-out punch during a partition must not be the end of the
-    // story: keep retrying with backoff so the link re-forms once the
-    // network heals, however long the outage lasted.
-    schedule_repunch(info);
+    // Next rung of the traversal ladder: a relayed tunnel. Only when the
+    // ladder has no relay rung (or it already failed) is the connect
+    // reported dead — and even then a backoff repunch keeps trying, so a
+    // timeout during a partition is not the end of the story.
+    if (!relays_.empty() && !link.relay_tried) {
+      begin_relay(link, "punch-timeout");
+      return;
+    }
+    fail_link(peer,
+              nat::hole_punch_compatible(self_.nat_type, link.info.nat_type)
+                  ? "timeout"
+                  : "incompatible-nat");
     return;
   }
   for (const auto& candidate : link.candidates) {
@@ -278,16 +325,53 @@ void HostAgent::punch_round(HostId peer) {
   }
 }
 
+void HostAgent::fail_link(HostId peer, const std::string& reason) {
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+  if (link.punch_timer) link.punch_timer->stop();
+  auto handler = std::move(link.on_result);
+  const HostInfo info = link.info;
+  if (link.request_id != 0) request_to_peer_.erase(link.request_id);
+  links_.erase(it);
+  ++stats_.connects_failed;
+  c_connects_failed_->inc();
+  if (reason == "timeout") {
+    c_failed_timeout_->inc();
+  } else if (reason == "incompatible-nat") {
+    c_failed_incompatible_->inc();
+  } else if (reason == "relay") {
+    c_failed_relay_->inc();
+  } else {
+    c_failed_broker_->inc();
+  }
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "connect.fail", self_.name,
+                             "\"peer\":" + std::to_string(peer) + ",\"reason\":\"" +
+                                 reason + "\"");
+  log::debug("agent", "{}: connect to {} failed ({})", self_.name, peer, reason);
+  if (handler) handler(false, peer);
+  schedule_repunch(info);
+}
+
 void HostAgent::establish(Link& link, const net::Endpoint& proven) {
   link.remote = proven;
   link.last_rx = ip_.sim().now();
   endpoint_to_peer_[proven] = link.peer;
   if (link.established) return;
   link.established = true;
+  link.kind = LinkKind::kDirect;
   if (link.punch_timer) link.punch_timer->stop();
   repunch_backoff_.erase(link.peer);
+  if (link.request_id != 0) request_to_peer_.erase(link.request_id);
+  // Direct won a race against a pending relay allocation: clean up.
+  if (link.relay_tried && !link.relay.is_zero()) {
+    socket_.send_to(link.relay, encode(RelayReleaseMsg{self_.host_id, link.peer}));
+    link.relay_bound = false;
+    ++link.alloc_epoch;
+  }
   ++stats_.links_established;
   c_links_established_->inc();
+  c_traversal_direct_->inc();
   g_links_active_->add(1);
   h_punch_latency_ms_->observe(
       to_milliseconds(ip_.sim().now() - link.punch_started));
@@ -309,9 +393,312 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
 bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
   const auto it = links_.find(peer);
   if (it == links_.end() || !it->second.established) return false;
+  Link& link = it->second;
   ++stats_.frames_sent;
   c_frames_sent_->inc();
-  return socket_.send_encap(it->second.remote, std::move(frame));
+  if (link.kind == LinkKind::kRelayed) {
+    // The relay picks the channel by the (src, dst) pair riding the
+    // encap header — that's what kRelayEncapHeaderBytes pays for.
+    frame.overlay_src = self_.host_id;
+    frame.overlay_dst = peer;
+    if (link.upgrading) {
+      // Flush handshake in flight: hold the frame; it drains in order on
+      // whichever path the handshake settles on.
+      link.upgrade_buffer.push_back(std::move(frame));
+      return true;
+    }
+    return socket_.send_encap(link.relay, std::move(frame));
+  }
+  return socket_.send_encap(link.remote, std::move(frame));
+}
+
+// ---------------------------------------------------------------------------
+// Relay ladder: allocation, refresh/failover, and the direct upgrade.
+
+void HostAgent::begin_relay(Link& link, const char* reason) {
+  link.relay_tried = true;
+  link.relay_bound = false;
+  link.relay_acked = false;
+  link.relay_attempts = 0;
+  link.relays_cycled = 0;
+  link.peer_wait_rounds = 0;
+  // Both sides derive the same starting relay from the pair ids, so they
+  // allocate the same channel without extra coordination.
+  link.relay_cursor =
+      static_cast<std::size_t>((self_.host_id + link.peer) % relays_.size());
+  link.relay_started = ip_.sim().now();
+  if (link.punch_timer) link.punch_timer->stop();
+  ++stats_.relay_fallbacks;
+  c_relay_fallbacks_->inc();
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "relay.fallback", self_.name,
+                             "\"peer\":" + std::to_string(link.peer) +
+                                 ",\"reason\":\"" + reason + "\"");
+  log::debug("agent", "{}: falling back to relay for {} ({})", self_.name,
+             link.peer, reason);
+  send_relay_allocate(link);
+}
+
+void HostAgent::send_relay_allocate(Link& link) {
+  link.relay = relays_[link.relay_cursor % relays_.size()];
+  link.relay_acked = false;
+  const std::uint64_t epoch = ++link.alloc_epoch;
+  socket_.send_to(link.relay, encode(RelayAllocateMsg{self_.host_id, link.peer}));
+  ip_.sim().schedule_after(
+      config_.relay_alloc_timeout,
+      [this, peer = link.peer, epoch] { relay_alloc_expired(peer, epoch); });
+}
+
+void HostAgent::relay_alloc_expired(HostId peer, std::uint64_t epoch) {
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+  if (link.alloc_epoch != epoch || link.relay_bound) return;
+  if (link.relay_acked) {
+    // The relay is alive; the peer just hasn't bound its side yet. Keep
+    // re-asking the SAME relay (rotating would desync the two cursors),
+    // but only for a bounded number of rounds.
+    if (++link.peer_wait_rounds > config_.relay_alloc_retries + 2) {
+      if (link.established) {
+        const HostInfo info = link.info;
+        drop_link(peer);
+        schedule_repunch(info);
+      } else {
+        fail_link(peer, "relay");
+      }
+      return;
+    }
+    send_relay_allocate(link);
+    return;
+  }
+  advance_relay(link);
+}
+
+void HostAgent::advance_relay(Link& link) {
+  if (++link.relay_attempts <= config_.relay_alloc_retries) {
+    send_relay_allocate(link);
+    return;
+  }
+  link.relay_attempts = 0;
+  link.peer_wait_rounds = 0;
+  ++link.relays_cycled;
+  ++link.relay_cursor;
+  if (link.relays_cycled >= relays_.size()) {
+    if (link.established) {
+      // A live relayed link whose every relay stopped answering: drop it
+      // and let the backoff repunch rebuild the whole ladder later.
+      const HostInfo info = link.info;
+      const HostId peer = link.peer;
+      drop_link(peer);
+      schedule_repunch(info);
+    } else {
+      fail_link(link.peer, "relay");
+    }
+    return;
+  }
+  send_relay_allocate(link);
+}
+
+void HostAgent::establish_relayed(Link& link) {
+  link.relay_bound = true;
+  link.relay_acked = true;
+  link.missed_refreshes = 0;
+  link.peer_wait_rounds = 0;
+  link.relay_attempts = 0;
+  link.relays_cycled = 0;
+  ++link.alloc_epoch;  // retire the pending allocate deadline
+  link.kind = LinkKind::kRelayed;
+  // remote tracks the egress endpoint; deliberately NOT entered in
+  // endpoint_to_peer_ (many peers share one relay endpoint).
+  link.remote = link.relay;
+  link.last_rx = ip_.sim().now();
+  if (link.established) return;  // failover re-bind completed
+  link.established = true;
+  if (link.punch_timer) link.punch_timer->stop();
+  repunch_backoff_.erase(link.peer);
+  if (link.request_id != 0) request_to_peer_.erase(link.request_id);
+  ++stats_.links_established;
+  c_links_established_->inc();
+  c_traversal_relayed_->inc();
+  g_links_active_->add(1);
+  g_links_relayed_->add(1);
+  h_relay_alloc_ms_->observe(to_milliseconds(ip_.sim().now() - link.relay_started));
+  ip_.sim().tracer().complete(obs::Category::kPunch, "relay.established",
+                              link.relay_started, self_.name,
+                              "\"peer\":" + std::to_string(link.peer) +
+                                  ",\"relay\":\"" + link.relay.to_string() + "\"");
+  if (!pulse_timer_.running()) pulse_timer_.start();
+  if (!idle_check_timer_.running()) idle_check_timer_.start();
+  if (!relay_refresh_timer_.running()) relay_refresh_timer_.start();
+  // Opportunistic upgrade probing only helps pairs that could ever punch
+  // (a path blip, not a NAT-type incompatibility, forced the relay).
+  if (nat::hole_punch_compatible(self_.nat_type, link.info.nat_type) &&
+      !upgrade_probe_timer_.running()) {
+    upgrade_probe_timer_.start();
+  }
+  log::debug("agent", "{}: relayed link to {} via {}", self_.name, link.peer,
+             link.relay.to_string());
+  if (link.on_result) {
+    auto handler = std::move(link.on_result);
+    link.on_result = nullptr;
+    handler(true, link.peer);
+  }
+  if (on_link_up_) on_link_up_(link.peer);
+}
+
+void HostAgent::relay_failover(Link& link) {
+  ++stats_.relay_failovers;
+  c_relay_failovers_->inc();
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "relay.failover", self_.name,
+                             "\"peer\":" + std::to_string(link.peer) +
+                                 ",\"from\":\"" + link.relay.to_string() + "\"");
+  log::debug("agent", "{}: relay {} silent; failing link to {} over", self_.name,
+             link.relay.to_string(), link.peer);
+  link.relay_bound = false;
+  link.relay_acked = false;
+  link.relay_attempts = 0;
+  link.relays_cycled = 0;
+  link.peer_wait_rounds = 0;
+  link.missed_refreshes = 0;
+  link.last_rx = ip_.sim().now();  // grace against the idle reaper mid-rebind
+  if (relays_.size() <= 1) {
+    // Nothing to fail over to: drop and rebuild via backoff repunch once
+    // the relay (or the direct path) comes back.
+    const HostInfo info = link.info;
+    const HostId peer = link.peer;
+    drop_link(peer);
+    schedule_repunch(info);
+    return;
+  }
+  // Deterministic next choice keeps both sides converging on the same
+  // survivor: each detects the dead relay via its own missed refreshes
+  // and advances the shared cursor by one.
+  ++link.relay_cursor;
+  send_relay_allocate(link);
+}
+
+void HostAgent::refresh_relayed_links() {
+  bool any_relayed = false;
+  std::vector<HostId> failed;
+  for (auto& [peer, link] : links_) {
+    if (!link.established || link.kind != LinkKind::kRelayed) continue;
+    any_relayed = true;
+    if (!link.relay_bound) continue;  // re-bind already in progress
+    if (++link.missed_refreshes > config_.relay_max_missed_refreshes) {
+      failed.push_back(peer);
+      continue;
+    }
+    socket_.send_to(link.relay, encode(RelayAllocateMsg{self_.host_id, peer}));
+  }
+  // Failover mutates links_ (it may drop the link) — second phase.
+  for (const HostId peer : failed) {
+    const auto it = links_.find(peer);
+    if (it != links_.end()) relay_failover(it->second);
+  }
+  if (!any_relayed) relay_refresh_timer_.stop();
+}
+
+void HostAgent::probe_upgrades() {
+  bool any_upgradable = false;
+  for (auto& [peer, link] : links_) {
+    if (!link.established || link.kind != LinkKind::kRelayed) continue;
+    if (!nat::hole_punch_compatible(self_.nat_type, link.info.nat_type)) continue;
+    any_upgradable = true;
+    if (link.probing || link.upgrading || !link.relay_bound) continue;
+    if (link.candidates.empty()) continue;
+    start_upgrade_probe(link);
+  }
+  if (!any_upgradable) upgrade_probe_timer_.stop();
+}
+
+void HostAgent::start_upgrade_probe(Link& link) {
+  link.probing = true;
+  link.nonce = ip_.sim().rng().next();
+  link.punch_started = ip_.sim().now();
+  link.punch_deadline = ip_.sim().now() + config_.upgrade_punch_window;
+  if (!link.punch_timer) {
+    const HostId peer_id = link.peer;
+    link.punch_timer = std::make_unique<sim::PeriodicTimer>(
+        ip_.sim(), jittered(config_.punch_interval),
+        [this, peer_id] { punch_round(peer_id); });
+  }
+  link.punch_timer->start_after(kZeroDuration);
+}
+
+void HostAgent::start_switchover(Link& link, const net::Endpoint& proven) {
+  if (link.upgrading || link.kind != LinkKind::kRelayed) return;
+  link.upgrading = true;
+  link.probing = false;
+  if (link.punch_timer && link.punch_timer->running()) link.punch_timer->stop();
+  link.direct_candidate = proven;
+  // Inbound attribution for the peer's direct frames can't wait for
+  // complete_upgrade: the peer's own switchover may finish first.
+  endpoint_to_peer_[proven] = link.peer;
+  link.flush_nonce = ip_.sim().rng().next();
+  // The flush is the LAST message we put on the relayed path; FIFO
+  // delivery through the relay means the peer sees every frame we ever
+  // relayed before it sees this barrier.
+  socket_.send_to(link.relay,
+                  encode(RelayFlushMsg{self_.host_id, link.peer, link.flush_nonce}));
+  ip_.sim().schedule_after(
+      config_.upgrade_flush_timeout,
+      [this, peer = link.peer, nonce = link.flush_nonce] {
+        flush_expired(peer, nonce);
+      });
+}
+
+void HostAgent::complete_upgrade(Link& link) {
+  link.upgrading = false;
+  link.probing = false;
+  link.kind = LinkKind::kDirect;
+  link.remote = link.direct_candidate;
+  endpoint_to_peer_[link.remote] = link.peer;
+  link.last_rx = ip_.sim().now();
+  g_links_relayed_->add(-1);
+  ++stats_.relay_upgrades;
+  c_relay_upgrades_->inc();
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "traversal.upgrade",
+                             self_.name,
+                             "\"peer\":" + std::to_string(link.peer) + ",\"via\":\"" +
+                                 link.remote.to_string() + "\"");
+  log::debug("agent", "{}: upgraded link to {} to direct via {}", self_.name,
+             link.peer, link.remote.to_string());
+  // Release the relay side after a grace period: the peer may still have
+  // frames in flight through the relay until its own flush completes,
+  // and forwarding requires both sides bound.
+  ip_.sim().schedule_after(
+      config_.pulse_interval,
+      [this, peer = link.peer, relay = link.relay] {
+        const auto it = links_.find(peer);
+        if (it == links_.end() || it->second.kind != LinkKind::kDirect ||
+            it->second.relay != relay) {
+          return;
+        }
+        socket_.send_to(relay, encode(RelayReleaseMsg{self_.host_id, peer}));
+        it->second.relay_bound = false;
+      });
+  // Frames held during the handshake drain in order on the direct path.
+  // They were already counted as sent when buffered.
+  for (auto& frame : link.upgrade_buffer) {
+    socket_.send_encap(link.remote, std::move(frame));
+  }
+  link.upgrade_buffer.clear();
+}
+
+void HostAgent::flush_expired(HostId peer, std::uint64_t nonce) {
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+  if (!link.upgrading || link.flush_nonce != nonce) return;
+  // The peer never confirmed the relay pipe drained: abort the upgrade,
+  // stay relayed, and push the held frames down the relay in order.
+  link.upgrading = false;
+  c_relay_upgrade_aborts_->inc();
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "traversal.upgrade_abort",
+                             self_.name, "\"peer\":" + std::to_string(peer));
+  for (auto& frame : link.upgrade_buffer) {
+    socket_.send_encap(link.relay, std::move(frame));
+  }
+  link.upgrade_buffer.clear();
 }
 
 bool HostAgent::link_established(HostId peer) const {
@@ -334,11 +721,57 @@ std::optional<net::Endpoint> HostAgent::link_remote(HostId peer) const {
   return it->second.remote;
 }
 
+std::optional<HostAgent::LinkKind> HostAgent::link_kind(HostId peer) const {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.established) return std::nullopt;
+  return it->second.kind;
+}
+
+std::optional<net::Endpoint> HostAgent::link_relay(HostId peer) const {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.established ||
+      it->second.kind != LinkKind::kRelayed) {
+    return std::nullopt;
+  }
+  return it->second.relay;
+}
+
+std::vector<HostId> HostAgent::relayed_peers() const {
+  std::vector<HostId> peers;
+  for (const auto& [id, link] : links_) {
+    if (link.established && link.kind == LinkKind::kRelayed) peers.push_back(id);
+  }
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+std::uint32_t HostAgent::relay_overhead(HostId peer) const {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.established) return 0;
+  return it->second.kind == LinkKind::kRelayed ? kRelayEncapHeaderBytes : 0;
+}
+
 void HostAgent::drop_link(HostId peer) {
   const auto it = links_.find(peer);
   if (it == links_.end()) return;
-  endpoint_to_peer_.erase(it->second.remote);
-  const bool was_established = it->second.established;
+  Link& link = it->second;
+  if (link.established && link.kind == LinkKind::kRelayed) {
+    g_links_relayed_->add(-1);
+    // Best effort: tell the relay to reclaim our side of the channel.
+    if (!link.relay.is_zero()) {
+      socket_.send_to(link.relay, encode(RelayReleaseMsg{self_.host_id, peer}));
+    }
+  }
+  // For relayed links remote is the relay endpoint, which was never
+  // entered in endpoint_to_peer_, so this erase is a harmless no-op.
+  endpoint_to_peer_.erase(link.remote);
+  // An upgrade probe may have registered the punch-proven endpoint for
+  // early attribution; it dies with the link.
+  if (!link.direct_candidate.is_zero()) {
+    endpoint_to_peer_.erase(link.direct_candidate);
+  }
+  if (link.request_id != 0) request_to_peer_.erase(link.request_id);
+  const bool was_established = link.established;
   links_.erase(it);
   if (was_established) {
     ++stats_.links_lost;
@@ -355,7 +788,14 @@ void HostAgent::pulse_links() {
     if (!link.established) continue;
     ++stats_.pulses_sent;
     c_pulses_sent_->inc();
-    socket_.send_to(link.remote, encode_pulse());
+    if (link.kind == LinkKind::kRelayed) {
+      // The 2-byte pulse can't ride a relay (the channel needs the pair
+      // addressing), so relayed links keep alive with a RelayPulse that
+      // refreshes the channel's idle clock end to end.
+      socket_.send_to(link.relay, encode(RelayPulseMsg{self_.host_id, peer}));
+    } else {
+      socket_.send_to(link.remote, encode_pulse());
+    }
   }
 }
 
@@ -409,6 +849,17 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
     case MsgType::kData: {
       const auto* encap = dgram.encap();
       Link* link = link_by_endpoint(from);
+      if (link == nullptr && encap->overlay_dst == self_.host_id) {
+        // Relayed frames all arrive from the relay's endpoint, which maps
+        // to no single peer — attribute by the overlay source id. Gated
+        // on the frame really coming from that link's relay; the check
+        // stays valid while the peer drains its side post-upgrade.
+        const auto it = links_.find(encap->overlay_src);
+        if (it != links_.end() && it->second.established &&
+            it->second.relay_tried && from == it->second.relay) {
+          link = &it->second;
+        }
+      }
       if (link != nullptr) {
         link->last_rx = ip_.sim().now();
         ++stats_.frames_received;
@@ -440,6 +891,18 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
         // packet arrived, so the span collapses to the handshake itself.
         link.punch_started = ip_.sim().now();
       }
+      if (link.established && link.kind == LinkKind::kRelayed) {
+        // A punch landing on a relayed link is the peer probing for an
+        // upgrade: the direct path works now. Remember it so the flush
+        // handshake can complete over it; the ack we just sent tells the
+        // peer to start its switchover. Register the endpoint for inbound
+        // attribution immediately — the peer may finish its switchover
+        // (and start sending direct) before our own flush completes.
+        link.direct_candidate = from;
+        endpoint_to_peer_[from] = link.peer;
+        link.last_rx = ip_.sim().now();
+        return;
+      }
       establish(link, from);
       return;
     }
@@ -448,7 +911,17 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       if (!msg) return;
       const auto it = links_.find(msg->from_host);
       if (it == links_.end()) return;
-      establish(it->second, from);
+      Link& link = it->second;
+      if (link.established && link.kind == LinkKind::kRelayed) {
+        // Our upgrade probe got through both NATs: switch to direct.
+        if (link.punch_timer && link.punch_timer->running()) {
+          link.punch_timer->stop();
+        }
+        link.probing = false;
+        start_switchover(link, from);
+        return;
+      }
+      establish(link, from);
       return;
     }
     case MsgType::kRegisterAck: {
@@ -470,6 +943,13 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       }
       self_.public_endpoint = msg->observed;
       self_.rendezvous = active_rendezvous_;
+      // Merge the advertised relay tier (dedup keeps config entries and
+      // list order stable, which the pair-cursor math relies on).
+      for (const auto& relay : msg->relays) {
+        if (std::find(relays_.begin(), relays_.end(), relay) == relays_.end()) {
+          relays_.push_back(relay);
+        }
+      }
       silent_probes_ = 0;
       if (!registered_) {
         registered_ = true;
@@ -510,9 +990,82 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
     case MsgType::kConnectFail: {
       const auto msg = parse_connect_fail(*dgram.chunk());
       if (!msg) return;
-      // Without per-request link bookkeeping we conservatively time the
-      // punch out; nothing to do here beyond logging.
       log::debug("agent", "{}: connect failed: {}", self_.name, msg->reason);
+      const auto rit = request_to_peer_.find(msg->request_id);
+      if (rit == request_to_peer_.end()) return;
+      const HostId peer = rit->second;
+      request_to_peer_.erase(rit);
+      const auto it = links_.find(peer);
+      if (it == links_.end() || it->second.established) return;
+      // Once the ladder reached the relay rung the broker's verdict no
+      // longer matters (relaying needs no brokered punch-back).
+      if (it->second.relay_tried) return;
+      // The broker cannot complete this connect (e.g. unknown host):
+      // fail fast instead of waiting out the punch deadline.
+      fail_link(peer, "broker");
+      return;
+    }
+    case MsgType::kRelayAllocateAck: {
+      const auto msg = parse_relay_allocate_ack(*dgram.chunk());
+      if (!msg) return;
+      const auto it = links_.find(msg->peer);
+      if (it == links_.end()) return;
+      Link& link = it->second;
+      if (!link.relay_tried || from != link.relay) return;
+      if (!msg->ok) {
+        if (link.established && link.kind == LinkKind::kRelayed) {
+          relay_failover(link);
+        } else if (!link.established) {
+          // A nack (e.g. capacity) won't clear by retrying: rotate now.
+          link.relay_attempts = config_.relay_alloc_retries;
+          advance_relay(link);
+        }
+        return;
+      }
+      link.relay_acked = true;
+      link.missed_refreshes = 0;
+      if (!link.relay_bound && msg->peer_bound) establish_relayed(link);
+      // ok but peer not bound yet: the allocate deadline re-asks.
+      return;
+    }
+    case MsgType::kRelayPulse: {
+      const auto msg = parse_relay_pulse(*dgram.chunk());
+      if (!msg || msg->to_host != self_.host_id) return;
+      const auto it = links_.find(msg->from_host);
+      if (it != links_.end() && it->second.established) {
+        it->second.last_rx = ip_.sim().now();
+        c_pulses_received_->inc();
+      }
+      return;
+    }
+    case MsgType::kRelayFlush: {
+      const auto msg = parse_relay_flush(*dgram.chunk());
+      if (!msg || msg->to_host != self_.host_id) return;
+      const auto it = links_.find(msg->from_host);
+      if (it == links_.end() || !it->second.established) return;
+      Link& link = it->second;
+      link.last_rx = ip_.sim().now();
+      if (link.direct_candidate.is_zero()) return;  // peer's probe never landed
+      // FIFO through the relay: every relayed frame the peer ever sent
+      // precedes this barrier, so acking it (direct) tells the peer it
+      // can safely drain onto the direct path.
+      socket_.send_to(link.direct_candidate,
+                      encode(RelayFlushAckMsg{self_.host_id, msg->nonce}));
+      // Symmetric switch: the peer is moving to direct, move our egress
+      // too so the channel winds down from both ends.
+      if (link.kind == LinkKind::kRelayed && !link.upgrading) {
+        start_switchover(link, link.direct_candidate);
+      }
+      return;
+    }
+    case MsgType::kRelayFlushAck: {
+      const auto msg = parse_relay_flush_ack(*dgram.chunk());
+      if (!msg) return;
+      const auto it = links_.find(msg->from_host);
+      if (it == links_.end()) return;
+      Link& link = it->second;
+      if (!link.upgrading || link.flush_nonce != msg->nonce) return;
+      complete_upgrade(link);
       return;
     }
     default:

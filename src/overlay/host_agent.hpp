@@ -2,8 +2,15 @@
 //   * STUN-probes its NAT, registers with a rendezvous server, heartbeats,
 //   * issues resource queries,
 //   * establishes direct host-to-host connections via UDP hole punching
-//     (Figure 3 step 4), and
-//   * keeps every punched NAT binding alive with the 2-byte CONNECT_PULSE.
+//     (Figure 3 step 4),
+//   * keeps every punched NAT binding alive with the 2-byte CONNECT_PULSE,
+//   * and runs the traversal ladder (Ford et al. §4): when hole punching
+//     cannot succeed — the STUN-detected NAT pair is known-incompatible,
+//     or the punch deadline passes — it falls back to a TURN-style
+//     relayed tunnel through a relay server advertised by the rendezvous
+//     layer, and later upgrades the relayed link back to direct when an
+//     opportunistic re-punch proves the path, draining in-flight relayed
+//     frames without loss or reordering (flush handshake).
 //
 // The same hole-punched socket carries the data plane: the WAV-Switch
 // (wavnet module) registers a frame handler here and sends Ethernet
@@ -55,7 +62,31 @@ class HostAgent {
     /// the retries run out its handler fires with an empty result.
     Duration query_timeout{seconds(2)};
     std::uint32_t query_retries{2};
+    /// Statically configured relay servers; the set advertised by the
+    /// rendezvous layer in RegisterAck is merged in at registration.
+    /// Empty = no relay tier: incompatible pairs fail as before.
+    std::vector<net::Endpoint> relays{};
+    /// An unanswered RelayAllocate is resent this many times before the
+    /// agent rotates to the next relay in the list.
+    Duration relay_alloc_timeout{seconds(2)};
+    std::uint32_t relay_alloc_retries{2};
+    /// Established relayed links re-allocate (refresh) on this cadence;
+    /// missing this many refresh acks in a row means the relay died and
+    /// the link fails over to the next relay (both sides advance their
+    /// cursor in sync, so they meet on the same survivor).
+    Duration relay_refresh_interval{seconds(5)};
+    std::uint32_t relay_max_missed_refreshes{3};
+    /// Relayed links between punch-compatible NAT pairs periodically
+    /// re-punch for this window, upgrading to direct on success.
+    Duration upgrade_probe_interval{seconds(15)};
+    Duration upgrade_punch_window{seconds(3)};
+    /// The upgrade flush handshake aborts (stays relayed) when the peer
+    /// doesn't confirm the relay pipe drained within this timeout.
+    Duration upgrade_flush_timeout{seconds(5)};
   };
+
+  /// How an established link currently carries frames.
+  enum class LinkKind : std::uint8_t { kDirect, kRelayed };
 
   using RegisteredHandler = std::function<void(bool ok)>;
   using QueryHandler = std::function<void(std::vector<HostInfo>)>;
@@ -87,6 +118,19 @@ class HostAgent {
   [[nodiscard]] bool link_established(HostId peer) const;
   [[nodiscard]] std::vector<HostId> connected_peers() const;
   [[nodiscard]] std::optional<net::Endpoint> link_remote(HostId peer) const;
+  /// kDirect or kRelayed for an established link, nullopt otherwise.
+  [[nodiscard]] std::optional<LinkKind> link_kind(HostId peer) const;
+  /// The relay endpoint an established relayed link rides through.
+  [[nodiscard]] std::optional<net::Endpoint> link_relay(HostId peer) const;
+  [[nodiscard]] std::vector<HostId> relayed_peers() const;
+  /// Extra encap bytes the current egress path to `peer` adds (the relay
+  /// header for relayed links, 0 for direct) — the WAV-Switch folds this
+  /// into its per-frame billing so both ends account consistently.
+  [[nodiscard]] std::uint32_t relay_overhead(HostId peer) const;
+  /// The relay set currently known (config + rendezvous-advertised).
+  [[nodiscard]] const std::vector<net::Endpoint>& relays() const noexcept {
+    return relays_;
+  }
 
   /// Sends a tunneled Ethernet frame to an established peer. Returns
   /// false when no live link exists.
@@ -110,6 +154,10 @@ class HostAgent {
     std::uint64_t queries_timed_out{0};
     std::uint64_t query_retries_sent{0};
     std::uint64_t reregistrations{0};  // server lost our record; registered anew
+    std::uint64_t connects_failed{0};  // every traversal rung exhausted
+    std::uint64_t relay_fallbacks{0};  // punching gave up; relay tier entered
+    std::uint64_t relay_failovers{0};  // live relayed link moved to a new relay
+    std::uint64_t relay_upgrades{0};   // relayed link switched to direct
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -147,6 +195,28 @@ class HostAgent {
     std::unique_ptr<sim::PeriodicTimer> punch_timer;
     TimePoint punch_deadline{};
     ConnectHandler on_result;
+    std::uint64_t request_id{0};  // brokered connect id (ConnectFail lookup)
+
+    // --- relay-ladder state ---
+    LinkKind kind{LinkKind::kDirect};
+    bool relay_tried{false};   // ladder reached the relay rung
+    bool relay_bound{false};   // our side currently bound at link.relay
+    bool relay_acked{false};   // the current relay answered our last allocate
+    bool probing{false};       // upgrade re-punch window open
+    bool upgrading{false};     // flush handshake in flight
+    net::Endpoint relay{};     // relay the channel lives on (relays_[cursor])
+    net::Endpoint direct_candidate{};  // punch-proven endpoint for upgrade
+    std::size_t relay_cursor{0};
+    std::uint32_t relay_attempts{0};   // allocates sent to the current relay
+    std::size_t relays_cycled{0};      // relays tried this ladder round
+    std::uint32_t missed_refreshes{0};
+    std::uint32_t peer_wait_rounds{0};  // relay alive but peer not bound yet
+    std::uint64_t alloc_epoch{0};       // retires stale allocate deadlines
+    std::uint64_t flush_nonce{0};
+    TimePoint relay_started{};  // span anchor for relay allocation latency
+    // Frames held back while the flush handshake runs; drained in order
+    // on the direct path (upgrade) or back through the relay (abort).
+    std::vector<net::EncapFrame> upgrade_buffer;
   };
 
   struct PendingQuery {
@@ -173,6 +243,25 @@ class HostAgent {
   void pulse_links();
   void reap_idle_links();
   Link* link_by_endpoint(const net::Endpoint& ep);
+  /// Terminal traversal failure: every rung exhausted. Erases the link,
+  /// fires the handler(false), counts per-reason, schedules a repunch.
+  void fail_link(HostId peer, const std::string& reason);
+  // --- relay ladder ---
+  void begin_relay(Link& link, const char* reason);
+  void send_relay_allocate(Link& link);
+  void relay_alloc_expired(HostId peer, std::uint64_t epoch);
+  /// Retries the current relay up to relay_alloc_retries, then rotates
+  /// the cursor; a full cycle without success ends the ladder.
+  void advance_relay(Link& link);
+  void establish_relayed(Link& link);
+  void relay_failover(Link& link);
+  void refresh_relayed_links();
+  // --- relayed -> direct upgrade ---
+  void probe_upgrades();
+  void start_upgrade_probe(Link& link);
+  void start_switchover(Link& link, const net::Endpoint& proven);
+  void complete_upgrade(Link& link);
+  void flush_expired(HostId peer, std::uint64_t nonce);
 
   stack::IpLayer& ip_;
   Config config_;
@@ -193,13 +282,19 @@ class HostAgent {
   std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
   std::uint64_t next_request_id_;
   std::unordered_map<HostId, Duration> repunch_backoff_;
+  std::unordered_map<std::uint64_t, HostId> request_to_peer_;
 
   std::unordered_map<HostId, Link> links_;
+  // Direct remotes only: a relay endpoint fans out to many peers, so
+  // relayed links are attributed by EncapFrame.overlay_src instead.
   std::unordered_map<net::Endpoint, HostId> endpoint_to_peer_;
+  std::vector<net::Endpoint> relays_;
 
   sim::PeriodicTimer heartbeat_timer_;
   sim::PeriodicTimer pulse_timer_;
   sim::PeriodicTimer idle_check_timer_;
+  sim::PeriodicTimer relay_refresh_timer_;
+  sim::PeriodicTimer upgrade_probe_timer_;
 
   FrameHandler on_frame_;
   LinkHandler on_link_up_;
@@ -220,8 +315,21 @@ class HostAgent {
   obs::Counter* c_heartbeats_sent_{nullptr};
   obs::Counter* c_queries_timed_out_{nullptr};
   obs::Counter* c_reregistrations_{nullptr};
-  obs::Gauge* g_links_active_{nullptr};  // established links right now
+  obs::Counter* c_connects_failed_{nullptr};
+  obs::Counter* c_failed_timeout_{nullptr};
+  obs::Counter* c_failed_incompatible_{nullptr};
+  obs::Counter* c_failed_relay_{nullptr};
+  obs::Counter* c_failed_broker_{nullptr};
+  obs::Counter* c_traversal_direct_{nullptr};   // links that came up direct
+  obs::Counter* c_traversal_relayed_{nullptr};  // links that came up relayed
+  obs::Counter* c_relay_fallbacks_{nullptr};
+  obs::Counter* c_relay_failovers_{nullptr};
+  obs::Counter* c_relay_upgrades_{nullptr};
+  obs::Counter* c_relay_upgrade_aborts_{nullptr};
+  obs::Gauge* g_links_active_{nullptr};   // established links right now
+  obs::Gauge* g_links_relayed_{nullptr};  // subset currently riding a relay
   obs::Histogram* h_punch_latency_ms_{nullptr};
+  obs::Histogram* h_relay_alloc_ms_{nullptr};
 };
 
 }  // namespace wav::overlay

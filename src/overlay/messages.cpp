@@ -42,7 +42,9 @@ std::optional<MsgType> peek_type(const net::UdpDatagram& dgram) {
     return std::nullopt;
   }
   const auto t = static_cast<std::uint8_t>(chunk->real[0]);
-  if (t < 1 || t > static_cast<std::uint8_t>(MsgType::kData)) return std::nullopt;
+  if (t < 1 || t > static_cast<std::uint8_t>(MsgType::kRelayFlushAck)) {
+    return std::nullopt;
+  }
   return static_cast<MsgType>(t);
 }
 
@@ -103,6 +105,8 @@ net::Chunk encode(const RegisterAckMsg& m) {
   ByteWriter w{out};
   w.u8(m.ok ? 1 : 0);
   encode_endpoint(w, m.observed);
+  w.u8(static_cast<std::uint8_t>(m.relays.size()));
+  for (const auto& relay : m.relays) encode_endpoint(w, relay);
   return net::Chunk::from_bytes(std::move(out));
 }
 
@@ -111,8 +115,16 @@ std::optional<RegisterAckMsg> parse_register_ack(const net::Chunk& c) {
   if (!r) return std::nullopt;
   const auto ok = r->u8();
   const auto ep = parse_endpoint(*r);
-  if (!ok || !ep) return std::nullopt;
-  return RegisterAckMsg{*ok != 0, *ep};
+  const auto n_relays = r->u8();
+  if (!ok || !ep || !n_relays) return std::nullopt;
+  RegisterAckMsg m{*ok != 0, *ep, {}};
+  m.relays.reserve(*n_relays);
+  for (std::size_t i = 0; i < *n_relays; ++i) {
+    const auto relay = parse_endpoint(*r);
+    if (!relay) return std::nullopt;
+    m.relays.push_back(*relay);
+  }
+  return m;
 }
 
 net::Chunk encode(const DeregisterMsg& m) {
@@ -314,6 +326,114 @@ std::optional<PunchAckMsg> parse_punch_ack(const net::Chunk& c) {
   const auto nonce = r->u64();
   if (!id || !nonce) return std::nullopt;
   return PunchAckMsg{*id, *nonce};
+}
+
+net::Chunk encode(const RelayAllocateMsg& m) {
+  ByteBuffer out = begin(MsgType::kRelayAllocate);
+  ByteWriter w{out};
+  w.u64(m.from_host);
+  w.u64(m.to_host);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<RelayAllocateMsg> parse_relay_allocate(const net::Chunk& c) {
+  auto r = open(c, MsgType::kRelayAllocate);
+  if (!r) return std::nullopt;
+  const auto from = r->u64();
+  const auto to = r->u64();
+  if (!from || !to) return std::nullopt;
+  return RelayAllocateMsg{*from, *to};
+}
+
+net::Chunk encode(const RelayAllocateAckMsg& m) {
+  ByteBuffer out = begin(MsgType::kRelayAllocateAck);
+  ByteWriter w{out};
+  w.u64(m.peer);
+  w.u8(m.ok ? 1 : 0);
+  w.u8(m.peer_bound ? 1 : 0);
+  w.str(m.reason);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<RelayAllocateAckMsg> parse_relay_allocate_ack(const net::Chunk& c) {
+  auto r = open(c, MsgType::kRelayAllocateAck);
+  if (!r) return std::nullopt;
+  const auto peer = r->u64();
+  const auto ok = r->u8();
+  const auto bound = r->u8();
+  const auto reason = r->str();
+  if (!peer || !ok || !bound || !reason) return std::nullopt;
+  return RelayAllocateAckMsg{*peer, *ok != 0, *bound != 0, *reason};
+}
+
+net::Chunk encode(const RelayReleaseMsg& m) {
+  ByteBuffer out = begin(MsgType::kRelayRelease);
+  ByteWriter w{out};
+  w.u64(m.from_host);
+  w.u64(m.to_host);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<RelayReleaseMsg> parse_relay_release(const net::Chunk& c) {
+  auto r = open(c, MsgType::kRelayRelease);
+  if (!r) return std::nullopt;
+  const auto from = r->u64();
+  const auto to = r->u64();
+  if (!from || !to) return std::nullopt;
+  return RelayReleaseMsg{*from, *to};
+}
+
+net::Chunk encode(const RelayPulseMsg& m) {
+  ByteBuffer out = begin(MsgType::kRelayPulse);
+  ByteWriter w{out};
+  w.u64(m.from_host);
+  w.u64(m.to_host);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<RelayPulseMsg> parse_relay_pulse(const net::Chunk& c) {
+  auto r = open(c, MsgType::kRelayPulse);
+  if (!r) return std::nullopt;
+  const auto from = r->u64();
+  const auto to = r->u64();
+  if (!from || !to) return std::nullopt;
+  return RelayPulseMsg{*from, *to};
+}
+
+net::Chunk encode(const RelayFlushMsg& m) {
+  ByteBuffer out = begin(MsgType::kRelayFlush);
+  ByteWriter w{out};
+  w.u64(m.from_host);
+  w.u64(m.to_host);
+  w.u64(m.nonce);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<RelayFlushMsg> parse_relay_flush(const net::Chunk& c) {
+  auto r = open(c, MsgType::kRelayFlush);
+  if (!r) return std::nullopt;
+  const auto from = r->u64();
+  const auto to = r->u64();
+  const auto nonce = r->u64();
+  if (!from || !to || !nonce) return std::nullopt;
+  return RelayFlushMsg{*from, *to, *nonce};
+}
+
+net::Chunk encode(const RelayFlushAckMsg& m) {
+  ByteBuffer out = begin(MsgType::kRelayFlushAck);
+  ByteWriter w{out};
+  w.u64(m.from_host);
+  w.u64(m.nonce);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<RelayFlushAckMsg> parse_relay_flush_ack(const net::Chunk& c) {
+  auto r = open(c, MsgType::kRelayFlushAck);
+  if (!r) return std::nullopt;
+  const auto from = r->u64();
+  const auto nonce = r->u64();
+  if (!from || !nonce) return std::nullopt;
+  return RelayFlushAckMsg{*from, *nonce};
 }
 
 net::Chunk encode_pulse() {

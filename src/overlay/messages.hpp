@@ -51,7 +51,20 @@ enum class MsgType : std::uint8_t {
   kPunchAck,
   kPulse,
   kData,  // tunneled Ethernet frame (EncapFrame payload, not a byte chunk)
+  // host <-> relay (TURN-style fallback when punching cannot succeed)
+  kRelayAllocate,
+  kRelayAllocateAck,
+  kRelayRelease,
+  kRelayPulse,  // keepalive forwarded through the relay channel
+  kRelayFlush,  // upgrade barrier: last message on the relayed path
+  kRelayFlushAck,
 };
+
+/// Extra wire bytes a relayed data frame carries compared to a direct
+/// tunnel: the relay must see (src, dst) host ids to pick the channel.
+/// Lives here (not in relay/) so the switch can bill the overhead
+/// without depending on the relay module.
+inline constexpr std::uint32_t kRelayEncapHeaderBytes = 12;
 
 /// Reads the leading type byte of any overlay message.
 [[nodiscard]] std::optional<MsgType> peek_type(const net::UdpDatagram& dgram);
@@ -65,6 +78,7 @@ struct RegisterMsg {
 struct RegisterAckMsg {
   bool ok{false};
   net::Endpoint observed{};  // server-reflexive endpoint of the host
+  std::vector<net::Endpoint> relays;  // relay servers this rendezvous advertises
 };
 struct DeregisterMsg {
   HostId host_id{0};
@@ -108,6 +122,39 @@ struct PunchAckMsg {
   HostId from_host{0};
   std::uint64_t nonce{0};
 };
+/// Also doubles as the channel refresh keepalive (re-binds the sender's
+/// side; the relay treats an allocate for an existing pair as a refresh).
+struct RelayAllocateMsg {
+  HostId from_host{0};
+  HostId to_host{0};
+};
+struct RelayAllocateAckMsg {
+  HostId peer{0};  // the to_host of the allocate this acks
+  bool ok{false};
+  bool peer_bound{false};  // true once the other side has bound too
+  std::string reason;      // non-empty on ok=false (e.g. "capacity")
+};
+struct RelayReleaseMsg {
+  HostId from_host{0};
+  HostId to_host{0};
+};
+/// End-to-end keepalive forwarded through the relay (the 2-byte pulse
+/// cannot ride a relay: the channel needs the pair addressing).
+struct RelayPulseMsg {
+  HostId from_host{0};
+  HostId to_host{0};
+};
+/// Upgrade barrier. Sent via the relay as the last relayed message, so
+/// FIFO delivery guarantees every in-flight relayed frame precedes it.
+struct RelayFlushMsg {
+  HostId from_host{0};
+  HostId to_host{0};
+  std::uint64_t nonce{0};
+};
+struct RelayFlushAckMsg {
+  HostId from_host{0};
+  std::uint64_t nonce{0};
+};
 
 [[nodiscard]] net::Chunk encode(const RegisterMsg&);
 [[nodiscard]] net::Chunk encode(const RegisterAckMsg&);
@@ -121,6 +168,12 @@ struct PunchAckMsg {
 [[nodiscard]] net::Chunk encode(const RvForwardNotifyMsg&);
 [[nodiscard]] net::Chunk encode(const PunchMsg&);
 [[nodiscard]] net::Chunk encode(const PunchAckMsg&);
+[[nodiscard]] net::Chunk encode(const RelayAllocateMsg&);
+[[nodiscard]] net::Chunk encode(const RelayAllocateAckMsg&);
+[[nodiscard]] net::Chunk encode(const RelayReleaseMsg&);
+[[nodiscard]] net::Chunk encode(const RelayPulseMsg&);
+[[nodiscard]] net::Chunk encode(const RelayFlushMsg&);
+[[nodiscard]] net::Chunk encode(const RelayFlushAckMsg&);
 
 /// The lightweight keepalive: exactly two bytes on the wire (type tag +
 /// version byte), as the paper describes.
@@ -138,5 +191,12 @@ struct PunchAckMsg {
 [[nodiscard]] std::optional<RvForwardNotifyMsg> parse_rv_forward(const net::Chunk&);
 [[nodiscard]] std::optional<PunchMsg> parse_punch(const net::Chunk&);
 [[nodiscard]] std::optional<PunchAckMsg> parse_punch_ack(const net::Chunk&);
+[[nodiscard]] std::optional<RelayAllocateMsg> parse_relay_allocate(const net::Chunk&);
+[[nodiscard]] std::optional<RelayAllocateAckMsg> parse_relay_allocate_ack(
+    const net::Chunk&);
+[[nodiscard]] std::optional<RelayReleaseMsg> parse_relay_release(const net::Chunk&);
+[[nodiscard]] std::optional<RelayPulseMsg> parse_relay_pulse(const net::Chunk&);
+[[nodiscard]] std::optional<RelayFlushMsg> parse_relay_flush(const net::Chunk&);
+[[nodiscard]] std::optional<RelayFlushAckMsg> parse_relay_flush_ack(const net::Chunk&);
 
 }  // namespace wav::overlay

@@ -234,6 +234,7 @@ void RendezvousServer::handle_register(const net::Endpoint& from, const Register
   RegisterAckMsg ack;
   ack.ok = true;
   ack.observed = from;
+  ack.relays = config_.relays;
   host_socket_.send_to(from, encode(ack));
 }
 

@@ -25,6 +25,9 @@ class RendezvousServer {
     // A brokered connect that hasn't completed by then is reported back
     // to the requester as a ConnectFail instead of being GC'd silently.
     Duration connect_timeout{seconds(30)};
+    // Relay servers advertised to every registering host (RegisterAck).
+    // Usually co-hosted on this or sibling rendezvous nodes.
+    std::vector<net::Endpoint> relays{};
   };
 
   explicit RendezvousServer(stack::IpLayer& ip);
@@ -43,6 +46,10 @@ class RendezvousServer {
   }
 
   [[nodiscard]] const can::CanNode& can_node() const noexcept { return can_; }
+  /// The server's UDP layer. An IpLayer carries at most one UdpLayer, so
+  /// services co-hosted on this node (the TURN-style relay tier) must
+  /// bind their ports on this layer rather than creating their own.
+  [[nodiscard]] stack::UdpLayer& udp() noexcept { return udp_; }
   [[nodiscard]] std::size_t registered_hosts() const noexcept { return hosts_.size(); }
   [[nodiscard]] bool knows_host(HostId id) const noexcept { return hosts_.contains(id); }
   [[nodiscard]] std::size_t pending_connect_count() const noexcept {

@@ -72,13 +72,20 @@ void WavSwitch::deliver(const net::EthernetFrame& frame) {
 }
 
 void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame) {
-  const std::uint64_t size = frame.wire_size() + config_.encap_header_bytes;
+  // Relayed links carry an extra relay header on the wire; folding it in
+  // here (once, at egress) keeps both ends' byte accounting consistent —
+  // header_bytes travels with the frame, so a frame billed for the relay
+  // path stays billed that way even if it drains direct post-upgrade.
+  const std::uint32_t header_bytes =
+      config_.encap_header_bytes + agent_.relay_overhead(peer);
+  const std::uint64_t size = frame.wire_size() + header_bytes;
   // Packet Assembler: the user-space capture + encapsulation cost. The
   // frame rides in a pooled refcounted buffer — no per-frame allocation.
   auto shared = frame_pool_.acquire(frame);
-  const bool accepted = egress_.submit(size, [this, peer, shared, size] {
+  const bool accepted = egress_.submit(size, [this, peer, shared, size,
+                                             header_bytes] {
     net::EncapFrame encap;
-    encap.header_bytes = config_.encap_header_bytes;
+    encap.header_bytes = header_bytes;
     encap.frame = shared;
     if (agent_.send_frame(peer, std::move(encap))) {
       c_frames_tunneled_->inc();

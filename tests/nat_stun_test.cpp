@@ -245,18 +245,33 @@ TEST(Nat, KeepaliveRefreshesBinding) {
 
 TEST(Nat, HolePunchCompatibilityMatrix) {
   using nat::hole_punch_compatible;
-  const NatType cones[] = {NatType::kFullCone, NatType::kRestrictedCone,
-                           NatType::kPortRestrictedCone};
-  for (const auto a : cones) {
-    for (const auto b : cones) EXPECT_TRUE(hole_punch_compatible(a, b));
+  // Full 5x5 truth table, both argument orders. The only losing pairings
+  // involve a symmetric side: its per-destination port allocation defeats
+  // punching against any peer that filters on the (unpredictable) source
+  // port — another symmetric NAT or a port-restricted cone. An
+  // address-restricted cone filters by IP only, so the symmetric side's
+  // surprising source *port* still gets through; full cones and open
+  // hosts accept anything.
+  const NatType all[] = {NatType::kOpenInternet, NatType::kFullCone,
+                         NatType::kRestrictedCone, NatType::kPortRestrictedCone,
+                         NatType::kSymmetric};
+  const auto expected = [](NatType a, NatType b) {
+    const auto strict = [](NatType t) {
+      return t == NatType::kSymmetric || t == NatType::kPortRestrictedCone;
+    };
+    const bool has_symmetric =
+        a == NatType::kSymmetric || b == NatType::kSymmetric;
+    return !(has_symmetric && strict(a) && strict(b));
+  };
+  for (const auto a : all) {
+    for (const auto b : all) {
+      EXPECT_EQ(hole_punch_compatible(a, b), expected(a, b))
+          << nat::to_string(a) << " vs " << nat::to_string(b);
+      // The relation is symmetric: argument order must not matter.
+      EXPECT_EQ(hole_punch_compatible(a, b), hole_punch_compatible(b, a))
+          << nat::to_string(a) << " vs " << nat::to_string(b);
+    }
   }
-  EXPECT_FALSE(hole_punch_compatible(NatType::kSymmetric, NatType::kSymmetric));
-  EXPECT_FALSE(hole_punch_compatible(NatType::kSymmetric, NatType::kPortRestrictedCone));
-  EXPECT_TRUE(hole_punch_compatible(NatType::kSymmetric, NatType::kFullCone));
-  // Address-restricted cones filter by IP only, so the symmetric side's
-  // unpredicted source *port* still gets through.
-  EXPECT_TRUE(hole_punch_compatible(NatType::kSymmetric, NatType::kRestrictedCone));
-  EXPECT_TRUE(hole_punch_compatible(NatType::kOpenInternet, NatType::kSymmetric));
 }
 
 class StunClassification : public ::testing::TestWithParam<NatType> {};

@@ -52,6 +52,16 @@ std::vector<Tolerance> default_tolerances() {
       // Latency distributions wobble with event-order jitter.
       {"punch.latency_ms", 50.0, 0.75},
       {"can.query_latency_ms", 50.0, 0.75},
+      {"relay.alloc_latency_ms", 50.0, 0.75},
+      // Traversal-matrix outcomes are policy decisions: a cell flipping
+      // between direct/relayed/failed is a regression however the
+      // timings wobble. The measured latencies and goodput get the
+      // usual build-flavor slack.
+      {"traversal.success", 0.01, 0.0},
+      {"traversal.relayed", 0.01, 0.0},
+      {"traversal.connect_ms", 100.0, 0.5},
+      {"traversal.ping_rtt_ms", 30.0, 0.5},
+      {"traversal.goodput_mbps", 5.0, 0.5},
       // Wall-clock throughput gauges (bench --perf-out): machine- and
       // load-dependent, so recorded for the artifact but never gated.
       // Absolute regressions are caught by reviewing the BENCH summary.

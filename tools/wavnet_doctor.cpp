@@ -211,6 +211,57 @@ void report_metrics(const std::string& path) {
                   noisiest->first.c_str(), noisiest->second);
     }
 
+    // Traversal ladder: how connects resolved (direct punch vs the relay
+    // rung), why the failed ones failed, and what the relay tier carried.
+    std::map<std::string, double> sums;
+    if (const Value* counters = metrics->find("counters"); counters != nullptr) {
+      for (const Value& c : counters->array) {
+        const std::string name = c.str_or("name", "");
+        if (name.rfind("overlay.", 0) == 0 || name.rfind("relay.", 0) == 0) {
+          sums[name] += c.num_or("value", 0);
+        }
+      }
+    }
+    const auto sum_of = [&sums](const char* name) {
+      const auto it = sums.find(name);
+      return it == sums.end() ? 0.0 : it->second;
+    };
+    const double direct = sum_of("overlay.traversal_direct");
+    const double relayed = sum_of("overlay.traversal_relayed");
+    const double failed = sum_of("overlay.connects_failed");
+    if (direct + relayed + failed > 0) {
+      std::printf("    traversal: %.0f direct, %.0f relayed, %.0f failed (%.1f%% success)\n",
+                  direct, relayed, failed,
+                  100.0 * (direct + relayed) / (direct + relayed + failed));
+      if (failed > 0) {
+        std::printf("      failures by rung: %.0f punch-timeout, %.0f incompatible-nat, "
+                    "%.0f relay, %.0f broker\n",
+                    sum_of("overlay.connects_failed.timeout"),
+                    sum_of("overlay.connects_failed.incompatible_nat"),
+                    sum_of("overlay.connects_failed.relay"),
+                    sum_of("overlay.connects_failed.broker"));
+      }
+      const double fallbacks = sum_of("overlay.relay_fallbacks");
+      const double failovers = sum_of("overlay.relay_failovers");
+      const double upgrades = sum_of("overlay.relay_upgrades");
+      const double aborts = sum_of("overlay.relay_upgrade_aborts");
+      if (fallbacks + failovers + upgrades + aborts > 0) {
+        std::printf("      relay ladder: %.0f fallbacks, %.0f failovers, "
+                    "%.0f upgrades to direct (%.0f aborted)\n",
+                    fallbacks, failovers, upgrades, aborts);
+      }
+    }
+    if (sum_of("relay.allocations") + sum_of("relay.alloc_failures") > 0) {
+      std::printf("    relay tier: %.0f allocations (%.0f refused), "
+                  "%.0f frames relayed, drops: %.0f no-credit %.0f unbound, "
+                  "%.0f channels idle-expired\n",
+                  sum_of("relay.allocations"), sum_of("relay.alloc_failures"),
+                  sum_of("relay.frames_relayed"),
+                  sum_of("relay.frames_dropped_no_credit"),
+                  sum_of("relay.frames_dropped_unbound"),
+                  sum_of("relay.channels_expired"));
+    }
+
     if (const Value* gauges = metrics->find("gauges"); gauges != nullptr) {
       for (const Value& g : gauges->array) {
         const std::string name = g.str_or("name", "");
@@ -225,7 +276,7 @@ void report_metrics(const std::string& path) {
       for (const Value& h : hists->array) {
         const std::string name = h.str_or("name", "");
         if (name == "punch.latency_ms" || name == "can.query_latency_ms" ||
-            name == "health.recovery_ms") {
+            name == "relay.alloc_latency_ms" || name == "health.recovery_ms") {
           std::printf("    %-26s n=%-6.0f mean=%8.2f p99=%8.2f max=%8.2f\n",
                       name.c_str(), h.num_or("count", 0), h.num_or("mean", 0),
                       h.num_or("p99", 0), h.num_or("max", 0));
