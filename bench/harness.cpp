@@ -56,6 +56,10 @@ void obs_init(int argc, char** argv) {
       g_obs.series_out = v3;
     } else if (const char* v4 = value_of("--health-out")) {
       g_obs.health_out = v4;
+    } else if (const char* vf = value_of("--flows-out")) {
+      g_obs.flows_out = vf;
+    } else if (const char* vh = value_of("--hops-out")) {
+      g_obs.hops_out = vh;
     } else if (const char* v5 = value_of("--sample-interval")) {
       const double s = std::strtod(v5, nullptr);
       if (s > 0) g_obs.sample_interval_s = s;
@@ -99,7 +103,8 @@ void append_metrics_line(sim::Simulation& sim, const std::string& label,
 
 void World::flush_observability() {
   if (g_obs.metrics_out.empty() && g_obs.trace_out.empty() &&
-      g_obs.series_out.empty() && g_obs.health_out.empty()) {
+      g_obs.series_out.empty() && g_obs.health_out.empty() &&
+      g_obs.flows_out.empty() && g_obs.hops_out.empty()) {
     return;
   }
   const int run = ++g_worlds_flushed;
@@ -112,6 +117,12 @@ void World::flush_observability() {
   }
   if (!g_obs.health_out.empty()) {
     health_->write_jsonl(numbered_path(g_obs.health_out, run));
+  }
+  if (!g_obs.flows_out.empty()) {
+    sim_.flows().write_flows_jsonl(numbered_path(g_obs.flows_out, run));
+  }
+  if (!g_obs.hops_out.empty()) {
+    sim_.flows().write_hops_jsonl(numbered_path(g_obs.hops_out, run));
   }
 }
 
@@ -245,6 +256,7 @@ void World::build_emulated(std::size_t n, BitRate access_rate, Duration rtt) {
     cfg.name = "s" + std::to_string(i);
     cfg.access_rate = access_rate;
     cfg.access_delay = microseconds(100);
+    cfg.nat.type = emulated_nat_;
     cfg.public_hosts = plane_ == Plane::kPhysical;
     cfg.cpu_gflops = 4.0;
     auto& site = wan_->add_site(cfg);

@@ -43,6 +43,11 @@ enum class Plane { kPhysical, kWavnet, kIpop };
 ///   --series-out <file>    write each World's sampled time-series JSONL
 ///                          (numbered like --trace-out),
 ///   --health-out <file>    write each World's SLO health transitions
+///                          JSONL (numbered like --trace-out),
+///   --flows-out <file>     write each World's sampled FlowRecords JSONL
+///                          (NetFlow-style aggregates; numbered like
+///                          --trace-out),
+///   --hops-out <file>      write each World's per-hop flow timelines
 ///                          JSONL (numbered like --trace-out), and
 ///   --sample-interval <s>  telemetry sampling cadence in simulated
 ///                          seconds (default 1).
@@ -53,6 +58,8 @@ struct ObsOptions {
   std::string trace_out;    // empty = disabled
   std::string series_out;   // empty = disabled
   std::string health_out;   // empty = disabled
+  std::string flows_out;    // empty = disabled
+  std::string hops_out;     // empty = disabled
   double sample_interval_s{1.0};
 };
 
@@ -138,6 +145,12 @@ class World {
   /// Same, addressed by host name.
   void set_host_site_rate(const std::string& host_name, BitRate rate);
 
+  /// Before build_emulated(): NAT behaviour for every emulated site
+  /// (default port-restricted cone, which hole-punches fine). Symmetric
+  /// forces the relay fallback — bench_flow_trace uses this to measure
+  /// the relayed triangle's hop legs.
+  void set_emulated_nat(nat::NatType type) noexcept { emulated_nat_ = type; }
+
   enum class IpopTopology { kFullMesh, kRing };
   /// Before deploy(): full mesh models IPOP with on-demand shortcuts for
   /// all active flows (small deployments); ring models its bounded
@@ -179,6 +192,7 @@ class World {
   std::map<std::string, std::string> host_site_;
   std::uint32_t next_vip_{10};
   bool paper_testbed_{false};
+  nat::NatType emulated_nat_{nat::NatType::kPortRestrictedCone};
   IpopTopology ipop_topology_{IpopTopology::kFullMesh};
 
   std::unique_ptr<obs::TimeSeriesSampler> sampler_;

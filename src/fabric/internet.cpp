@@ -4,8 +4,20 @@
 
 #include "common/log.hpp"
 #include "fabric/network.hpp"
+#include "obs/flow.hpp"
 
 namespace wav::fabric {
+
+namespace {
+
+void note_flow_drop(sim::Simulation& sim, const net::IpPacket& pkt,
+                    const std::string& instance, obs::DropReason reason) {
+  if (const net::FlowContext* fc = obs::flow_of(pkt)) {
+    sim.flows().dropped(*fc, obs::HopComponent::kInternet, instance, reason);
+  }
+}
+
+}  // namespace
 
 InternetNode::InternetNode(Network& network, std::string name)
     : Node(network, std::move(name)) {
@@ -41,6 +53,7 @@ std::size_t InternetNode::iface_index_of(const Link& link) const {
 void InternetNode::forward(net::IpPacket pkt, Link& from) {
   if (pkt.ttl <= 1) {
     ++stats_.dropped_ttl;
+    note_flow_drop(sim(), pkt, name(), obs::DropReason::kTtlExpired);
     return;
   }
   pkt.ttl = static_cast<std::uint8_t>(pkt.ttl - 1);
@@ -48,6 +61,7 @@ void InternetNode::forward(net::IpPacket pkt, Link& from) {
   const Interface* out = route_lookup(pkt.dst);
   if (out == nullptr) {
     ++stats_.dropped_no_route;
+    note_flow_drop(sim(), pkt, name(), obs::DropReason::kNoRoute);
     log::trace("internet", "unroutable dst {}", pkt.dst.to_string());
     return;
   }
@@ -64,11 +78,15 @@ void InternetNode::forward(net::IpPacket pkt, Link& from) {
   if (blocked_pairs_.contains(key(in_idx, out_idx))) {
     ++partition_drops_;
     c_partition_drops_->inc();
+    note_flow_drop(sim(), pkt, name(), obs::DropReason::kPartition);
     return;
   }
 
   const PathSpec spec = path(in_idx, out_idx);
-  if (spec.loss_probability > 0.0 && sim().rng().chance(spec.loss_probability)) return;
+  if (spec.loss_probability > 0.0 && sim().rng().chance(spec.loss_probability)) {
+    note_flow_drop(sim(), pkt, name(), obs::DropReason::kWireLoss);
+    return;
+  }
 
   Duration extra = spec.one_way;
   if (spec.jitter_stddev > kZeroDuration) {

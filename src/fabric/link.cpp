@@ -5,8 +5,24 @@
 
 #include "common/log.hpp"
 #include "fabric/node.hpp"
+#include "obs/flow.hpp"
 
 namespace wav::fabric {
+
+namespace {
+
+/// Wire-level drop attribution: links never add hops for forwarded
+/// packets (they are pure delay), but a sampled flow must learn where a
+/// packet died.
+void note_flow_drop(sim::Simulation& sim, const net::IpPacket& pkt,
+                    const Node& from, const Node& dest, obs::DropReason reason) {
+  if (const net::FlowContext* fc = obs::flow_of(pkt)) {
+    sim.flows().dropped(*fc, obs::HopComponent::kLink,
+                        from.name() + ">" + dest.name(), reason);
+  }
+}
+
+}  // namespace
 
 Link::Link(sim::Simulation& sim, Node& a, Node& b, LinkConfig config)
     : sim_(sim), a_(&a), b_(&b), config_(config) {}
@@ -30,6 +46,7 @@ void Link::transmit(const Node& from, net::IpPacket pkt) {
   assert(has_endpoint(from));
   if (down_) {
     ++stats_.dropped_down;
+    note_flow_drop(sim_, pkt, from, peer(from), obs::DropReason::kLinkDown);
     return;
   }
   DirectionState& dir = (&from == a_) ? toward_b_ : toward_a_;
@@ -43,6 +60,7 @@ void Link::transmit(const Node& from, net::IpPacket pkt) {
   const TimePoint start = std::max(now, dir.busy_until);
   if (start - now > config_.max_backlog) {
     ++stats_.dropped_queue;
+    note_flow_drop(sim_, pkt, from, dest, obs::DropReason::kLinkQueue);
     log::trace("link", "queue drop {} -> {} ({} B)", from.name(), dest.name(), size);
     return;
   }
@@ -53,6 +71,7 @@ void Link::transmit(const Node& from, net::IpPacket pkt) {
   // corrupted frame on a real wire).
   if (config_.loss_probability > 0.0 && sim_.rng().chance(config_.loss_probability)) {
     ++stats_.dropped_loss;
+    note_flow_drop(sim_, pkt, from, dest, obs::DropReason::kWireLoss);
     return;
   }
 

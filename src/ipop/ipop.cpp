@@ -90,6 +90,11 @@ void IpopHost::deliver(const net::EthernetFrame& frame) {
   const auto target = bindings_.lookup(ip->dst);
   if (!target) {
     ++stats_.packets_dropped_no_route;
+    if (frame.flow.id != 0) {
+      host_.fabric::Node::sim().flows().dropped(
+          frame.flow, obs::HopComponent::kIpopRouter, config_.agent.name,
+          obs::DropReason::kNoRoute);
+    }
     return;
   }
   ++stats_.packets_originated;
@@ -101,13 +106,25 @@ void IpopHost::route(const net::EthernetFrame& frame, OverlayId target,
   (void)originated;
   if (hops >= kMaxHops) {
     ++stats_.packets_dropped_no_route;
+    if (frame.flow.id != 0) {
+      host_.fabric::Node::sim().flows().dropped(
+          frame.flow, obs::HopComponent::kIpopRouter, config_.agent.name,
+          obs::DropReason::kTtlExpired);
+    }
     return;
   }
   const std::uint64_t size = frame.wire_size() + config_.p2p_header_bytes;
   auto shared = frame_pool_.acquire(frame);
+  const TimePoint submitted = host_.fabric::Node::sim().now();
   // Every traversal of this node's P2P routing stack costs processing
   // time — the decisive difference from WAVNet's direct path.
-  const bool accepted = router_.submit(size, [this, shared, target, hops] {
+  const bool accepted = router_.submit(size, [this, shared, target, hops,
+                                              submitted] {
+    if (shared->flow.id != 0) {
+      sim::Simulation& s = host_.fabric::Node::sim();
+      s.flows().forwarded(shared->flow, obs::HopComponent::kIpopRouter,
+                          config_.agent.name, s.now() - submitted);
+    }
     if (target == id_) {
       ++stats_.packets_delivered;
       stats_.total_hops_delivered += hops;
@@ -123,6 +140,11 @@ void IpopHost::route(const net::EthernetFrame& frame, OverlayId target,
     const overlay::HostId next = next_hop_toward(target);
     if (next == 0) {
       ++stats_.packets_dropped_no_route;
+      if (shared->flow.id != 0) {
+        host_.fabric::Node::sim().flows().dropped(
+            shared->flow, obs::HopComponent::kIpopRouter, config_.agent.name,
+            obs::DropReason::kNoRoute);
+      }
       return;
     }
     if (hops > 0) ++stats_.packets_forwarded;
@@ -134,7 +156,14 @@ void IpopHost::route(const net::EthernetFrame& frame, OverlayId target,
     encap.frame = shared;
     agent_.send_frame(next, std::move(encap));
   });
-  if (!accepted) ++stats_.packets_dropped_backlog;
+  if (!accepted) {
+    ++stats_.packets_dropped_backlog;
+    if (shared->flow.id != 0) {
+      host_.fabric::Node::sim().flows().dropped(
+          shared->flow, obs::HopComponent::kIpopRouter, config_.agent.name,
+          obs::DropReason::kBacklog);
+    }
+  }
 }
 
 overlay::HostId IpopHost::next_hop_toward(OverlayId target) const {

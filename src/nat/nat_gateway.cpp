@@ -212,6 +212,7 @@ NatGateway::Binding* NatGateway::find_or_create_binding(const FlowKey& key) {
 void NatGateway::forward(net::IpPacket pkt, fabric::Link& from) {
   if (down_) {
     ++nat_stats_.dropped_down;
+    note_flow_drop(pkt, obs::DropReason::kNatDown);
     return;
   }
   const bool from_wan = interfaces()[wan_iface_].link == &from;
@@ -220,10 +221,12 @@ void NatGateway::forward(net::IpPacket pkt, fabric::Link& from) {
     // would forward, but a NAT has no mapping — drop.
     ++nat_stats_.blocked_inbound;
     c_blocked_inbound_->inc();
+    note_flow_drop(pkt, obs::DropReason::kNatMappingMiss);
     return;
   }
   if (pkt.ttl <= 1) {
     ++stats_.dropped_ttl;
+    note_flow_drop(pkt, obs::DropReason::kTtlExpired);
     return;
   }
   pkt.ttl = static_cast<std::uint8_t>(pkt.ttl - 1);
@@ -243,6 +246,7 @@ void NatGateway::translate_outbound(net::IpPacket pkt) {
   const auto ports = l4_ports(pkt);
   if (!ports) {
     ++stats_.dropped_no_route;
+    note_flow_drop(pkt, obs::DropReason::kNoRoute);
     return;
   }
   FlowKey key{pkt.src, ports->src, pkt.protocol(), {}};
@@ -258,12 +262,16 @@ void NatGateway::translate_outbound(net::IpPacket pkt) {
   set_src_port(pkt, b->public_port);
   ++nat_stats_.translated_outbound;
   c_translated_outbound_->inc();
+  if (const net::FlowContext* fc = obs::flow_of(pkt)) {
+    sim().flows().forwarded(*fc, obs::HopComponent::kNat, name());
+  }
   transmit(interfaces()[wan_iface_], std::move(pkt));
 }
 
 void NatGateway::deliver_local(const net::IpPacket& pkt, fabric::Link& from) {
   if (down_) {
     ++nat_stats_.dropped_down;
+    note_flow_drop(pkt, obs::DropReason::kNatDown);
     return;
   }
   const bool from_wan = interfaces()[wan_iface_].link == &from;
@@ -271,6 +279,7 @@ void NatGateway::deliver_local(const net::IpPacket& pkt, fabric::Link& from) {
     // Hairpin attempt from the LAN side; consumer NATs typically drop it.
     ++nat_stats_.blocked_inbound;
     c_blocked_inbound_->inc();
+    note_flow_drop(pkt, obs::DropReason::kNatFiltered);
     return;
   }
   translate_inbound(pkt, from);
@@ -282,6 +291,7 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   if (!ports) {
     ++nat_stats_.blocked_inbound;
     c_blocked_inbound_->inc();
+    note_flow_drop(pkt, obs::DropReason::kNatFiltered);
     return;
   }
   const std::uint32_t pkey =
@@ -290,6 +300,7 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   if (it == port_to_binding_.end() || is_expired(it->second)) {
     ++nat_stats_.blocked_inbound;
     c_blocked_inbound_->inc();
+    note_flow_drop(pkt, obs::DropReason::kNatMappingMiss);
     return;
   }
   Binding& b = it->second;
@@ -319,6 +330,7 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   if (!allowed) {
     ++nat_stats_.blocked_inbound;
     c_blocked_inbound_->inc();
+    note_flow_drop(pkt, obs::DropReason::kNatFiltered);
     sim().tracer().instant(obs::Category::kNat, "nat.inbound_refused", name(),
                            "\"from\":\"" + remote.to_string() + "\"");
     log::trace("nat", "{} blocked inbound from {} to port {}", name(),
@@ -337,9 +349,19 @@ void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from)
   const fabric::Interface* out = route_lookup(inner.dst);
   if (out == nullptr || out == &interfaces()[wan_iface_]) {
     ++stats_.dropped_no_route;
+    note_flow_drop(inner, obs::DropReason::kNoRoute);
     return;
   }
+  if (const net::FlowContext* fc = obs::flow_of(inner)) {
+    sim().flows().forwarded(*fc, obs::HopComponent::kNat, name());
+  }
   transmit(*out, std::move(inner));
+}
+
+void NatGateway::note_flow_drop(const net::IpPacket& pkt, obs::DropReason reason) {
+  if (const net::FlowContext* fc = obs::flow_of(pkt)) {
+    sim().flows().dropped(*fc, obs::HopComponent::kNat, name(), reason);
+  }
 }
 
 }  // namespace wav::nat

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fabric/node.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 
 namespace wav::nat {
@@ -135,6 +136,7 @@ class NatGateway : public fabric::Node {
   Binding* find_or_create_binding(const FlowKey& key);
   std::uint16_t allocate_public_port();
   void drop_expired();
+  void note_flow_drop(const net::IpPacket& pkt, obs::DropReason reason);
 
   NatConfig config_;
   NatStats nat_stats_;

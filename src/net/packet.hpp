@@ -210,10 +210,23 @@ struct ArpMessage {
   [[nodiscard]] std::uint64_t wire_size() const noexcept { return kArpBodyBytes; }
 };
 
+/// Flow-tracing stamp (obs/flow.hpp) carried by every Ethernet frame of
+/// the virtual plane. `id` is the deterministic sampled-flow hash (0 =
+/// unsampled — every recording call site early-outs on it), `passage`
+/// numbers the frame within its flow, and `budget` caps how many hop
+/// records this passage may add to the flow's ring. The stamp is
+/// simulation metadata, not wire bytes: wire_size() is unaffected.
+struct FlowContext {
+  std::uint64_t id{0};
+  std::uint32_t passage{0};
+  std::uint8_t budget{0};
+};
+
 struct EthernetFrame {
   MacAddress dst{};
   MacAddress src{};
   std::uint16_t ethertype{kEtherTypeIpv4};
+  FlowContext flow{};
   std::variant<std::shared_ptr<const IpPacket>, ArpMessage, Chunk> payload;
 
   [[nodiscard]] std::uint64_t payload_size() const noexcept;

@@ -21,6 +21,8 @@ const char* to_string(Category c) noexcept {
     case Category::kOverlay: return "overlay";
     case Category::kChaos: return "chaos";
     case Category::kHealth: return "health";
+    case Category::kRelay: return "relay";
+    case Category::kFlow: return "flow";
   }
   return "?";
 }

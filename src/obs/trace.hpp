@@ -30,8 +30,10 @@ enum class Category : std::uint8_t {
   kOverlay,
   kChaos,
   kHealth,
+  kRelay,  // relay ladder: fallback, allocation, failover, upgrade
+  kFlow,   // flow tracing: sampled-flow lifecycle and drop attribution
 };
-inline constexpr std::size_t kCategoryCount = 11;
+inline constexpr std::size_t kCategoryCount = 13;
 
 [[nodiscard]] const char* to_string(Category c) noexcept;
 

@@ -396,6 +396,10 @@ bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
   Link& link = it->second;
   ++stats_.frames_sent;
   c_frames_sent_->inc();
+  if (frame.frame && frame.frame->flow.id != 0) {
+    ip_.sim().flows().forwarded(frame.frame->flow, obs::HopComponent::kTunnelSend,
+                                self_.name);
+  }
   if (link.kind == LinkKind::kRelayed) {
     // The relay picks the channel by the (src, dst) pair riding the
     // encap header — that's what kRelayEncapHeaderBytes pays for.
@@ -430,7 +434,7 @@ void HostAgent::begin_relay(Link& link, const char* reason) {
   if (link.punch_timer) link.punch_timer->stop();
   ++stats_.relay_fallbacks;
   c_relay_fallbacks_->inc();
-  ip_.sim().tracer().instant(obs::Category::kOverlay, "relay.fallback", self_.name,
+  ip_.sim().tracer().instant(obs::Category::kRelay, "relay.fallback", self_.name,
                              "\"peer\":" + std::to_string(link.peer) +
                                  ",\"reason\":\"" + reason + "\"");
   log::debug("agent", "{}: falling back to relay for {} ({})", self_.name,
@@ -522,7 +526,7 @@ void HostAgent::establish_relayed(Link& link) {
   g_links_active_->add(1);
   g_links_relayed_->add(1);
   h_relay_alloc_ms_->observe(to_milliseconds(ip_.sim().now() - link.relay_started));
-  ip_.sim().tracer().complete(obs::Category::kPunch, "relay.established",
+  ip_.sim().tracer().complete(obs::Category::kRelay, "relay.established",
                               link.relay_started, self_.name,
                               "\"peer\":" + std::to_string(link.peer) +
                                   ",\"relay\":\"" + link.relay.to_string() + "\"");
@@ -548,7 +552,7 @@ void HostAgent::establish_relayed(Link& link) {
 void HostAgent::relay_failover(Link& link) {
   ++stats_.relay_failovers;
   c_relay_failovers_->inc();
-  ip_.sim().tracer().instant(obs::Category::kOverlay, "relay.failover", self_.name,
+  ip_.sim().tracer().instant(obs::Category::kRelay, "relay.failover", self_.name,
                              "\"peer\":" + std::to_string(link.peer) +
                                  ",\"from\":\"" + link.relay.to_string() + "\"");
   log::debug("agent", "{}: relay {} silent; failing link to {} over", self_.name,
@@ -656,7 +660,7 @@ void HostAgent::complete_upgrade(Link& link) {
   g_links_relayed_->add(-1);
   ++stats_.relay_upgrades;
   c_relay_upgrades_->inc();
-  ip_.sim().tracer().instant(obs::Category::kOverlay, "traversal.upgrade",
+  ip_.sim().tracer().instant(obs::Category::kRelay, "traversal.upgrade",
                              self_.name,
                              "\"peer\":" + std::to_string(link.peer) + ",\"via\":\"" +
                                  link.remote.to_string() + "\"");
@@ -693,7 +697,7 @@ void HostAgent::flush_expired(HostId peer, std::uint64_t nonce) {
   // stay relayed, and push the held frames down the relay in order.
   link.upgrading = false;
   c_relay_upgrade_aborts_->inc();
-  ip_.sim().tracer().instant(obs::Category::kOverlay, "traversal.upgrade_abort",
+  ip_.sim().tracer().instant(obs::Category::kRelay, "traversal.upgrade_abort",
                              self_.name, "\"peer\":" + std::to_string(peer));
   for (auto& frame : link.upgrade_buffer) {
     socket_.send_encap(link.relay, std::move(frame));
@@ -864,6 +868,10 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
         link->last_rx = ip_.sim().now();
         ++stats_.frames_received;
         c_frames_received_->inc();
+        if (encap->frame && encap->frame->flow.id != 0) {
+          ip_.sim().flows().forwarded(encap->frame->flow,
+                                      obs::HopComponent::kTunnelRecv, self_.name);
+        }
         if (on_frame_) on_frame_(link->peer, *encap);
       }
       return;

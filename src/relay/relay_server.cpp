@@ -79,7 +79,15 @@ void RelayServer::restart() {
 }
 
 void RelayServer::on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram) {
-  if (down_) return;  // crashed process: the port is deaf
+  if (down_) {  // crashed process: the port is deaf
+    if (const auto* encap = dgram.encap();
+        encap != nullptr && encap->frame && encap->frame->flow.id != 0) {
+      ip_.sim().flows().dropped(encap->frame->flow, obs::HopComponent::kRelay,
+                                endpoint().to_string(),
+                                obs::DropReason::kRelayDown);
+    }
+    return;
+  }
   if (const auto* encap = dgram.encap()) {
     forward_encap(*encap);
     return;
@@ -133,7 +141,7 @@ void RelayServer::handle_allocate(const net::Endpoint& from,
     ++stats_.allocations;
     c_allocations_->inc();
     sync_channel_gauge();
-    ip_.sim().tracer().instant(obs::Category::kOverlay, "relay.allocate",
+    ip_.sim().tracer().instant(obs::Category::kRelay, "relay.allocate",
                                endpoint().to_string(),
                                "\"pair\":\"" + std::to_string(key.first) + "-" +
                                    std::to_string(key.second) + "\"");
@@ -173,10 +181,17 @@ void RelayServer::handle_release(const net::Endpoint& from, const RelayReleaseMs
 }
 
 void RelayServer::forward_encap(const net::EncapFrame& encap) {
+  const net::FlowContext* flow =
+      encap.frame && encap.frame->flow.id != 0 ? &encap.frame->flow : nullptr;
   const auto it = channels_.find(key_of(encap.overlay_src, encap.overlay_dst));
   if (it == channels_.end()) {
     ++stats_.frames_dropped_unbound;
     c_dropped_unbound_->inc();
+    if (flow != nullptr) {
+      ip_.sim().flows().dropped(*flow, obs::HopComponent::kRelay,
+                                endpoint().to_string(),
+                                obs::DropReason::kRelayUnbound);
+    }
     return;
   }
   Channel& ch = it->second;
@@ -184,12 +199,22 @@ void RelayServer::forward_encap(const net::EncapFrame& encap) {
   if (!side_of(ch, encap.overlay_src, encap.overlay_dst).bound || !dst.bound) {
     ++stats_.frames_dropped_unbound;
     c_dropped_unbound_->inc();
+    if (flow != nullptr) {
+      ip_.sim().flows().dropped(*flow, obs::HopComponent::kRelay,
+                                endpoint().to_string(),
+                                obs::DropReason::kRelayUnbound);
+    }
     return;
   }
   const std::uint64_t size = encap.wire_size();
   if (ch.credit < size) {
     ++stats_.frames_dropped_no_credit;
     c_dropped_no_credit_->inc();
+    if (flow != nullptr) {
+      ip_.sim().flows().dropped(*flow, obs::HopComponent::kRelay,
+                                endpoint().to_string(),
+                                obs::DropReason::kRelayCapacity);
+    }
     return;
   }
   ch.credit -= size;
@@ -198,6 +223,12 @@ void RelayServer::forward_encap(const net::EncapFrame& encap) {
   stats_.bytes_relayed += size;
   c_frames_relayed_->inc();
   c_bytes_relayed_->inc(size);
+  if (flow != nullptr) {
+    // The triangle's middle hop: tunnel_send->relay and relay->tunnel_recv
+    // become separately measurable legs in the hop-pair histograms.
+    ip_.sim().flows().forwarded(*flow, obs::HopComponent::kRelay,
+                                endpoint().to_string());
+  }
   // The shared_ptr copy keeps the pooled frame buffer alive end to end;
   // no payload bytes are duplicated by the relay hop.
   socket_.send_encap(dst.endpoint, encap);

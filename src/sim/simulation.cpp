@@ -10,7 +10,9 @@ namespace wav::sim {
 Simulation::Simulation(std::uint64_t seed)
     : rng_(seed),
       metrics_(std::make_unique<obs::MetricsRegistry>()),
-      tracer_(std::make_unique<obs::Tracer>([this] { return now_; })) {
+      tracer_(std::make_unique<obs::Tracer>([this] { return now_; })),
+      flows_(std::make_unique<obs::FlowTracer>(*metrics_, tracer_.get(),
+                                               [this] { return now_; })) {
   events_counter_ = &metrics_->counter("sim.events_executed");
   queue_depth_gauge_ = &metrics_->gauge("sim.queue_depth");
 }

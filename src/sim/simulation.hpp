@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_callback.hpp"
@@ -92,6 +93,8 @@ class Simulation {
   /// concurrent simulations (thread-pool benches) never share state.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
   [[nodiscard]] obs::Tracer& tracer() noexcept { return *tracer_; }
+  /// Flow-level causal tracing (sampled flight recorder; obs/flow.hpp).
+  [[nodiscard]] obs::FlowTracer& flows() noexcept { return *flows_; }
 
   /// Wall-clock callback profiling (steady_clock around each event).
   /// Off by default: the measurements are real-time, so they are kept out
@@ -142,6 +145,7 @@ class Simulation {
   // unique_ptr keeps handle addresses stable if Simulation ever moves.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::FlowTracer> flows_;
   obs::Counter* events_counter_{nullptr};
   obs::Gauge* queue_depth_gauge_{nullptr};
   bool profiling_{false};

@@ -15,10 +15,9 @@ void BridgePort::inject_to_bridge(const net::EthernetFrame& frame) {
 SoftwareBridge::SoftwareBridge(sim::Simulation& sim, Duration fdb_ttl, Duration latency)
     : sim_(sim), fdb_ttl_(fdb_ttl), latency_(latency) {
   obs::MetricsRegistry& reg = sim_.metrics();
-  const std::string inst =
-      "bridge#" + std::to_string(reg.next_instance_id("bridge"));
-  c_forwarded_ = &reg.counter("bridge.frames_forwarded", inst);
-  c_flooded_ = &reg.counter("bridge.frames_flooded", inst);
+  instance_ = "bridge#" + std::to_string(reg.next_instance_id("bridge"));
+  c_forwarded_ = &reg.counter("bridge.frames_forwarded", instance_);
+  c_flooded_ = &reg.counter("bridge.frames_flooded", instance_);
 }
 
 void SoftwareBridge::attach(BridgePort& port) {
@@ -70,6 +69,12 @@ void SoftwareBridge::forward_now(BridgePort* from, const net::EthernetFrame& fra
   // gratuitous ARP after VM migration redirect traffic instantly.
   if (from != nullptr && !frame.src.is_multicast() && !frame.src.is_zero()) {
     fdb_[frame.src] = FdbEntry{from, now};
+  }
+
+  // Flow-trace hop: the inject->forward_now gap is the bridge's queue delay.
+  if (frame.flow.id != 0) {
+    sim_.flows().forwarded(frame.flow, obs::HopComponent::kBridge, instance_,
+                           latency_);
   }
 
   auto deliver_to = [&](BridgePort* port) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +81,7 @@ class SoftwareBridge {
   sim::Simulation& sim_;
   Duration fdb_ttl_;
   Duration latency_;
+  std::string instance_;  // "bridge#N", also the flow-trace hop instance
   std::vector<BridgePort*> ports_;
   std::vector<BridgePort*> monitors_;
   std::unordered_map<net::MacAddress, FdbEntry> fdb_;

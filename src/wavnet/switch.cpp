@@ -9,6 +9,7 @@ WavSwitch::WavSwitch(overlay::HostAgent& agent) : WavSwitch(agent, Config{}) {}
 WavSwitch::WavSwitch(overlay::HostAgent& agent, Config config)
     : agent_(agent),
       config_(config),
+      instance_(agent.self_info().name),
       egress_(agent.sim(), config.processing),
       ingress_(agent.sim(), config.processing),
       frame_pool_(net::FramePool::local()) {
@@ -18,7 +19,7 @@ WavSwitch::WavSwitch(overlay::HostAgent& agent, Config config)
   agent_.on_link_down([this](overlay::HostId peer) { on_link_down(peer); });
 
   obs::MetricsRegistry& reg = agent_.sim().metrics();
-  const std::string& inst = agent_.self_info().name;
+  const std::string& inst = instance_;
   c_frames_tunneled_ = &reg.counter("switch.frames_tunneled", inst);
   c_frames_flooded_ = &reg.counter("switch.frames_flooded", inst);
   c_frames_received_ = &reg.counter("switch.frames_received", inst);
@@ -66,6 +67,10 @@ void WavSwitch::deliver(const net::EthernetFrame& frame) {
   const auto peers = agent_.connected_peers();
   if (peers.empty()) {
     c_frames_dropped_no_peer_->inc();
+    if (frame.flow.id != 0) {
+      agent_.sim().flows().dropped(frame.flow, obs::HopComponent::kSwitchEgress,
+                                   instance_, obs::DropReason::kFdbMiss);
+    }
     return;
   }
   for (const overlay::HostId peer : peers) tunnel_to(peer, frame);
@@ -82,8 +87,15 @@ void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame)
   // Packet Assembler: the user-space capture + encapsulation cost. The
   // frame rides in a pooled refcounted buffer — no per-frame allocation.
   auto shared = frame_pool_.acquire(frame);
+  const TimePoint submitted = agent_.sim().now();
   const bool accepted = egress_.submit(size, [this, peer, shared, size,
-                                             header_bytes] {
+                                             header_bytes, submitted] {
+    if (shared->flow.id != 0) {
+      // Queue delay = how long the frame waited for the Packet Assembler.
+      agent_.sim().flows().forwarded(shared->flow,
+                                     obs::HopComponent::kSwitchEgress, instance_,
+                                     agent_.sim().now() - submitted);
+    }
     net::EncapFrame encap;
     encap.header_bytes = header_bytes;
     encap.frame = shared;
@@ -92,9 +104,20 @@ void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame)
       c_bytes_tunneled_->inc(size);
     } else {
       c_frames_dropped_no_peer_->inc();
+      if (shared->flow.id != 0) {
+        agent_.sim().flows().dropped(shared->flow,
+                                     obs::HopComponent::kTunnelSend, instance_,
+                                     obs::DropReason::kNoRoute);
+      }
     }
   });
-  if (!accepted) c_frames_dropped_backlog_->inc();
+  if (!accepted) {
+    c_frames_dropped_backlog_->inc();
+    if (shared->flow.id != 0) {
+      agent_.sim().flows().dropped(shared->flow, obs::HopComponent::kSwitchEgress,
+                                   instance_, obs::DropReason::kBacklog);
+    }
+  }
 }
 
 void WavSwitch::on_wan_frame(overlay::HostId from, const net::EncapFrame& encap) {
@@ -105,17 +128,30 @@ void WavSwitch::on_wan_frame(overlay::HostId from, const net::EncapFrame& encap)
   // size keeps switch.bytes_received equal to the sender's
   // switch.bytes_tunneled when nothing drops.
   const std::uint64_t wire_bytes = shared->wire_size() + encap.header_bytes;
+  const TimePoint submitted = agent_.sim().now();
   const bool accepted =
-      ingress_.submit(wire_bytes, [this, from, shared, wire_bytes] {
+      ingress_.submit(wire_bytes, [this, from, shared, wire_bytes, submitted] {
         c_frames_received_->inc();
         c_bytes_received_->inc(wire_bytes);
         const net::EthernetFrame& frame = *shared;
+        if (frame.flow.id != 0) {
+          agent_.sim().flows().forwarded(frame.flow,
+                                         obs::HopComponent::kSwitchIngress,
+                                         instance_, agent_.sim().now() - submitted);
+        }
         if (!frame.src.is_multicast() && !frame.src.is_zero()) {
           remote_fdb_.learn(frame.src, from, agent_.sim().now());
         }
         inject_to_bridge(frame);
       });
-  if (!accepted) c_frames_dropped_backlog_->inc();
+  if (!accepted) {
+    c_frames_dropped_backlog_->inc();
+    if (shared->flow.id != 0) {
+      agent_.sim().flows().dropped(shared->flow,
+                                   obs::HopComponent::kSwitchIngress, instance_,
+                                   obs::DropReason::kBacklog);
+    }
+  }
 }
 
 }  // namespace wav::wavnet

@@ -62,6 +62,7 @@ class WavSwitch : public BridgePort {
 
   overlay::HostAgent& agent_;
   Config config_;
+  std::string instance_;  // host name, also the flow-trace hop instance
   ProcessingQueue egress_;
   ProcessingQueue ingress_;
 

@@ -54,6 +54,7 @@ bool VirtualIpStack::send_ip(net::IpPacket pkt) {
   PendingResolution& pending = pending_[pkt.dst];
   if (pending.queue.size() >= config_.pending_queue_limit) {
     ++stats_.packets_dropped_unresolved;
+    note_unresolved_drop(pkt);
     return false;
   }
   const bool first = pending.queue.empty() && pending.retries == 0;
@@ -64,9 +65,33 @@ bool VirtualIpStack::send_ip(net::IpPacket pkt) {
 }
 
 void VirtualIpStack::transmit_resolved(const net::MacAddress& dst_mac, net::IpPacket pkt) {
+  // Flow-trace origin: the stack is where a virtual-plane frame is born,
+  // so the deterministic sampling decision happens exactly once here.
+  std::uint64_t seq_end = 0;
+  if (const auto* tcp = pkt.tcp(); tcp != nullptr && tcp->data_size() > 0) {
+    seq_end = static_cast<std::uint64_t>(tcp->seq) + tcp->data_size();
+  }
+  const obs::FlowKey key = obs::flow_key_of(pkt);
+  const std::uint64_t bytes = pkt.wire_size();
   net::EthernetFrame frame =
       net::EthernetFrame::make_ip(dst_mac, nic_.mac(), std::move(pkt));
+  frame.flow = sim().flows().begin_passage(key, bytes, seq_end);
+  if (frame.flow.id != 0) {
+    sim().flows().forwarded(frame.flow, obs::HopComponent::kHostStack,
+                            address_.to_string());
+  }
   nic_.transmit(frame);
+}
+
+void VirtualIpStack::note_unresolved_drop(const net::IpPacket& pkt) {
+  // The packet dies parked (never became a frame): open a passage just to
+  // close it with the typed drop, so sampled flows see the ARP failure.
+  const net::FlowContext ctx =
+      sim().flows().begin_passage(obs::flow_key_of(pkt), pkt.wire_size());
+  if (ctx.id != 0) {
+    sim().flows().dropped(ctx, obs::HopComponent::kHostStack, address_.to_string(),
+                          obs::DropReason::kArpUnresolved);
+  }
 }
 
 void VirtualIpStack::send_arp_request(net::Ipv4Address target) {
@@ -91,6 +116,7 @@ void VirtualIpStack::retry_resolution(net::Ipv4Address target) {
   PendingResolution& pending = it->second;
   if (++pending.retries > config_.arp_max_retries) {
     stats_.packets_dropped_unresolved += pending.queue.size();
+    for (const net::IpPacket& pkt : pending.queue) note_unresolved_drop(pkt);
     pending_.erase(it);
     return;
   }
@@ -147,6 +173,11 @@ void VirtualIpStack::on_frame(const net::EthernetFrame& frame) {
   }
   if (const auto* ip = frame.ip()) {
     if (ip->dst == address_ || ip->dst.is_broadcast()) {
+      // Terminal flow-trace hop: the passage completed end to end.
+      if (frame.flow.id != 0) {
+        sim().flows().delivered(frame.flow, obs::HopComponent::kDelivery,
+                                address_.to_string());
+      }
       deliver_up(*ip);
     }
     // Frames for other IPs (promiscuous captures) are ignored by the stack.

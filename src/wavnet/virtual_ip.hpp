@@ -70,6 +70,7 @@ class VirtualIpStack : public stack::IpLayer {
   void send_arp_request(net::Ipv4Address target);
   void retry_resolution(net::Ipv4Address target);
   void transmit_resolved(const net::MacAddress& dst_mac, net::IpPacket pkt);
+  void note_unresolved_drop(const net::IpPacket& pkt);
 
   VirtualNic& nic_;
   net::Ipv4Address address_;

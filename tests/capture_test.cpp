@@ -1,0 +1,113 @@
+// FrameCapture (wavnet/capture.hpp) direct coverage: the tcpdump-style
+// monitor port the paper's migration experiment relies on. Locks the
+// retain filter, count_if over retained frames, gratuitous-ARP
+// classification, and the monitor's non-forwarding contract.
+#include <gtest/gtest.h>
+
+#include "wavnet/capture.hpp"
+
+namespace wav {
+namespace {
+
+using net::ArpMessage;
+using net::EthernetFrame;
+using net::IpPacket;
+using net::MacAddress;
+using wavnet::CapturedFrame;
+using wavnet::FrameCapture;
+using wavnet::SoftwareBridge;
+
+EthernetFrame udp_frame(std::uint64_t src_mac, std::uint64_t dst_mac,
+                        const char* src_ip, const char* dst_ip,
+                        std::uint16_t dport) {
+  IpPacket pkt;
+  pkt.src = net::Ipv4Address::parse(src_ip).value();
+  pkt.dst = net::Ipv4Address::parse(dst_ip).value();
+  net::UdpDatagram dgram;
+  dgram.src_port = 30000;
+  dgram.dst_port = dport;
+  dgram.payload = net::Chunk::virtual_bytes(256);
+  pkt.body = std::move(dgram);
+  return EthernetFrame::make_ip(MacAddress::from_u64(dst_mac),
+                                MacAddress::from_u64(src_mac), std::move(pkt));
+}
+
+EthernetFrame arp_frame(std::uint64_t src_mac, const char* sender_ip,
+                        const char* target_ip) {
+  ArpMessage arp;
+  arp.op = ArpMessage::kReply;
+  arp.sender_mac = MacAddress::from_u64(src_mac);
+  arp.sender_ip = net::Ipv4Address::parse(sender_ip).value();
+  arp.target_ip = net::Ipv4Address::parse(target_ip).value();
+  return EthernetFrame::make_arp(MacAddress::broadcast(),
+                                 MacAddress::from_u64(src_mac), std::move(arp));
+}
+
+struct CaptureFixture : ::testing::Test {
+  sim::Simulation sim;
+  SoftwareBridge bridge{sim};
+  FrameCapture capture{sim, bridge};
+
+  void inject(const EthernetFrame& frame) {
+    // nullptr source port: hypervisor-injected, like the migration
+    // path's gratuitous ARP announce.
+    bridge.inject(nullptr, frame);
+    sim.run_for(microseconds(10));  // let the bridge's latency tick pass
+  }
+};
+
+TEST_F(CaptureFixture, CapturesEveryFrameAndClassifiesArp) {
+  inject(udp_frame(0x11, 0x22, "10.10.0.1", "10.10.0.2", 9000));
+  inject(arp_frame(0x11, "10.10.0.1", "10.10.0.2"));   // plain ARP reply
+  inject(arp_frame(0x33, "10.10.0.3", "10.10.0.3"));   // gratuitous announce
+
+  ASSERT_EQ(capture.count(), 3u);
+  const CapturedFrame& udp = capture.frames()[0];
+  EXPECT_EQ(udp.ethertype, net::kEtherTypeIpv4);
+  EXPECT_FALSE(udp.is_arp);
+  EXPECT_EQ(udp.ip_protocol, net::kProtoUdp);
+  EXPECT_EQ(udp.ip_src.to_string(), "10.10.0.1");
+  EXPECT_EQ(udp.ip_dst.to_string(), "10.10.0.2");
+  EXPECT_GT(udp.wire_bytes, 256u);
+
+  const CapturedFrame& plain = capture.frames()[1];
+  EXPECT_TRUE(plain.is_arp);
+  EXPECT_FALSE(plain.is_gratuitous_arp);
+
+  const CapturedFrame& gratuitous = capture.frames()[2];
+  EXPECT_TRUE(gratuitous.is_arp);
+  EXPECT_TRUE(gratuitous.is_gratuitous_arp);
+  EXPECT_EQ(gratuitous.ip_src.to_string(), "10.10.0.3");
+
+  // summary() renders the tcpdump-ish one-liner; the announce is named.
+  EXPECT_NE(gratuitous.summary().find("ARP announce"), std::string::npos);
+
+  EXPECT_EQ(capture.count_if([](const CapturedFrame& f) { return f.is_arp; }), 2u);
+  EXPECT_EQ(capture.count_if(
+                [](const CapturedFrame& f) { return f.is_gratuitous_arp; }),
+            1u);
+  capture.clear();
+  EXPECT_EQ(capture.count(), 0u);
+}
+
+TEST_F(CaptureFixture, RetainFilterDropsNonMatchingFrames) {
+  capture.set_filter([](const CapturedFrame& f) { return f.is_arp; });
+  inject(udp_frame(0x11, 0x22, "10.10.0.1", "10.10.0.2", 9000));
+  inject(udp_frame(0x22, 0x11, "10.10.0.2", "10.10.0.1", 9001));
+  inject(arp_frame(0x33, "10.10.0.3", "10.10.0.3"));
+
+  ASSERT_EQ(capture.count(), 1u);
+  EXPECT_TRUE(capture.frames()[0].is_arp);
+  EXPECT_TRUE(capture.frames()[0].is_gratuitous_arp);
+}
+
+TEST_F(CaptureFixture, MonitorIsNeverAForwardingTarget) {
+  // A monitor port sees broadcast floods but must not count as a bridge
+  // port (it would otherwise swallow or duplicate forwarded traffic).
+  EXPECT_EQ(bridge.port_count(), 0u);
+  inject(arp_frame(0x11, "10.10.0.1", "10.10.0.1"));
+  EXPECT_EQ(capture.count(), 1u);
+}
+
+}  // namespace
+}  // namespace wav

@@ -1,0 +1,131 @@
+// Locks the metrics_diff regression-gate semantics via the extracted
+// comparison engine (tools/metrics_diff_core.hpp). The properties under
+// test are the gate's contract with CI: a baseline metric missing from
+// the candidate FAILS (a silently vanished metric is a regression), a
+// perf.* wall-clock metric never gates on value but still must exist,
+// candidate-only metrics are ignored, and a world-count mismatch fails.
+#include <gtest/gtest.h>
+
+#include "metrics_diff_core.hpp"
+
+namespace wav {
+namespace {
+
+using obs::json::parse_jsonl;
+using tools::DiffResult;
+using tools::Tolerance;
+
+std::vector<obs::json::Value> world(const std::string& metrics_json) {
+  return parse_jsonl("{\"metrics\":" + metrics_json + "}\n");
+}
+
+const std::string kBase =
+    R"({"counters":[{"name":"switch.frames_tunneled","value":100},)"
+    R"({"name":"perf.frames_per_sec","value":500000}],)"
+    R"("gauges":[],"histograms":[{"name":"flow.hop_ms","instance":)"
+    R"("tunnel_send->relay","count":40,"mean":25.0,"p99":30.0}]})";
+
+TEST(MetricsDiff, IdenticalWorldsPass) {
+  const DiffResult r =
+      tools::diff_worlds(world(kBase), world(kBase), tools::default_tolerances());
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.worlds, 1u);
+  // counter value + perf value + histogram count/mean/p99
+  EXPECT_EQ(r.compared, 5u);
+}
+
+TEST(MetricsDiff, MissingBaselineMetricFails) {
+  // The candidate lost a counter the baseline has: hard failure, even
+  // though every metric both sides share is identical.
+  const auto cand = world(
+      R"({"counters":[{"name":"perf.frames_per_sec","value":500000}],)"
+      R"("gauges":[],"histograms":[{"name":"flow.hop_ms","instance":)"
+      R"("tunnel_send->relay","count":40,"mean":25.0,"p99":30.0}]})");
+  const DiffResult r =
+      tools::diff_worlds(world(kBase), cand, tools::default_tolerances());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_TRUE(r.failures[0].missing);
+  EXPECT_NE(r.failures[0].key.find("switch.frames_tunneled"), std::string::npos);
+  EXPECT_FALSE(r.pass());
+}
+
+TEST(MetricsDiff, PerfMetricsNeverGateOnValueButMustExist) {
+  // A 100x wall-clock throughput swing passes (perf.* is recorded, not
+  // gated)...
+  const auto faster = world(
+      R"({"counters":[{"name":"switch.frames_tunneled","value":100},)"
+      R"({"name":"perf.frames_per_sec","value":50000000}],)"
+      R"("gauges":[],"histograms":[{"name":"flow.hop_ms","instance":)"
+      R"("tunnel_send->relay","count":40,"mean":25.0,"p99":30.0}]})");
+  EXPECT_TRUE(
+      tools::diff_worlds(world(kBase), faster, tools::default_tolerances()).pass());
+
+  // ...but a perf.* metric disappearing entirely still fails: the bench
+  // stopped measuring something it used to.
+  const auto gone = world(
+      R"({"counters":[{"name":"switch.frames_tunneled","value":100}],)"
+      R"("gauges":[],"histograms":[{"name":"flow.hop_ms","instance":)"
+      R"("tunnel_send->relay","count":40,"mean":25.0,"p99":30.0}]})");
+  const DiffResult r =
+      tools::diff_worlds(world(kBase), gone, tools::default_tolerances());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_TRUE(r.failures[0].missing);
+  EXPECT_NE(r.failures[0].key.find("perf.frames_per_sec"), std::string::npos);
+}
+
+TEST(MetricsDiff, CandidateOnlyMetricsAreIgnored) {
+  // The codebase grows: new metrics in the candidate must not fail the
+  // gate (baselines get refreshed on the next intentional re-baseline).
+  const auto grown = world(
+      R"({"counters":[{"name":"switch.frames_tunneled","value":100},)"
+      R"({"name":"perf.frames_per_sec","value":500000},)"
+      R"({"name":"flow.passages","value":1234}],)"
+      R"("gauges":[],"histograms":[{"name":"flow.hop_ms","instance":)"
+      R"("tunnel_send->relay","count":40,"mean":25.0,"p99":30.0}]})");
+  const DiffResult r =
+      tools::diff_worlds(world(kBase), grown, tools::default_tolerances());
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.compared, 5u);  // the new counter is never compared
+}
+
+TEST(MetricsDiff, WorldCountMismatchFails) {
+  auto two = world(kBase);
+  auto more = parse_jsonl("{\"metrics\":{\"counters\":[],\"gauges\":[],"
+                          "\"histograms\":[]}}\n");
+  two.push_back(more[0]);
+  const DiffResult r =
+      tools::diff_worlds(two, world(kBase), tools::default_tolerances());
+  EXPECT_FALSE(r.pass());
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_EQ(r.failures.back().key, "<world count>");
+  EXPECT_TRUE(r.failures.back().missing);
+}
+
+TEST(MetricsDiff, ToleranceRulesFirstMatchWinsAndCatchAllLast) {
+  const auto& rules = tools::default_tolerances();
+  ASSERT_FALSE(rules.empty());
+  EXPECT_TRUE(rules.back().prefix.empty()) << "catch-all must come last";
+  // Within-band and out-of-band checks against the flow.hop_ms rule.
+  const Tolerance& hop = tools::tolerance_for(rules, "flow.hop_ms/relay->tunnel_recv:mean");
+  EXPECT_EQ(hop.prefix, "flow.hop_ms");
+  EXPECT_TRUE(tools::within(100.0, 140.0, hop));
+  EXPECT_FALSE(tools::within(100.0, 1000.0, hop));
+  // perf.* tolerance is effectively infinite.
+  EXPECT_TRUE(tools::within(1.0, 1e12, tools::tolerance_for(rules, "perf.setup_s:value")));
+}
+
+TEST(MetricsDiff, DeviationsSortWorstFirst) {
+  const auto base = world(
+      R"({"counters":[{"name":"alpha","value":100},{"name":"beta","value":100}],)"
+      R"("gauges":[],"histograms":[]})");
+  const auto cand = world(
+      R"({"counters":[{"name":"alpha","value":300},{"name":"beta","value":5000}],)"
+      R"("gauges":[],"histograms":[]})");
+  const DiffResult r = tools::diff_worlds(base, cand, tools::default_tolerances());
+  ASSERT_EQ(r.failures.size(), 2u);
+  EXPECT_NE(r.failures[0].key.find("beta"), std::string::npos);
+  EXPECT_GT(r.failures[0].excess, r.failures[1].excess);
+}
+
+}  // namespace
+}  // namespace wav

@@ -318,6 +318,27 @@ TEST(Trace, CategoryFilterAndMasterSwitch) {
   EXPECT_FALSE(fx.tracer.category_enabled(Category::kPunch));
 }
 
+TEST(Trace, RelayAndFlowCategoriesFilterAndName) {
+  // The relay ladder and the flow tracer emit under their own categories
+  // so timeline views can isolate them from the punch/NAT noise.
+  EXPECT_STREQ(to_string(Category::kRelay), "relay");
+  EXPECT_STREQ(to_string(Category::kFlow), "flow");
+
+  TracerFixture fx;
+  fx.tracer.enable_only({Category::kRelay, Category::kFlow});
+  fx.tracer.instant(Category::kPunch, "dropped", "");
+  fx.tracer.instant(Category::kRelay, "relay.fallback", "a1");
+  fx.tracer.instant(Category::kFlow, "flow.sampled", "10.10.0.1");
+  const auto events = fx.tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].category, Category::kRelay);
+  EXPECT_EQ(events[1].category, Category::kFlow);
+  // Category names land in the JSONL export lines.
+  const std::string jsonl = fx.tracer.to_jsonl();
+  EXPECT_NE(jsonl.find("\"cat\":\"relay\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"cat\":\"flow\""), std::string::npos);
+}
+
 TEST(Trace, RingOverflowKeepsNewestCountsDropped) {
   TimePoint now{};
   Tracer tracer{[&] { return now; }, Tracer::Config{.capacity = 4}};

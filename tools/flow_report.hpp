@@ -1,0 +1,245 @@
+// Flow-trace analysis shared by `wavnet-doctor flows` and the tests that
+// lock its attribution semantics. Consumes the --flows-out / --hops-out
+// JSONL exports (obs/flow.hpp) and answers the two questions the flow
+// tracer exists for: where did a sampled flow spend its time, and at
+// exactly which hop did its drops happen.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace wav::tools {
+
+struct FlowPairLatency {
+  std::string from;  // hop-pair leg: previous component
+  std::string to;    // next component
+  std::uint64_t count{0};
+  double mean_ms{0};
+  double max_ms{0};
+};
+
+struct FlowSummary {
+  std::string id;  // flow hash, as exported (decimal string)
+  std::string src;
+  std::string dst;
+  std::uint64_t proto{0};
+  std::uint64_t sport{0};
+  std::uint64_t dport{0};
+  std::uint64_t passages{0};
+  std::uint64_t bytes{0};
+  std::uint64_t retransmits{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped{0};
+  double e2e_mean_ms{0};
+  double e2e_max_ms{0};
+  // Dominant drop site (null when the flow never dropped).
+  bool has_drop_site{false};
+  std::string drop_component;
+  std::string drop_instance;
+  std::string drop_reason;
+  std::uint64_t drop_count{0};
+  std::vector<FlowPairLatency> pairs;
+
+  /// The hop-pair leg contributing the most total latency (count * mean):
+  /// "where does this flow's time go" in one answer. Empty when the flow
+  /// recorded fewer than two hops.
+  [[nodiscard]] const FlowPairLatency* dominant_pair() const {
+    const FlowPairLatency* best = nullptr;
+    double best_total = -1;
+    for (const FlowPairLatency& p : pairs) {
+      const double total = static_cast<double>(p.count) * p.mean_ms;
+      if (total > best_total) {
+        best_total = total;
+        best = &p;
+      }
+    }
+    return best;
+  }
+};
+
+struct FlowHop {
+  std::string flow;
+  std::uint64_t passage{0};
+  std::uint64_t hop{0};
+  double t_ns{0};
+  std::string component;
+  std::string instance;
+  std::string verdict;  // forwarded | delivered | dropped
+  std::string reason;   // none | fdb_miss | nat_filtered | ...
+  double queue_ns{0};
+  double since_prev_ns{0};
+};
+
+inline std::vector<FlowSummary> parse_flows(
+    const std::vector<obs::json::Value>& lines) {
+  std::vector<FlowSummary> flows;
+  for (const obs::json::Value& line : lines) {
+    FlowSummary f;
+    f.id = line.str_or("flow", "?");
+    f.src = line.str_or("src", "?");
+    f.dst = line.str_or("dst", "?");
+    f.proto = static_cast<std::uint64_t>(line.num_or("proto", 0));
+    f.sport = static_cast<std::uint64_t>(line.num_or("sport", 0));
+    f.dport = static_cast<std::uint64_t>(line.num_or("dport", 0));
+    f.passages = static_cast<std::uint64_t>(line.num_or("passages", 0));
+    f.bytes = static_cast<std::uint64_t>(line.num_or("bytes", 0));
+    f.retransmits = static_cast<std::uint64_t>(line.num_or("retransmits", 0));
+    f.delivered = static_cast<std::uint64_t>(line.num_or("delivered", 0));
+    f.dropped = static_cast<std::uint64_t>(line.num_or("dropped", 0));
+    if (const auto* e2e = line.find("e2e_ms"); e2e != nullptr) {
+      f.e2e_mean_ms = e2e->num_or("mean", 0);
+      f.e2e_max_ms = e2e->num_or("max", 0);
+    }
+    if (const auto* site = line.find("drop_site");
+        site != nullptr && site->is_object()) {
+      f.has_drop_site = true;
+      f.drop_component = site->str_or("component", "?");
+      f.drop_instance = site->str_or("instance", "?");
+      f.drop_reason = site->str_or("reason", "?");
+      f.drop_count = static_cast<std::uint64_t>(site->num_or("count", 0));
+    }
+    if (const auto* pairs = line.find("pairs"); pairs != nullptr) {
+      for (const obs::json::Value& p : pairs->array) {
+        FlowPairLatency leg;
+        leg.from = p.str_or("from", "?");
+        leg.to = p.str_or("to", "?");
+        leg.count = static_cast<std::uint64_t>(p.num_or("count", 0));
+        leg.mean_ms = p.num_or("mean_ms", 0);
+        leg.max_ms = p.num_or("max_ms", 0);
+        f.pairs.push_back(std::move(leg));
+      }
+    }
+    flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+inline std::vector<FlowHop> parse_hops(const std::vector<obs::json::Value>& lines) {
+  std::vector<FlowHop> hops;
+  for (const obs::json::Value& line : lines) {
+    FlowHop h;
+    h.flow = line.str_or("flow", "?");
+    h.passage = static_cast<std::uint64_t>(line.num_or("passage", 0));
+    h.hop = static_cast<std::uint64_t>(line.num_or("hop", 0));
+    h.t_ns = line.num_or("t_ns", 0);
+    h.component = line.str_or("component", "?");
+    h.instance = line.str_or("instance", "?");
+    h.verdict = line.str_or("verdict", "?");
+    h.reason = line.str_or("reason", "none");
+    h.queue_ns = line.num_or("queue_ns", 0);
+    h.since_prev_ns = line.num_or("since_prev_ns", 0);
+    hops.push_back(std::move(h));
+  }
+  return hops;
+}
+
+/// Drop attribution aggregated across every parsed flow, keyed
+/// "component/instance: reason" and ranked by drop count.
+inline std::vector<std::pair<std::string, std::uint64_t>> drop_attribution(
+    const std::vector<FlowSummary>& flows) {
+  std::map<std::string, std::uint64_t> by_site;
+  for (const FlowSummary& f : flows) {
+    if (!f.has_drop_site) continue;
+    by_site[f.drop_component + "/" + f.drop_instance + ": " + f.drop_reason] +=
+        f.drop_count;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> ranked(by_site.begin(),
+                                                            by_site.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+/// Reconstructs one passage's chronological hop timeline for a flow:
+/// hops sorted by (passage, hop index). When `passage` is ~0ull every
+/// recorded passage is included in order.
+inline std::vector<FlowHop> hop_timeline(const std::vector<FlowHop>& hops,
+                                         const std::string& flow_id,
+                                         std::uint64_t passage = ~0ull) {
+  std::vector<FlowHop> out;
+  for (const FlowHop& h : hops) {
+    if (h.flow != flow_id) continue;
+    if (passage != ~0ull && h.passage != passage) continue;
+    out.push_back(h);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const FlowHop& a, const FlowHop& b) {
+    if (a.passage != b.passage) return a.passage < b.passage;
+    return a.hop < b.hop;
+  });
+  return out;
+}
+
+/// Prints the human-readable `wavnet-doctor flows` report.
+inline void print_flow_report(const std::vector<FlowSummary>& flows,
+                              const std::vector<FlowHop>& hops) {
+  std::printf("== flows: %zu sampled flow(s) ==\n", flows.size());
+  std::uint64_t passages = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  for (const FlowSummary& f : flows) {
+    passages += f.passages;
+    delivered += f.delivered;
+    dropped += f.dropped;
+  }
+  std::printf("  %llu sampled packet(s): %llu delivered, %llu dropped\n",
+              static_cast<unsigned long long>(passages),
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(dropped));
+
+  const auto ranked = drop_attribution(flows);
+  if (!ranked.empty()) {
+    std::printf("  drop attribution (worst site per flow):\n");
+    for (const auto& [site, count] : ranked) {
+      std::printf("    %6llu  %s\n", static_cast<unsigned long long>(count),
+                  site.c_str());
+    }
+  }
+
+  for (const FlowSummary& f : flows) {
+    std::printf("  flow %s  %s:%llu -> %s:%llu proto=%llu\n", f.id.c_str(),
+                f.src.c_str(), static_cast<unsigned long long>(f.sport),
+                f.dst.c_str(), static_cast<unsigned long long>(f.dport),
+                static_cast<unsigned long long>(f.proto));
+    std::printf("    %llu passage(s), %llu B, %llu retransmit(s), "
+                "e2e mean %.3f ms max %.3f ms\n",
+                static_cast<unsigned long long>(f.passages),
+                static_cast<unsigned long long>(f.bytes),
+                static_cast<unsigned long long>(f.retransmits), f.e2e_mean_ms,
+                f.e2e_max_ms);
+    if (const FlowPairLatency* dom = f.dominant_pair(); dom != nullptr) {
+      std::printf("    dominant latency hop: %s->%s (%.3f ms mean over %llu hops)\n",
+                  dom->from.c_str(), dom->to.c_str(), dom->mean_ms,
+                  static_cast<unsigned long long>(dom->count));
+    }
+    if (f.has_drop_site) {
+      std::printf("    drops: %llu at %s/%s (%s)\n",
+                  static_cast<unsigned long long>(f.drop_count),
+                  f.drop_component.c_str(), f.drop_instance.c_str(),
+                  f.drop_reason.c_str());
+    }
+    // First recorded passage as a concrete timeline example.
+    const auto timeline = hop_timeline(hops, f.id);
+    if (!timeline.empty()) {
+      const std::uint64_t first_passage = timeline.front().passage;
+      std::printf("    hop timeline (passage %llu):\n",
+                  static_cast<unsigned long long>(first_passage));
+      for (const FlowHop& h : timeline) {
+        if (h.passage != first_passage) break;
+        std::printf("      #%llu t=%10.3f ms  %-14s %-16s %s",
+                    static_cast<unsigned long long>(h.hop), h.t_ns / 1e6,
+                    h.component.c_str(), h.instance.c_str(), h.verdict.c_str());
+        if (h.reason != "none") std::printf(" [%s]", h.reason.c_str());
+        if (h.since_prev_ns > 0) std::printf("  (+%.3f ms)", h.since_prev_ns / 1e6);
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace wav::tools

@@ -11,125 +11,23 @@
 // little even with identical seeds. Identical builds stay byte-identical
 // (that property is asserted separately with cmp in CI).
 //
+// The comparison engine lives in metrics_diff_core.hpp so its semantics
+// (missing metrics fail; perf.* never gates) are locked by unit tests.
+//
 // Also writes a canonical machine-readable summary (--summary-out,
 // default BENCH_summary.json) with the worst deviations per metric.
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "obs/json.hpp"
+#include "metrics_diff_core.hpp"
 #include "obs/metrics.hpp"  // json_escape / json_double
 
-namespace {
-
 using wav::obs::json::Value;
-
-struct Tolerance {
-  std::string prefix;  // matches metric keys "name" or "name/instance"
-  double abs_tol{0};
-  double rel_tol{0};
-};
-
-/// First matching rule wins; the catch-all "" rule must come last.
-std::vector<Tolerance> default_tolerances() {
-  return {
-      // Exactness where it matters: an invariant violation or an
-      // unexpected fault count is a regression however small.
-      {"chaos.violations", 0.4, 0.0},
-      {"chaos.faults_injected", 0.4, 0.0},
-      // Recovery timing is quantized by pulse/idle/backoff intervals and
-      // shifts across build flavors; bound it loosely but finitely.
-      {"chaos.recovery_s", 30.0, 0.5},
-      {"health.detect_s", 30.0, 0.5},
-      {"health.observed_recovery_s", 45.0, 0.5},
-      {"health.recovery_ms", 45000.0, 0.5},
-      {"health.transitions", 6.0, 1.0},
-      {"health.state", 0.4, 0.0},  // worlds must END healthy either way
-      // Latency distributions wobble with event-order jitter.
-      {"punch.latency_ms", 50.0, 0.75},
-      {"can.query_latency_ms", 50.0, 0.75},
-      {"relay.alloc_latency_ms", 50.0, 0.75},
-      // Traversal-matrix outcomes are policy decisions: a cell flipping
-      // between direct/relayed/failed is a regression however the
-      // timings wobble. The measured latencies and goodput get the
-      // usual build-flavor slack.
-      {"traversal.success", 0.01, 0.0},
-      {"traversal.relayed", 0.01, 0.0},
-      {"traversal.connect_ms", 100.0, 0.5},
-      {"traversal.ping_rtt_ms", 30.0, 0.5},
-      {"traversal.goodput_mbps", 5.0, 0.5},
-      // Wall-clock throughput gauges (bench --perf-out): machine- and
-      // load-dependent, so recorded for the artifact but never gated.
-      // Absolute regressions are caught by reviewing the BENCH summary.
-      {"perf.", 1e18, 0.0},
-      // Catch-all: generous relative band plus an absolute floor so
-      // tiny counters (0 vs 2 events) don't trip the relative test.
-      {"", 8.0, 0.35},
-  };
-}
-
-const Tolerance& tolerance_for(const std::vector<Tolerance>& rules,
-                               const std::string& key) {
-  for (const Tolerance& t : rules) {
-    if (t.prefix.empty() || key.compare(0, t.prefix.size(), t.prefix) == 0) return t;
-  }
-  static const Tolerance exact{"", 0, 0};
-  return exact;
-}
-
-bool within(double base, double cand, const Tolerance& tol) {
-  const double diff = std::fabs(cand - base);
-  const double bound =
-      tol.abs_tol + tol.rel_tol * std::max(std::fabs(base), std::fabs(cand));
-  return diff <= bound;
-}
-
-struct Deviation {
-  std::string key;
-  double base{0};
-  double cand{0};
-  double excess{0};  // how far past the allowed bound (0 = within)
-  bool missing{false};
-};
-
-/// Flattens one world line's metrics object into comparable scalars.
-/// Histogram buckets are deliberately skipped: count/mean/percentiles
-/// capture regressions without turning tiny bin shifts into failures.
-std::map<std::string, double> flatten(const Value& world) {
-  std::map<std::string, double> out;
-  const Value* metrics = world.find("metrics");
-  if (metrics == nullptr) return out;
-  const auto key_of = [](const Value& m, const char* field) {
-    std::string key = m.str_or("name", "?");
-    const std::string instance = m.str_or("instance", "");
-    if (!instance.empty()) key += "/" + instance;
-    return key + ":" + field;
-  };
-  if (const Value* counters = metrics->find("counters"); counters != nullptr) {
-    for (const Value& c : counters->array) {
-      out[key_of(c, "value")] = c.num_or("value", 0);
-    }
-  }
-  if (const Value* gauges = metrics->find("gauges"); gauges != nullptr) {
-    for (const Value& g : gauges->array) {
-      out[key_of(g, "value")] = g.num_or("value", 0);
-    }
-  }
-  if (const Value* hists = metrics->find("histograms"); hists != nullptr) {
-    for (const Value& h : hists->array) {
-      out[key_of(h, "count")] = h.num_or("count", 0);
-      out[key_of(h, "mean")] = h.num_or("mean", 0);
-      out[key_of(h, "p99")] = h.num_or("p99", 0);
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using wav::tools::Deviation;
+using wav::tools::DiffResult;
+using wav::tools::Tolerance;
 
 int main(int argc, char** argv) {
   std::string baseline_path;
@@ -137,7 +35,7 @@ int main(int argc, char** argv) {
   std::string summary_out = "BENCH_summary.json";
   std::string label = "bench";
   std::vector<std::string> positional;
-  std::vector<Tolerance> rules = default_tolerances();
+  std::vector<Tolerance> rules = wav::tools::default_tolerances();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&](const char* flag) -> const char* {
@@ -197,43 +95,13 @@ int main(int argc, char** argv) {
   const std::vector<Value> base_worlds = wav::obs::json::parse_jsonl(*base_body);
   const std::vector<Value> cand_worlds = wav::obs::json::parse_jsonl(*cand_body);
 
-  std::vector<Deviation> failures;
-  std::size_t compared = 0;
   if (base_worlds.size() != cand_worlds.size()) {
     std::printf("metrics_diff: world count mismatch: baseline %zu vs candidate %zu\n",
                 base_worlds.size(), cand_worlds.size());
-    failures.push_back({"<world count>", static_cast<double>(base_worlds.size()),
-                        static_cast<double>(cand_worlds.size()), 0, true});
   }
-  const std::size_t worlds = std::min(base_worlds.size(), cand_worlds.size());
-  for (std::size_t w = 0; w < worlds; ++w) {
-    const auto base = flatten(base_worlds[w]);
-    const auto cand = flatten(cand_worlds[w]);
-    const std::string world_tag = "world " + std::to_string(w + 1) + " ";
-    for (const auto& [key, base_value] : base) {
-      const auto it = cand.find(key);
-      if (it == cand.end()) {
-        failures.push_back({world_tag + key, base_value, 0, 0, true});
-        continue;
-      }
-      ++compared;
-      const Tolerance& tol = tolerance_for(rules, key);
-      if (!within(base_value, it->second, tol)) {
-        const double bound = tol.abs_tol + tol.rel_tol * std::max(std::fabs(base_value),
-                                                                  std::fabs(it->second));
-        failures.push_back({world_tag + key, base_value, it->second,
-                            std::fabs(it->second - base_value) - bound, false});
-      }
-    }
-    // New metrics in the candidate are fine (the codebase grows); only
-    // disappearing metrics fail, handled above.
-  }
+  const DiffResult result = wav::tools::diff_worlds(base_worlds, cand_worlds, rules);
 
-  std::stable_sort(failures.begin(), failures.end(),
-                   [](const Deviation& a, const Deviation& b) {
-                     return a.excess > b.excess;
-                   });
-  for (const Deviation& f : failures) {
+  for (const Deviation& f : result.failures) {
     if (f.missing) {
       std::printf("MISSING  %-50s baseline=%s\n", f.key.c_str(),
                   wav::obs::json_double(f.base).c_str());
@@ -244,22 +112,22 @@ int main(int argc, char** argv) {
                   wav::obs::json_double(f.excess).c_str());
     }
   }
-  std::printf("metrics_diff: %zu metric(s) compared, %zu failure(s)\n", compared,
-              failures.size());
+  std::printf("metrics_diff: %zu metric(s) compared, %zu failure(s)\n",
+              result.compared, result.failures.size());
 
   // Canonical summary for CI artifact publication.
   std::string summary;
   summary += "{\"bench\":\"" + wav::obs::json_escape(label) + "\"";
   summary += ",\"baseline\":\"" + wav::obs::json_escape(baseline_path) + "\"";
   summary += ",\"candidate\":\"" + wav::obs::json_escape(candidate_path) + "\"";
-  summary += ",\"worlds\":" + std::to_string(worlds);
-  summary += ",\"metrics_compared\":" + std::to_string(compared);
-  summary += ",\"failures\":" + std::to_string(failures.size());
+  summary += ",\"worlds\":" + std::to_string(result.worlds);
+  summary += ",\"metrics_compared\":" + std::to_string(result.compared);
+  summary += ",\"failures\":" + std::to_string(result.failures.size());
   summary += ",\"pass\":";
-  summary += failures.empty() ? "true" : "false";
+  summary += result.pass() ? "true" : "false";
   summary += ",\"worst\":[";
-  for (std::size_t i = 0; i < failures.size() && i < 10; ++i) {
-    const Deviation& f = failures[i];
+  for (std::size_t i = 0; i < result.failures.size() && i < 10; ++i) {
+    const Deviation& f = result.failures[i];
     if (i != 0) summary += ",";
     summary += "{\"metric\":\"" + wav::obs::json_escape(f.key) + "\"";
     summary += ",\"baseline\":" + wav::obs::json_double(f.base);
@@ -275,5 +143,5 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "metrics_diff: cannot write %s\n", summary_out.c_str());
   }
-  return failures.empty() ? 0 : 1;
+  return result.pass() ? 0 : 1;
 }

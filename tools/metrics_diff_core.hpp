@@ -1,0 +1,172 @@
+// The comparison engine behind the metrics_diff CLI, extracted so unit
+// tests can lock the gate's semantics — in particular that a metric
+// present in the baseline but missing from the candidate FAILS (no
+// silent skip), while metrics new to the candidate are allowed (the
+// codebase grows), and that the perf.* rule never gates wall-clock
+// throughput values.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace wav::tools {
+
+struct Tolerance {
+  std::string prefix;  // matches metric keys "name" or "name/instance"
+  double abs_tol{0};
+  double rel_tol{0};
+};
+
+/// First matching rule wins; the catch-all "" rule must come last.
+inline std::vector<Tolerance> default_tolerances() {
+  return {
+      // Exactness where it matters: an invariant violation or an
+      // unexpected fault count is a regression however small.
+      {"chaos.violations", 0.4, 0.0},
+      {"chaos.faults_injected", 0.4, 0.0},
+      // Recovery timing is quantized by pulse/idle/backoff intervals and
+      // shifts across build flavors; bound it loosely but finitely.
+      {"chaos.recovery_s", 30.0, 0.5},
+      {"health.detect_s", 30.0, 0.5},
+      {"health.observed_recovery_s", 45.0, 0.5},
+      {"health.recovery_ms", 45000.0, 0.5},
+      {"health.transitions", 6.0, 1.0},
+      {"health.state", 0.4, 0.0},  // worlds must END healthy either way
+      // Latency distributions wobble with event-order jitter.
+      {"punch.latency_ms", 50.0, 0.75},
+      {"can.query_latency_ms", 50.0, 0.75},
+      {"relay.alloc_latency_ms", 50.0, 0.75},
+      {"flow.hop_ms", 50.0, 0.75},
+      // Traversal-matrix outcomes are policy decisions: a cell flipping
+      // between direct/relayed/failed is a regression however the
+      // timings wobble. The measured latencies and goodput get the
+      // usual build-flavor slack.
+      {"traversal.success", 0.01, 0.0},
+      {"traversal.relayed", 0.01, 0.0},
+      {"traversal.connect_ms", 100.0, 0.5},
+      {"traversal.ping_rtt_ms", 30.0, 0.5},
+      {"traversal.goodput_mbps", 5.0, 0.5},
+      // Wall-clock throughput gauges (bench --perf-out): machine- and
+      // load-dependent, so recorded for the artifact but never gated.
+      // Absolute regressions are caught by reviewing the BENCH summary.
+      {"perf.", 1e18, 0.0},
+      // Catch-all: generous relative band plus an absolute floor so
+      // tiny counters (0 vs 2 events) don't trip the relative test.
+      {"", 8.0, 0.35},
+  };
+}
+
+inline const Tolerance& tolerance_for(const std::vector<Tolerance>& rules,
+                                      const std::string& key) {
+  for (const Tolerance& t : rules) {
+    if (t.prefix.empty() || key.compare(0, t.prefix.size(), t.prefix) == 0) return t;
+  }
+  static const Tolerance exact{"", 0, 0};
+  return exact;
+}
+
+inline bool within(double base, double cand, const Tolerance& tol) {
+  const double diff = std::fabs(cand - base);
+  const double bound =
+      tol.abs_tol + tol.rel_tol * std::max(std::fabs(base), std::fabs(cand));
+  return diff <= bound;
+}
+
+struct Deviation {
+  std::string key;
+  double base{0};
+  double cand{0};
+  double excess{0};  // how far past the allowed bound (0 = within)
+  bool missing{false};
+};
+
+/// Flattens one world line's metrics object into comparable scalars.
+/// Histogram buckets are deliberately skipped: count/mean/percentiles
+/// capture regressions without turning tiny bin shifts into failures.
+inline std::map<std::string, double> flatten(const obs::json::Value& world) {
+  std::map<std::string, double> out;
+  const obs::json::Value* metrics = world.find("metrics");
+  if (metrics == nullptr) return out;
+  const auto key_of = [](const obs::json::Value& m, const char* field) {
+    std::string key = m.str_or("name", "?");
+    const std::string instance = m.str_or("instance", "");
+    if (!instance.empty()) key += "/" + instance;
+    return key + ":" + field;
+  };
+  if (const auto* counters = metrics->find("counters"); counters != nullptr) {
+    for (const auto& c : counters->array) {
+      out[key_of(c, "value")] = c.num_or("value", 0);
+    }
+  }
+  if (const auto* gauges = metrics->find("gauges"); gauges != nullptr) {
+    for (const auto& g : gauges->array) {
+      out[key_of(g, "value")] = g.num_or("value", 0);
+    }
+  }
+  if (const auto* hists = metrics->find("histograms"); hists != nullptr) {
+    for (const auto& h : hists->array) {
+      out[key_of(h, "count")] = h.num_or("count", 0);
+      out[key_of(h, "mean")] = h.num_or("mean", 0);
+      out[key_of(h, "p99")] = h.num_or("p99", 0);
+    }
+  }
+  return out;
+}
+
+struct DiffResult {
+  std::vector<Deviation> failures;  // sorted worst-first by excess
+  std::size_t compared{0};
+  std::size_t worlds{0};
+  [[nodiscard]] bool pass() const noexcept { return failures.empty(); }
+};
+
+/// Compares parsed baseline/candidate world lines. Every baseline metric
+/// must exist in the candidate (MISSING failure otherwise) and be within
+/// its tolerance rule; candidate-only metrics are ignored.
+inline DiffResult diff_worlds(const std::vector<obs::json::Value>& base_worlds,
+                              const std::vector<obs::json::Value>& cand_worlds,
+                              const std::vector<Tolerance>& rules) {
+  DiffResult result;
+  if (base_worlds.size() != cand_worlds.size()) {
+    result.failures.push_back({"<world count>",
+                               static_cast<double>(base_worlds.size()),
+                               static_cast<double>(cand_worlds.size()), 0, true});
+  }
+  result.worlds = std::min(base_worlds.size(), cand_worlds.size());
+  for (std::size_t w = 0; w < result.worlds; ++w) {
+    const auto base = flatten(base_worlds[w]);
+    const auto cand = flatten(cand_worlds[w]);
+    const std::string world_tag = "world " + std::to_string(w + 1) + " ";
+    for (const auto& [key, base_value] : base) {
+      const auto it = cand.find(key);
+      if (it == cand.end()) {
+        result.failures.push_back({world_tag + key, base_value, 0, 0, true});
+        continue;
+      }
+      ++result.compared;
+      const Tolerance& tol = tolerance_for(rules, key);
+      if (!within(base_value, it->second, tol)) {
+        const double bound =
+            tol.abs_tol +
+            tol.rel_tol * std::max(std::fabs(base_value), std::fabs(it->second));
+        result.failures.push_back(
+            {world_tag + key, base_value, it->second,
+             std::fabs(it->second - base_value) - bound, false});
+      }
+    }
+    // New metrics in the candidate are fine (the codebase grows); only
+    // disappearing metrics fail, handled above.
+  }
+  std::stable_sort(result.failures.begin(), result.failures.end(),
+                   [](const Deviation& a, const Deviation& b) {
+                     return a.excess > b.excess;
+                   });
+  return result;
+}
+
+}  // namespace wav::tools

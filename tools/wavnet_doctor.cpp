@@ -4,10 +4,16 @@
 //   --series  <file>   World time-series JSONL (--series-out),
 //   --health  <file>   SLO health transition JSONL (--health-out),
 //   --trace   <file>   tracer JSONL (Tracer::write_jsonl format),
+//   --flows   <file>   sampled FlowRecords JSONL (--flows-out),
+//   --hops    <file>   per-hop flow timelines JSONL (--hops-out),
 // and it prints a human-readable report: SLO violations with their time
 // windows and observed recovery, the slowest hole punches, the noisiest
-// NAT gateway, and the fault/recovery timeline. Exit 0 when every input
-// parsed (diagnosis is reporting, not gating; metrics_diff is the gate).
+// NAT gateway, and the fault/recovery timeline. The `flows` subcommand
+// (wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]) reconstructs
+// sampled flows hop by hop, names the dominant-latency hop, and
+// attributes every drop to the exact component instance that dropped it.
+// Exit 0 when every input parsed (diagnosis is reporting, not gating;
+// metrics_diff is the gate).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "flow_report.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -329,6 +336,29 @@ void report_series(const std::string& path) {
   std::printf("\n");
 }
 
+/// `wavnet-doctor flows`: causal flow reconstruction. Returns the exit
+/// code (0 = parsed, 2 = unreadable input).
+int report_flows(const std::string& flows_path, const std::string& hops_path) {
+  const auto flows_body = wav::obs::json::read_file(flows_path);
+  if (!flows_body) {
+    std::printf("flows: cannot read %s\n", flows_path.c_str());
+    return 2;
+  }
+  std::vector<wav::tools::FlowHop> hops;
+  if (!hops_path.empty()) {
+    const auto hops_body = wav::obs::json::read_file(hops_path);
+    if (!hops_body) {
+      std::printf("hops: cannot read %s\n", hops_path.c_str());
+      return 2;
+    }
+    hops = wav::tools::parse_hops(wav::obs::json::parse_jsonl(*hops_body));
+  }
+  const auto flows =
+      wav::tools::parse_flows(wav::obs::json::parse_jsonl(*flows_body));
+  wav::tools::print_flow_report(flows, hops);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -336,6 +366,9 @@ int main(int argc, char** argv) {
   std::string series;
   std::string health;
   std::string trace;
+  std::string flows;
+  std::string hops;
+  bool flows_cmd = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&](const char* flag) -> const char* {
@@ -346,7 +379,9 @@ int main(int argc, char** argv) {
       }
       return nullptr;
     };
-    if (const char* v = value_of("--metrics")) {
+    if (arg == "flows") {
+      flows_cmd = true;
+    } else if (const char* v = value_of("--metrics")) {
       metrics = v;
     } else if (const char* v2 = value_of("--series")) {
       series = v2;
@@ -354,12 +389,27 @@ int main(int argc, char** argv) {
       health = v3;
     } else if (const char* v4 = value_of("--trace")) {
       trace = v4;
+    } else if (const char* v5 = value_of("--flows")) {
+      flows = v5;
+    } else if (const char* v6 = value_of("--hops")) {
+      hops = v6;
     }
   }
-  if (metrics.empty() && series.empty() && health.empty() && trace.empty()) {
+  if (flows_cmd) {
+    if (flows.empty()) {
+      std::printf("usage: wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]\n");
+      return 2;
+    }
+    std::printf("wavnet-doctor flows\n===================\n\n");
+    return report_flows(flows, hops);
+  }
+  if (metrics.empty() && series.empty() && health.empty() && trace.empty() &&
+      flows.empty()) {
     std::printf(
         "usage: wavnet-doctor [--metrics m.jsonl] [--series s.jsonl]\n"
-        "                     [--health h.jsonl] [--trace t.jsonl]\n");
+        "                     [--health h.jsonl] [--trace t.jsonl]\n"
+        "                     [--flows f.jsonl [--hops h.jsonl]]\n"
+        "       wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]\n");
     return 2;
   }
   std::printf("wavnet-doctor report\n====================\n\n");
@@ -367,5 +417,6 @@ int main(int argc, char** argv) {
   if (!metrics.empty()) report_metrics(metrics);
   if (!trace.empty()) report_trace(trace);
   if (!series.empty()) report_series(series);
+  if (!flows.empty()) return report_flows(flows, hops);
   return 0;
 }
