@@ -119,6 +119,23 @@ std::optional<Zone> Zone::merged_with(const Zone& other) const {
   return merged;
 }
 
+double Zone::overlap_volume(const Zone& other) const noexcept {
+  if (other.dims() != dims()) return 0.0;
+  double v = 1.0;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    v *= std::max(0.0, std::min(hi[i], other.hi[i]) - std::max(lo[i], other.lo[i]));
+  }
+  return v;
+}
+
+bool Zone::contains_zone(const Zone& other) const noexcept {
+  if (other.dims() != dims()) return false;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    if (other.lo[i] < lo[i] || other.hi[i] > hi[i]) return false;
+  }
+  return true;
+}
+
 std::string Zone::to_string() const {
   std::string out = "[";
   for (std::size_t i = 0; i < dims(); ++i) {

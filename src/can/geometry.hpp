@@ -55,6 +55,16 @@ struct Zone {
   /// yields a valid box) — used for node-departure zone takeover.
   [[nodiscard]] std::optional<Zone> merged_with(const Zone& other) const;
 
+  /// Volume of the intersection with `other`: zero when disjoint or
+  /// merely abutting. A positive overlap between two nodes' zones means
+  /// conflicting ownership claims (e.g. after a false-positive takeover).
+  [[nodiscard]] double overlap_volume(const Zone& other) const noexcept;
+
+  /// True when `other` lies entirely within this zone (shared boundaries
+  /// allowed). A node whose zone is contained in a live peer's announced
+  /// zone holds a redundant claim and can vacate without a coverage gap.
+  [[nodiscard]] bool contains_zone(const Zone& other) const noexcept;
+
   [[nodiscard]] std::string to_string() const;
 
   bool operator==(const Zone&) const = default;

@@ -11,6 +11,13 @@ namespace {
 
 constexpr std::uint8_t kMaxHops = 64;
 
+/// How many times a ZoneTakeover may be passed along when the receiver's
+/// zone doesn't merge with the shipped rectangle. Each hop either ends at
+/// a mergeable sibling or hands the receiver's own zone one node further;
+/// real fleets resolve in one or two hops, the budget just guarantees
+/// termination in adversarial geometries.
+constexpr std::uint8_t kCascadeBudget = 8;
+
 void encode_endpoint(ByteWriter& w, const net::Endpoint& ep) {
   w.u32(ep.ip.value);
   w.u16(ep.port);
@@ -105,10 +112,19 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
         if (config_.liveness_takeover && !dead.empty()) {
           bool grew = false;
           for (const auto& info : dead) {
-            if (zone_.merged_with(info.zone) &&
-                wins_takeover_election(info, dead)) {
-              take_over_zone(info);
-              grew = true;
+            if (zone_.merged_with(info.zone)) {
+              if (wins_takeover_election(info, dead)) {
+                take_over_zone(info);
+                grew = true;
+              }
+            } else if (!any_direct_takeover_candidate(info, dead) &&
+                       wins_handover_election(info, dead)) {
+              // Nobody bordering the victim can absorb its zone into a
+              // rectangle. Don't adopt yet: stash the claim for another
+              // liveness window so a falsely-declared-dead victim can
+              // resurface before we seize its space.
+              pending_handovers_.push_back(
+                  PendingHandover{info, now + config_.hello_interval * 3});
             }
           }
           if (grew) {
@@ -116,6 +132,7 @@ CanNode::CanNode(sim::Simulation& sim, NodeId id, net::Endpoint self, SendFn sen
             prune_non_adjacent();
           }
         }
+        process_pending_handovers();
       }) {
   obs::MetricsRegistry& reg = sim_.metrics();
   const std::string inst = "can#" + std::to_string(id_);
@@ -148,6 +165,7 @@ void CanNode::crash() {
   drop_pending_state();
   neighbors_.clear();
   items_.clear();
+  pending_handovers_.clear();
   sim_.tracer().instant(obs::Category::kChaos, "can.crash",
                         "can#" + std::to_string(id_));
 }
@@ -190,6 +208,125 @@ bool CanNode::wins_takeover_election(const NeighborInfo& dead_info,
     if (peer.zone.merged_with(dead_info.zone)) winner = peer.id;
   }
   return winner == id_;
+}
+
+bool CanNode::any_direct_takeover_candidate(
+    const NeighborInfo& dead_info, const std::vector<NeighborInfo>& dead) const {
+  // Callers reach this only when this node itself cannot merge, so the
+  // scan covers the victim's gossiped peers alone.
+  for (const NeighborLink& peer : dead_info.peers) {
+    if (peer.id == id_ || peer.id == dead_info.id) continue;
+    const bool also_dead =
+        std::any_of(dead.begin(), dead.end(),
+                    [&](const NeighborInfo& d) { return d.id == peer.id; });
+    if (also_dead) continue;
+    if (peer.zone.merged_with(dead_info.zone)) return true;
+  }
+  return false;
+}
+
+bool CanNode::wins_handover_election(const NeighborInfo& dead_info,
+                                     const std::vector<NeighborInfo>& dead) const {
+  // Nobody bordering the victim can absorb its zone into a rectangle
+  // (classic CAN fragmentation — e.g. a half-space victim surrounded by
+  // quadrants). Elect the smallest believed-alive id from the victim's
+  // gossiped list unconditionally: every survivor computes the same
+  // winner from the shared snapshot, so at most one node adopts. The
+  // winner vacates its own zone via a cascading handover (see
+  // adopt_zone_via_handover) and takes the victim's zone wholesale.
+  NodeId winner = id_;
+  for (const NeighborLink& peer : dead_info.peers) {
+    if (peer.id == dead_info.id || peer.id >= winner) continue;
+    const bool also_dead =
+        std::any_of(dead.begin(), dead.end(),
+                    [&](const NeighborInfo& d) { return d.id == peer.id; });
+    if (also_dead) continue;
+    winner = peer.id;
+  }
+  return winner == id_;
+}
+
+const NeighborInfo* CanNode::cascade_heir() const {
+  // Who inherits this node's zone when it vacates: the smallest-id live
+  // neighbor whose zone merges with ours (cascade ends there in one
+  // hop); failing that, the smallest-id live neighbor outright — it will
+  // adopt our rectangle and cascade its own zone onward.
+  const NeighborInfo* mergeable = nullptr;
+  const NeighborInfo* any = nullptr;
+  for (const auto& [nid, info] : neighbors_) {
+    if (any == nullptr || info.id < any->id) any = &info;
+    if (zone_.merged_with(info.zone)) {
+      if (mergeable == nullptr || info.id < mergeable->id) mergeable = &info;
+    }
+  }
+  return mergeable != nullptr ? mergeable : any;
+}
+
+void CanNode::relinquish_and_rejoin(const net::Endpoint& via) {
+  log::warn("can", "node {} relinquishes zone {} (conflicting claim) and re-joins",
+            id_, zone_.to_string());
+  sim_.tracer().instant(obs::Category::kChaos, "can.zone_relinquish",
+                        "can#" + std::to_string(id_));
+  hello_timer_.stop();
+  joined_ = false;
+  neighbors_.clear();
+  items_.clear();
+  pending_handovers_.clear();
+  drop_pending_state();
+  join(via);
+}
+
+void CanNode::process_pending_handovers() {
+  const TimePoint now = sim_.now();
+  constexpr double kVolumeEps = 1e-12;
+  bool grew = false;
+  for (auto it = pending_handovers_.begin(); it != pending_handovers_.end();) {
+    if (now < it->ready) {
+      ++it;
+      continue;
+    }
+    // Adopt only if the victim's space is still unclaimed: a resurfaced
+    // victim re-announces its old zone (so it shows up in neighbors_),
+    // and any other claimant's grown zone would overlap it.
+    bool claimed = zone_.overlap_volume(it->victim.zone) > kVolumeEps;
+    for (const auto& [nid, info] : neighbors_) {
+      if (claimed) break;
+      claimed = info.zone.overlap_volume(it->victim.zone) > kVolumeEps;
+    }
+    if (!claimed && adopt_zone_via_handover(it->victim)) grew = true;
+    it = pending_handovers_.erase(it);
+  }
+  if (grew) {
+    announce_to_neighbors();
+    prune_non_adjacent();
+  }
+}
+
+bool CanNode::adopt_zone_via_handover(const NeighborInfo& dead) {
+  const NeighborInfo* heir = cascade_heir();
+  if (heir == nullptr) {
+    log::warn("can", "node {} lost handover heir for zone {}", id_,
+              zone_.to_string());
+    return false;
+  }
+  send_zone_takeover(heir->endpoint, kCascadeBudget);
+  zone_ = dead.zone;
+  items_.clear();  // the old zone's items now live at the heir
+  ++stats_.zone_takeovers;
+  c_zone_takeovers_->inc();
+  sim_.tracer().instant(obs::Category::kChaos, "can.zone_handover",
+                        "can#" + std::to_string(id_),
+                        "\"dead\":" + std::to_string(dead.id) +
+                            ",\"heir\":" + std::to_string(heir->id));
+  log::debug("can", "node {} handed its zone to {} and adopted dead neighbor {}",
+             id_, heir->id, dead.id);
+  // The victim's gossiped peers are the best guess at the adopted zone's
+  // neighborhood; stale entries fall out via prune_non_adjacent.
+  for (const NeighborLink& peer : dead.peers) {
+    if (peer.id == id_ || peer.id == dead.id) continue;
+    refresh_neighbor(peer.id, peer.endpoint, peer.zone);
+  }
+  return true;
 }
 
 void CanNode::take_over_zone(const NeighborInfo& dead) {
@@ -366,6 +503,32 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       const auto ep = parse_endpoint(r);
       const auto nzone = parse_zone(r);
       if (!nid || !ep || !nzone || *nid == id_) return;
+      if (joined_ && zone_.overlap_volume(*nzone) > 1e-12) {
+        // The announcer claims space we also claim — someone absorbed a
+        // zone whose owner wasn't actually dead. The redundant claimant
+        // (the one whose zone lies inside the other's; ids break exact
+        // ties) vacates and re-joins, restoring a proper tiling with no
+        // coverage gap.
+        const bool mine_inside = nzone->contains_zone(zone_);
+        const bool theirs_inside = zone_.contains_zone(*nzone);
+        if (mine_inside && (!theirs_inside || id_ > *nid)) {
+          relinquish_and_rejoin(*ep);
+          return;
+        }
+        if (theirs_inside) {
+          // Keeper side: answer with our own claim immediately — the
+          // contained claimant yields on receipt, and cannot echo back.
+          send(*ep, net::Chunk::from_bytes(build_hello()));
+        } else {
+          // Neither zone contains the other: no safe unilateral fix and
+          // no immediate counter-announce (two partial keepers would
+          // ping-pong). The sender stays cached below, so periodic
+          // hellos keep flowing until churn collapses the conflict into
+          // a containment case.
+          log::warn("can", "node {} sees unresolvable zone overlap with {}",
+                    id_, *nid);
+        }
+      }
       std::vector<NeighborLink> peers;
       if (const auto count = r.u16()) {
         for (std::uint16_t i = 0; i < *count; ++i) {
@@ -431,20 +594,38 @@ void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
       const auto departing = r.u64();
       const auto zone = parse_zone(r);
       if (!departing || !zone) return;
+      auto items = parse_items(r, sim_.now());
+      neighbors_.erase(*departing);
       const auto merged = zone_.merged_with(*zone);
       if (merged) {
         zone_ = *merged;
+      } else if (const NeighborInfo* heir =
+                     *hops > 0 ? cascade_heir() : nullptr) {
+        // The shipped rectangle doesn't merge with ours — a cascading
+        // handover (the hops byte carries the remaining budget). Ship our
+        // own zone + items onward first, then adopt the shipped zone
+        // wholesale. Each hop either terminates at a mergeable sibling or
+        // passes a strictly shrinking budget, so the chain is bounded.
+        send_zone_takeover(heir->endpoint, static_cast<std::uint8_t>(*hops - 1));
+        zone_ = *zone;
+        items_.clear();
+        ++stats_.zone_takeovers;
+        c_zone_takeovers_->inc();
+        sim_.tracer().instant(obs::Category::kChaos, "can.zone_cascade",
+                              "can#" + std::to_string(id_),
+                              "\"from\":" + std::to_string(*departing) +
+                                  ",\"heir\":" + std::to_string(heir->id));
+        log::debug("can", "node {} cascaded its zone to {} and adopted {}'s zone",
+                   id_, heir->id, *departing);
       } else {
         log::warn("can", "node {} received unmergeable takeover zone", id_);
       }
-      auto items = parse_items(r, sim_.now());
       if (items) {
         for (auto& item : *items) {
           if (item_observer_) item_observer_(item);
           items_.push_back(std::move(item));
         }
       }
-      neighbors_.erase(*departing);
       // Inherit the departing node's neighbors that now abut our grown
       // zone, so nodes that were adjacent only to the old zone learn us.
       const auto inherited = r.u16();
@@ -719,6 +900,24 @@ void CanNode::expire_query(std::uint64_t query_id) {
   callback({});
 }
 
+void CanNode::send_zone_takeover(const net::Endpoint& to,
+                                 std::uint8_t cascade_budget) {
+  ByteBuffer out;
+  ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MsgType::kZoneTakeover));
+  w.u8(cascade_budget);  // hops byte doubles as the remaining cascade budget
+  w.u64(id_);
+  encode_zone(w, zone_);
+  encode_items(w, items_, sim_.now());
+  w.u16(static_cast<std::uint16_t>(neighbors_.size()));
+  for (const auto& [nid, info] : neighbors_) {
+    w.u64(nid);
+    encode_endpoint(w, info.endpoint);
+    encode_zone(w, info.zone);
+  }
+  send(to, net::Chunk::from_bytes(std::move(out)));
+}
+
 bool CanNode::leave() {
   const NeighborInfo* sibling = nullptr;
   for (const auto& [nid, info] : neighbors_) {
@@ -729,20 +928,7 @@ bool CanNode::leave() {
   }
   if (sibling == nullptr) return false;
 
-  ByteBuffer out;
-  ByteWriter w{out};
-  w.u8(static_cast<std::uint8_t>(MsgType::kZoneTakeover));
-  w.u8(0);
-  w.u64(id_);
-  encode_zone(w, zone_);
-  encode_items(w, items_, sim_.now());
-  w.u16(static_cast<std::uint16_t>(neighbors_.size()));
-  for (const auto& [nid, info] : neighbors_) {
-    w.u64(nid);
-    encode_endpoint(w, info.endpoint);
-    encode_zone(w, info.zone);
-  }
-  send(sibling->endpoint, net::Chunk::from_bytes(std::move(out)));
+  send_zone_takeover(sibling->endpoint, kCascadeBudget);
 
   for (const auto& [nid, info] : neighbors_) {
     if (nid == sibling->id) continue;
@@ -758,10 +944,11 @@ bool CanNode::leave() {
   hello_timer_.stop();
   neighbors_.clear();
   items_.clear();
+  pending_handovers_.clear();
   return true;
 }
 
-void CanNode::announce_to_neighbors() {
+ByteBuffer CanNode::build_hello() const {
   ByteBuffer hello;
   ByteWriter w{hello};
   w.u8(static_cast<std::uint8_t>(MsgType::kNeighborHello));
@@ -778,14 +965,27 @@ void CanNode::announce_to_neighbors() {
     encode_endpoint(w, info.endpoint);
     encode_zone(w, info.zone);
   }
+  return hello;
+}
+
+void CanNode::announce_to_neighbors() {
+  const ByteBuffer hello = build_hello();
   for (const auto& [nid, info] : neighbors_) {
     send(info.endpoint, net::Chunk::from_bytes(ByteBuffer{hello}));
   }
 }
 
+void CanNode::announce_to(const net::Endpoint& ep) {
+  if (!joined_ || down_ || ep == self_) return;
+  send(ep, net::Chunk::from_bytes(build_hello()));
+}
+
 void CanNode::refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone,
                                std::vector<NeighborLink> peers) {
-  if (zone_.is_neighbor(zone)) {
+  // Overlapping zones are not CAN neighbors but ARE conflicting claims;
+  // keep them cached so the hello channel that resolves the conflict
+  // (relinquish-and-rejoin) stays open.
+  if (zone_.is_neighbor(zone) || zone_.overlap_volume(zone) > 1e-12) {
     if (peers.empty()) {
       // Gossip rides only on hellos; a gossip-less refresh (join,
       // takeover inheritance) must not wipe the cached list.
@@ -801,7 +1001,12 @@ void CanNode::refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& 
 
 void CanNode::prune_non_adjacent() {
   for (auto it = neighbors_.begin(); it != neighbors_.end();) {
-    if (!zone_.is_neighbor(it->second.zone)) {
+    // A zone that *overlaps* ours is not a CAN neighbor — it's a
+    // conflicting ownership claim. Keep the entry anyway: the hellos we
+    // keep sending it are what drive the relinquish-and-rejoin conflict
+    // resolution; pruning it would freeze the conflict in place.
+    if (!zone_.is_neighbor(it->second.zone) &&
+        zone_.overlap_volume(it->second.zone) <= 1e-12) {
       it = neighbors_.erase(it);
     } else {
       ++it;

@@ -138,9 +138,28 @@ class CanNode {
   [[nodiscard]] std::size_t pending_query_count() const noexcept {
     return pending_queries_.size();
   }
+  /// Pending queries older than `age`. Every entry schedules a reaper at
+  /// 4x query_timeout, so an entry that has outlived that deadline is a
+  /// leaked handler — a younger one is just in-flight work (an invariant
+  /// sweep can land between issue and reply under continuous churn).
+  [[nodiscard]] std::size_t stale_query_count(Duration age) const noexcept {
+    std::size_t n = 0;
+    for (const auto& [qid, q] : pending_queries_) {
+      if (sim_.now() - q.started > age) ++n;
+    }
+    return n;
+  }
 
   /// Feeds a received control message into the node.
   void on_message(const net::Endpoint& from, const net::Chunk& msg);
+
+  /// Sends this node's hello to an arbitrary endpoint (no-op unless
+  /// joined). Deployments with a small, statically-known fleet (WAVNet's
+  /// rendezvous shards) cross-hello all members periodically: neighbor
+  /// tables can decay to nothing between two nodes holding conflicting
+  /// zone claims after a false-positive takeover, and an out-of-band
+  /// hello is what restarts the relinquish-and-rejoin resolution.
+  void announce_to(const net::Endpoint& ep);
 
   void set_item_observer(ItemObserver obs) { item_observer_ = std::move(obs); }
 
@@ -184,6 +203,8 @@ class CanNode {
   void handle_erase(const net::Chunk& msg);
   void handle_query(const net::Chunk& msg);
   void finish_aggregation(std::uint64_t agg_id);
+  /// Encodes this node's hello (id, endpoint, zone, gossiped neighbors).
+  [[nodiscard]] ByteBuffer build_hello() const;
   void announce_to_neighbors();
   void prune_expired_items();
   void expire_query(std::uint64_t query_id);
@@ -194,6 +215,39 @@ class CanNode {
   /// the victim's last gossiped neighbor list).
   [[nodiscard]] bool wins_takeover_election(
       const NeighborInfo& dead_info, const std::vector<NeighborInfo>& dead) const;
+  /// True when some believed-alive peer in the victim's gossiped list can
+  /// directly merge the victim's zone (so the plain election applies and
+  /// this node should stay out of the handover path).
+  [[nodiscard]] bool any_direct_takeover_candidate(
+      const NeighborInfo& dead_info, const std::vector<NeighborInfo>& dead) const;
+  /// The fallback election when NO candidate can merge the victim's zone
+  /// into a rectangle (classic CAN fragmentation — e.g. a half-space
+  /// victim surrounded by quadrants): the smallest believed-alive id in
+  /// the victim's gossiped list wins unconditionally and vacates its own
+  /// zone via a cascading handover.
+  [[nodiscard]] bool wins_handover_election(
+      const NeighborInfo& dead_info, const std::vector<NeighborInfo>& dead) const;
+  /// Who inherits this node's zone when it vacates: smallest-id mergeable
+  /// live neighbor if one exists (cascade ends there), else the
+  /// smallest-id live neighbor (it adopts and cascades its own zone on).
+  [[nodiscard]] const NeighborInfo* cascade_heir() const;
+  /// Executes the handover: ships this node's zone + items + neighbor
+  /// table to its cascade heir (the graceful-leave wire format), then
+  /// adopts the victim's zone and neighborhood.
+  bool adopt_zone_via_handover(const NeighborInfo& dead);
+  /// Fires stashed handovers whose extra grace window has elapsed,
+  /// unless the victim reappeared or its space was reclaimed meanwhile.
+  void process_pending_handovers();
+  /// Drops this node's zone claim entirely (conflicting ownership seen)
+  /// and re-joins the overlay through `via`. Items are lost — TTL'd
+  /// re-stores repopulate them.
+  void relinquish_and_rejoin(const net::Endpoint& via);
+  /// Sends this node's current zone, items and neighbor table to `to` as
+  /// a kZoneTakeover (shared by leave(), the handover takeover, and the
+  /// cascade). The message's hops byte carries the remaining cascade
+  /// budget: a receiver that cannot merge the shipped rectangle adopts it
+  /// and passes its own zone onward while the budget lasts.
+  void send_zone_takeover(const net::Endpoint& to, std::uint8_t cascade_budget);
   void refresh_neighbor(NodeId nid, const net::Endpoint& ep, const Zone& zone,
                         std::vector<NeighborLink> peers = {});
   void prune_non_adjacent();
@@ -206,11 +260,22 @@ class CanNode {
   SendFn send_;
   Config config_;
 
+  /// A handover election win awaiting its extra grace window. Silence
+  /// alone is a weak death signal under load, and an unconditional
+  /// adoption on a false positive creates overlapping claims — so the
+  /// winner re-checks at `ready` that nobody (including a resurfaced
+  /// victim) covers the zone before adopting it.
+  struct PendingHandover {
+    NeighborInfo victim;
+    TimePoint ready{};
+  };
+
   bool joined_{false};
   bool down_{false};
   Zone zone_;
   std::map<NodeId, NeighborInfo> neighbors_;
   std::vector<Item> items_;
+  std::vector<PendingHandover> pending_handovers_;
   CanStats stats_;
 
   std::uint64_t next_query_id_{1};

@@ -1,5 +1,8 @@
 #include "chaos/invariants.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace wav::chaos {
 
 void InvariantChecker::expect_full_mesh() {
@@ -10,16 +13,62 @@ void InvariantChecker::expect_full_mesh() {
   }
 }
 
+namespace {
+// A pending query handler is only a leak once it has outlived its own
+// retry ladder / reaper deadline (a few seconds at most). An invariant
+// sweep under continuous churn can land between issue and reply — that
+// in-flight entry is work, not a leak.
+constexpr Duration kInFlightGrace = seconds(30);
+}  // namespace
+
+void InvariantChecker::check_agent(const overlay::HostAgent& agent,
+                                   std::vector<std::string>& out) const {
+  const std::string& name = agent.config().name;
+  if (!agent.registered()) {
+    out.push_back("agent " + name + " not registered");
+  }
+  if (const std::size_t n = agent.stale_query_count(kInFlightGrace); n > 0) {
+    out.push_back("agent " + name + " leaks " + std::to_string(n) +
+                  " pending query handler(s)");
+  }
+}
+
 std::vector<std::string> InvariantChecker::violations() const {
   std::vector<std::string> out;
-  for (const overlay::HostAgent* agent : agents_) {
-    const std::string& name = agent->config().name;
-    if (!agent->registered()) {
-      out.push_back("agent " + name + " not registered");
+  for (const overlay::HostAgent* agent : agents_) check_agent(*agent, out);
+  std::vector<overlay::HostAgent*> churn_agents;
+  if (churn_agents_) {
+    churn_agents = churn_agents_();
+    for (const overlay::HostAgent* agent : churn_agents) {
+      check_agent(*agent, out);
+      // Under continuous churn the per-peer retry maps must stay bounded
+      // by the set of peers the agent actually talks to; anything beyond
+      // a small multiple of its live links is a leak of departed peers.
+      const std::size_t links = agent->connected_peers().size();
+      const std::size_t retained = agent->repunch_state_size();
+      if (retained > 2 * links + 8) {
+        out.push_back("agent " + agent->config().name + " retains " +
+                      std::to_string(retained) + " per-peer retry record(s) for " +
+                      std::to_string(links) + " live link(s)");
+      }
     }
-    if (const std::size_t n = agent->pending_query_count(); n > 0) {
-      out.push_back("agent " + name + " leaks " + std::to_string(n) +
-                    " pending query handler(s)");
+  }
+  if (departed_hosts_) {
+    for (const overlay::HostId id : departed_hosts_()) {
+      for (const overlay::RendezvousServer* server : servers_) {
+        if (!server->down() && server->knows_host(id)) {
+          out.push_back("departed host#" + std::to_string(id) +
+                        " still registered at " +
+                        server->host_endpoint().to_string());
+        }
+      }
+      for (const overlay::HostAgent* agent : churn_agents) {
+        if (agent->link_established(id)) {
+          out.push_back("agent " + agent->config().name +
+                        " still holds a link to departed host#" +
+                        std::to_string(id));
+        }
+      }
     }
   }
   for (const ExpectedLink& link : expected_links_) {
@@ -51,10 +100,42 @@ std::vector<std::string> InvariantChecker::violations() const {
       out.push_back("rendezvous " + server->host_endpoint().to_string() +
                     " holds " + std::to_string(n) + " stale pending connect(s)");
     }
-    if (const std::size_t n = server->can_node().pending_query_count(); n > 0) {
+    if (const std::size_t n = server->can_node().stale_query_count(kInFlightGrace);
+        n > 0) {
       out.push_back("rendezvous " + server->host_endpoint().to_string() +
                     " CAN node leaks " + std::to_string(n) +
                     " pending query handler(s)");
+    }
+  }
+  if (can_coverage_dims_ > 0) {
+    // The live shards' zones must tile [0,1)^d exactly: an uncovered gap
+    // is an orphaned zone (a crash nobody absorbed), an overlap is a
+    // double-absorb (two takeover winners).
+    std::vector<const can::Zone*> zones;
+    for (const overlay::RendezvousServer* server : servers_) {
+      if (!server->down() && server->can_node().joined()) {
+        zones.push_back(&server->can_node().zone());
+      }
+    }
+    double total = 0;
+    for (const can::Zone* z : zones) total += z->volume();
+    constexpr double kEps = 1e-9;
+    for (std::size_t i = 0; i < zones.size(); ++i) {
+      for (std::size_t j = i + 1; j < zones.size(); ++j) {
+        double overlap = 1.0;
+        for (std::size_t d = 0; d < can_coverage_dims_; ++d) {
+          overlap *= std::max(0.0, std::min(zones[i]->hi[d], zones[j]->hi[d]) -
+                                       std::max(zones[i]->lo[d], zones[j]->lo[d]));
+        }
+        if (overlap > kEps) {
+          out.push_back("CAN zones overlap (double-absorb): " +
+                        std::to_string(overlap) + " shared volume");
+        }
+      }
+    }
+    if (!zones.empty() && std::abs(total - 1.0) > kEps) {
+      out.push_back("CAN zones cover " + std::to_string(total) +
+                    " of the space (orphaned zone)");
     }
   }
   return out;

@@ -9,6 +9,7 @@
 // benches poll while timing recovery.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,31 @@ namespace wav::chaos {
 class InvariantChecker {
  public:
   void add_agent(overlay::HostAgent& agent) { agents_.push_back(&agent); }
+
+  /// Churn mode: the live population changes every tick, so instead of a
+  /// static agent list the checker pulls the agents that OUGHT to be
+  /// converged (online past their convergence deadline) from a callback.
+  /// They get the same registered/no-leak checks as statically added
+  /// agents, plus a bounded-retry-state check.
+  using AgentsProvider = std::function<std::vector<overlay::HostAgent*>()>;
+  void set_churn_agents(AgentsProvider provider) {
+    churn_agents_ = std::move(provider);
+  }
+
+  /// Churn mode: hosts that departed long enough ago that every trace of
+  /// them must be gone — no live rendezvous shard may still carry their
+  /// registration and no surviving agent may hold an established link to
+  /// them (reclamation invariant).
+  using DepartedProvider = std::function<std::vector<overlay::HostId>()>;
+  void set_departed_hosts(DepartedProvider provider) {
+    departed_hosts_ = std::move(provider);
+  }
+
+  /// Requires the union of the live (non-crashed, CAN-joined) rendezvous
+  /// servers' zones to tile the whole `dims`-dimensional CAN space: total
+  /// volume 1 and no pairwise overlap. Catches both orphaned zones (a
+  /// crash nobody took over) and double-absorbs (two winners).
+  void expect_can_coverage(std::size_t dims) { can_coverage_dims_ = dims; }
   void add_rendezvous(overlay::RendezvousServer& server) {
     servers_.push_back(&server);
   }
@@ -49,10 +75,16 @@ class InvariantChecker {
     overlay::HostId peer{0};
   };
 
+  void check_agent(const overlay::HostAgent& agent,
+                   std::vector<std::string>& out) const;
+
   std::vector<overlay::HostAgent*> agents_;
   std::vector<overlay::RendezvousServer*> servers_;
   std::vector<relay::RelayServer*> relays_;
   std::vector<ExpectedLink> expected_links_;
+  AgentsProvider churn_agents_;
+  DepartedProvider departed_hosts_;
+  std::size_t can_coverage_dims_{0};  // 0 = coverage check disabled
 };
 
 }  // namespace wav::chaos

@@ -41,13 +41,18 @@ PathSpec InternetNode::path(std::size_t iface_a, std::size_t iface_b) const {
   return it == paths_.end() ? PathSpec{} : it->second;
 }
 
-std::size_t InternetNode::iface_index_of(const Link& link) const {
+std::size_t InternetNode::iface_index_of(const Link& link) {
   const auto& ifaces = interfaces();
-  for (std::size_t i = 0; i < ifaces.size(); ++i) {
-    if (ifaces[i].link == &link) return i;
+  if (iface_by_link_.size() != ifaces.size()) {
+    iface_by_link_.clear();
+    iface_by_link_.reserve(ifaces.size());
+    for (std::size_t i = 0; i < ifaces.size(); ++i) {
+      iface_by_link_.emplace(ifaces[i].link, i);
+    }
   }
-  assert(false && "packet arrived over an unattached link");
-  return 0;
+  const auto it = iface_by_link_.find(&link);
+  assert(it != iface_by_link_.end() && "packet arrived over an unattached link");
+  return it == iface_by_link_.end() ? 0 : it->second;
 }
 
 void InternetNode::forward(net::IpPacket pkt, Link& from) {
@@ -66,14 +71,10 @@ void InternetNode::forward(net::IpPacket pkt, Link& from) {
     return;
   }
   const std::size_t in_idx = iface_index_of(from);
-  const auto& ifaces = interfaces();
-  std::size_t out_idx = 0;
-  for (std::size_t i = 0; i < ifaces.size(); ++i) {
-    if (&ifaces[i] == out) {
-      out_idx = i;
-      break;
-    }
-  }
+  // route_lookup returns a pointer into the contiguous interface table,
+  // so the index is pointer arithmetic, not a scan.
+  const std::size_t out_idx =
+      static_cast<std::size_t>(out - interfaces().data());
 
   if (blocked_pairs_.contains(key(in_idx, out_idx))) {
     ++partition_drops_;

@@ -45,7 +45,7 @@ class InternetNode : public Node {
   void forward(net::IpPacket pkt, Link& from) override;
 
  private:
-  [[nodiscard]] std::size_t iface_index_of(const Link& link) const;
+  [[nodiscard]] std::size_t iface_index_of(const Link& link);
 
   static constexpr std::uint64_t key(std::size_t a, std::size_t b) noexcept {
     if (a > b) std::swap(a, b);
@@ -54,6 +54,10 @@ class InternetNode : public Node {
 
   std::unordered_map<std::uint64_t, PathSpec> paths_;
   std::unordered_set<std::uint64_t> blocked_pairs_;
+  // One interface per attachment: at 10k hosts a per-packet linear scan
+  // over interfaces() turns the core O(N²). Attachments are append-only,
+  // so the map is rebuilt lazily when the interface count grows.
+  std::unordered_map<const Link*, std::size_t> iface_by_link_;
   std::uint64_t partition_drops_{0};
   obs::Counter* c_partition_drops_{nullptr};
   // FIFO clamp per directed (in,out) interface pair: core jitter must

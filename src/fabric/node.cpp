@@ -30,6 +30,10 @@ net::Ipv4Address Node::primary_address() const noexcept {
 }
 
 void Node::add_route(net::Ipv4Subnet dest, std::size_t iface_index) {
+  if (dest.prefix_len == 32) {
+    host_routes_[dest.network] = iface_index;
+    return;
+  }
   routes_.push_back(RouteEntry{dest, iface_index});
   std::stable_sort(routes_.begin(), routes_.end(),
                    [](const RouteEntry& x, const RouteEntry& y) {
@@ -87,6 +91,9 @@ void Node::forward(net::IpPacket pkt, Link& from) {
 }
 
 const Interface* Node::route_lookup(net::Ipv4Address dst) const {
+  if (const auto it = host_routes_.find(dst); it != host_routes_.end()) {
+    return &interfaces_[it->second];
+  }
   for (const auto& r : routes_) {
     if (r.dest.contains(dst)) return &interfaces_[r.iface];
   }

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/link.hpp"
@@ -102,6 +103,11 @@ class Node {
     net::Ipv4Subnet dest;
     std::size_t iface;
   };
+  // /32 routes dominate at the Internet core (one per attachment, tens of
+  // thousands under churn); they get an O(1) hash lookup, and only the
+  // shorter prefixes walk the sorted vector. /32s always beat prefixes on
+  // longest-prefix-match, so checking the map first preserves semantics.
+  std::unordered_map<net::Ipv4Address, std::size_t> host_routes_;
   std::vector<RouteEntry> routes_;  // kept sorted by descending prefix length
   std::optional<std::size_t> default_route_;
   PacketTap tap_;

@@ -89,8 +89,16 @@ Wan::Site& Wan::add_site(const SiteConfig& config) {
 
 HostNode& Wan::add_public_host(const std::string& name, BitRate rate, Duration delay) {
   auto& host = network_.add_node<HostNode>(name);
-  const auto idx = static_cast<std::uint8_t>(next_public_index_++);
-  const auto addr = ip(100, 70, 0, idx);
+  // Public addresses spread over 100.70.0.0/16 (low octet first, so the
+  // first 255 hosts keep the historical 100.70.0.x addresses). A single
+  // octet caps the fleet at 255 before silently reusing addresses —
+  // churn populations run to 10k public hosts.
+  const std::size_t idx = next_public_index_++;
+  if (idx > 0xFFFF) {
+    throw std::runtime_error("Wan: public host address space exhausted");
+  }
+  const auto addr = ip(100, 70, static_cast<std::uint8_t>(idx >> 8),
+                       static_cast<std::uint8_t>(idx & 0xFF));
   const std::size_t core_iface = attach_to_core(host, addr, rate, delay);
   host.set_default_route(0);
   public_hosts_[name] = &host;

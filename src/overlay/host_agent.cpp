@@ -34,39 +34,64 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
   self_.name = config_.name.empty() ? ip.ip_address().to_string() : config_.name;
   self_.private_endpoint = net::Endpoint{ip.ip_address(), config_.port};
   self_.attributes = config_.attributes;
-  self_.nat_type = nat::NatType::kPortRestrictedCone;
+  self_.nat_type =
+      config_.nat_type.value_or(nat::NatType::kPortRestrictedCone);
+
+  // Sharded fleet: hash-home to one shard; failover order walks the ring
+  // of successors, so every agent homed to a dead shard lands on the same
+  // deterministic survivor sequence.
+  if (!config_.rendezvous_shards.empty()) {
+    const std::size_t n = config_.rendezvous_shards.size();
+    const std::size_t home = static_cast<std::size_t>(
+        (self_.host_id * 0x9E3779B97F4A7C15ULL) >> 32) % n;
+    active_rendezvous_ = config_.rendezvous_shards[home];
+    config_.rendezvous = active_rendezvous_;
+    config_.rendezvous_backups.clear();
+    for (std::size_t i = 1; i < n; ++i) {
+      config_.rendezvous_backups.push_back(config_.rendezvous_shards[(home + i) % n]);
+    }
+  }
+  home_rendezvous_ = active_rendezvous_;
 
   obs::MetricsRegistry& reg = ip_.sim().metrics();
-  c_punches_sent_ = &reg.counter("overlay.punches_sent", self_.name);
-  c_punch_acks_sent_ = &reg.counter("overlay.punch_acks_sent", self_.name);
-  c_pulses_sent_ = &reg.counter("overlay.connect_pulse_sent", self_.name);
-  c_pulses_received_ = &reg.counter("overlay.connect_pulse_received", self_.name);
-  c_frames_sent_ = &reg.counter("overlay.frames_sent", self_.name);
-  c_frames_received_ = &reg.counter("overlay.frames_received", self_.name);
-  c_links_established_ = &reg.counter("overlay.links_established", self_.name);
-  c_links_lost_ = &reg.counter("overlay.links_lost", self_.name);
-  c_punch_timeouts_ = &reg.counter("overlay.punch_timeouts", self_.name);
-  c_heartbeats_sent_ = &reg.counter("overlay.heartbeats_sent", self_.name);
-  c_queries_timed_out_ = &reg.counter("overlay.queries_timed_out", self_.name);
-  c_reregistrations_ = &reg.counter("overlay.reregistrations", self_.name);
-  c_connects_failed_ = &reg.counter("overlay.connects_failed", self_.name);
-  c_failed_timeout_ = &reg.counter("overlay.connects_failed.timeout", self_.name);
+  const std::string& mi =
+      config_.metrics_instance.empty() ? self_.name : config_.metrics_instance;
+  c_punches_sent_ = &reg.counter("overlay.punches_sent", mi);
+  c_punch_acks_sent_ = &reg.counter("overlay.punch_acks_sent", mi);
+  c_pulses_sent_ = &reg.counter("overlay.connect_pulse_sent", mi);
+  c_pulses_received_ = &reg.counter("overlay.connect_pulse_received", mi);
+  c_frames_sent_ = &reg.counter("overlay.frames_sent", mi);
+  c_frames_received_ = &reg.counter("overlay.frames_received", mi);
+  c_links_established_ = &reg.counter("overlay.links_established", mi);
+  c_links_lost_ = &reg.counter("overlay.links_lost", mi);
+  c_punch_timeouts_ = &reg.counter("overlay.punch_timeouts", mi);
+  c_heartbeats_sent_ = &reg.counter("overlay.heartbeats_sent", mi);
+  c_queries_timed_out_ = &reg.counter("overlay.queries_timed_out", mi);
+  c_reregistrations_ = &reg.counter("overlay.reregistrations", mi);
+  c_connects_failed_ = &reg.counter("overlay.connects_failed", mi);
+  c_failed_timeout_ = &reg.counter("overlay.connects_failed.timeout", mi);
   c_failed_incompatible_ =
-      &reg.counter("overlay.connects_failed.incompatible_nat", self_.name);
-  c_failed_relay_ = &reg.counter("overlay.connects_failed.relay", self_.name);
-  c_failed_broker_ = &reg.counter("overlay.connects_failed.broker", self_.name);
-  c_traversal_direct_ = &reg.counter("overlay.traversal_direct", self_.name);
-  c_traversal_relayed_ = &reg.counter("overlay.traversal_relayed", self_.name);
-  c_relay_fallbacks_ = &reg.counter("overlay.relay_fallbacks", self_.name);
-  c_relay_failovers_ = &reg.counter("overlay.relay_failovers", self_.name);
-  c_relay_upgrades_ = &reg.counter("overlay.relay_upgrades", self_.name);
-  c_relay_upgrade_aborts_ = &reg.counter("overlay.relay_upgrade_aborts", self_.name);
-  g_links_active_ = &reg.gauge("overlay.links_active", self_.name);
-  g_links_relayed_ = &reg.gauge("overlay.links_relayed", self_.name);
+      &reg.counter("overlay.connects_failed.incompatible_nat", mi);
+  c_failed_relay_ = &reg.counter("overlay.connects_failed.relay", mi);
+  c_failed_broker_ = &reg.counter("overlay.connects_failed.broker", mi);
+  c_peers_forgotten_ = &reg.counter("overlay.peers_forgotten", mi);
+  c_traversal_direct_ = &reg.counter("overlay.traversal_direct", mi);
+  c_traversal_relayed_ = &reg.counter("overlay.traversal_relayed", mi);
+  c_relay_fallbacks_ = &reg.counter("overlay.relay_fallbacks", mi);
+  c_relay_failovers_ = &reg.counter("overlay.relay_failovers", mi);
+  c_relay_upgrades_ = &reg.counter("overlay.relay_upgrades", mi);
+  c_relay_upgrade_aborts_ = &reg.counter("overlay.relay_upgrade_aborts", mi);
+  g_links_active_ = &reg.gauge("overlay.links_active", mi);
+  g_links_relayed_ = &reg.gauge("overlay.links_relayed", mi);
   h_punch_latency_ms_ = &reg.histogram(
       "punch.latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
   h_relay_alloc_ms_ = &reg.histogram(
       "relay.alloc_latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  // Shard-loss recovery latency: from the last proof the old shard was
+  // serving us to the ack that completes registration on the new one.
+  h_rehome_ms_ = &reg.histogram(
+      "overlay.rehome_ms",
+      {100, 500, 1000, 2000, 5000, 10000, 20000, 30000, 60000, 120000}, mi);
 
   // De-phase the keepalive across agents: with hundreds of hosts sharing
   // nominal intervals, identical periods would fire every pulse in the
@@ -90,7 +115,7 @@ Duration HostAgent::jittered(Duration d) {
 
 void HostAgent::start(RegisteredHandler on_registered) {
   on_registered_ = std::move(on_registered);
-  if (config_.stun) {
+  if (config_.stun && !config_.nat_type) {
     stun_client_.emplace(udp_, config_.stun->first, config_.stun->second);
     stun_client_->probe([this](const stun::ProbeResult& result) {
       if (result.reachable) self_.nat_type = result.nat_type;
@@ -101,15 +126,88 @@ void HostAgent::start(RegisteredHandler on_registered) {
   }
 }
 
+void HostAgent::go_offline(bool graceful) {
+  if (down_) return;
+  if (graceful && registered_) {
+    socket_.send_to(active_rendezvous_, encode(DeregisterMsg{self_.host_id}));
+  }
+  down_ = true;
+  registered_ = false;
+  on_registered_ = nullptr;
+  // Tear every link down without the link-down fanfare: the host is
+  // leaving, not diagnosing a fault. Peers idle the links out (crash) or
+  // fail their repunches (graceful, since our record is gone).
+  for (auto& [peer, link] : links_) {
+    if (link.punch_timer) link.punch_timer->stop();
+    if (link.established && link.kind == LinkKind::kRelayed) {
+      g_links_relayed_->add(-1);
+      if (graceful && !link.relay.is_zero()) {
+        socket_.send_to(link.relay, encode(RelayReleaseMsg{self_.host_id, peer}));
+      }
+    }
+    if (link.established) g_links_active_->add(-1);
+    ++link.alloc_epoch;  // retire in-flight allocate/flush deadlines
+  }
+  links_.clear();
+  endpoint_to_peer_.clear();
+  request_to_peer_.clear();
+  repunch_backoff_.clear();
+  repunch_failures_.clear();
+  for (auto& [qid, pending] : pending_queries_) ip_.sim().cancel(pending.deadline);
+  pending_queries_.clear();
+  heartbeat_timer_.stop();
+  pulse_timer_.stop();
+  idle_check_timer_.stop();
+  relay_refresh_timer_.stop();
+  upgrade_probe_timer_.stop();
+  silent_probes_ = 0;
+  register_backoff_ = kZeroDuration;
+  rehoming_ = false;
+  ip_.sim().tracer().instant(obs::Category::kOverlay,
+                             graceful ? "agent.depart" : "agent.crash", self_.name);
+}
+
+void HostAgent::go_online(RegisteredHandler on_registered) {
+  if (!down_) return;
+  down_ = false;
+  registered_ = false;
+  silent_probes_ = 0;
+  register_backoff_ = kZeroDuration;
+  rehoming_ = false;
+  last_rendezvous_ok_ = TimePoint{};
+  next_backup_ = 0;
+  // A fresh session always starts at the hash-home shard; if that shard
+  // is still dead, registration retries walk the ring as usual.
+  active_rendezvous_ = home_rendezvous_;
+  on_registered_ = std::move(on_registered);
+  ip_.sim().tracer().instant(obs::Category::kOverlay, "agent.arrive", self_.name);
+  do_register();
+}
+
 void HostAgent::do_register() {
+  if (down_) return;
   RegisterMsg msg;
   msg.info = self_;
   socket_.send_to(active_rendezvous_, encode(msg));
-  // Retry until acked; the ack handler flips registered_. Repeated
-  // registration failures also trigger failover to a backup server.
-  ip_.sim().schedule_after(seconds(2), [this] {
-    if (registered_) return;
-    if (++silent_probes_ >= config_.rendezvous_probe_failures) fail_over_rendezvous();
+  // Retry until acked (the ack handler flips registered_), backing off
+  // exponentially with jitter so a crashed shard's whole population does
+  // not re-register in lockstep. Repeated failures also walk the
+  // failover ring.
+  const Duration delay = register_backoff_ <= kZeroDuration ? config_.register_retry
+                                                            : register_backoff_;
+  ip_.sim().schedule_after(delay, [this] {
+    if (registered_ || down_) return;
+    register_backoff_ = jittered(
+        std::min((register_backoff_ <= kZeroDuration ? config_.register_retry
+                                                     : register_backoff_) *
+                     2,
+                 config_.register_retry_max));
+    if (++silent_probes_ >= config_.rendezvous_probe_failures) {
+      const net::Endpoint before = active_rendezvous_;
+      fail_over_rendezvous();
+      // An actual switch restarted registration with a fresh backoff.
+      if (active_rendezvous_ != before) return;
+    }
     do_register();
   });
 }
@@ -130,9 +228,13 @@ void HostAgent::probe_rendezvous() {
   probe.k = 1;
   probe.target = {};
   PendingQuery pending;
-  pending.handler = [this](std::vector<HostInfo>) { silent_probes_ = 0; };
+  pending.handler = [this](std::vector<HostInfo>) {
+    silent_probes_ = 0;
+    last_rendezvous_ok_ = ip_.sim().now();
+  };
   pending.k = 1;
   pending.probe = true;
+  pending.issued = ip_.sim().now();
   pending.deadline = ip_.sim().schedule_after(
       config_.query_timeout, [this, qid = probe.query_id] { expire_query(qid); });
   pending_queries_[probe.query_id] = std::move(pending);
@@ -153,15 +255,23 @@ void HostAgent::fail_over_rendezvous() {
              active_rendezvous_.to_string(), next.to_string());
   active_rendezvous_ = next;
   ++rendezvous_failovers_;
+  // Only a host that *was* serving traffic re-homes; a first registration
+  // walking the ring is arrival convergence, not recovery.
+  if (registered_) rehoming_ = true;
   ip_.sim().tracer().instant(obs::Category::kOverlay, "rendezvous.failover",
                              self_.name, "\"to\":\"" + next.to_string() + "\"");
   silent_probes_ = 0;
   registered_ = false;
+  register_backoff_ = kZeroDuration;
   do_register();
 }
 
 void HostAgent::query(const std::vector<double>& target, std::size_t k,
                       QueryHandler handler) {
+  if (down_) {
+    if (handler) handler({});
+    return;
+  }
   QueryMsg msg;
   msg.query_id = next_query_id_++;
   msg.target = target;
@@ -170,10 +280,20 @@ void HostAgent::query(const std::vector<double>& target, std::size_t k,
   pending.handler = std::move(handler);
   pending.target = target;
   pending.k = msg.k;
+  pending.issued = ip_.sim().now();
   pending.deadline = ip_.sim().schedule_after(
       config_.query_timeout, [this, qid = msg.query_id] { expire_query(qid); });
   pending_queries_[msg.query_id] = std::move(pending);
   socket_.send_to(active_rendezvous_, encode(msg));
+}
+
+std::size_t HostAgent::stale_query_count(Duration age) const {
+  const TimePoint now = ip_.sim().now();
+  std::size_t n = 0;
+  for (const auto& [qid, q] : pending_queries_) {
+    if (!q.probe && now - q.issued > age) ++n;
+  }
+  return n;
 }
 
 void HostAgent::expire_query(std::uint64_t query_id) {
@@ -212,7 +332,7 @@ void HostAgent::expire_query(std::uint64_t query_id) {
 }
 
 void HostAgent::connect_to(const HostInfo& peer, ConnectHandler handler) {
-  if (peer.host_id == self_.host_id) {
+  if (down_ || peer.host_id == self_.host_id) {
     if (handler) handler(false, peer.host_id);
     return;
   }
@@ -350,6 +470,21 @@ void HostAgent::fail_link(HostId peer, const std::string& reason) {
                                  reason + "\"");
   log::debug("agent", "{}: connect to {} failed ({})", self_.name, peer, reason);
   if (handler) handler(false, peer);
+  // Give-up pruning: enough consecutive terminal failures mean the peer
+  // permanently departed — drop its retry records instead of repunching
+  // a ghost forever (under churn those maps otherwise grow without
+  // bound). A later successful link (the peer came back and dialed us)
+  // resets the count.
+  if (config_.repunch_give_up > 0 &&
+      ++repunch_failures_[peer] >= config_.repunch_give_up) {
+    repunch_failures_.erase(peer);
+    repunch_backoff_.erase(peer);
+    ++stats_.peers_forgotten;
+    c_peers_forgotten_->inc();
+    ip_.sim().tracer().instant(obs::Category::kOverlay, "peer.forgotten", self_.name,
+                               "\"peer\":" + std::to_string(peer));
+    return;
+  }
   schedule_repunch(info);
 }
 
@@ -362,6 +497,7 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
   link.kind = LinkKind::kDirect;
   if (link.punch_timer) link.punch_timer->stop();
   repunch_backoff_.erase(link.peer);
+  repunch_failures_.erase(link.peer);
   if (link.request_id != 0) request_to_peer_.erase(link.request_id);
   // Direct won a race against a pending relay allocation: clean up.
   if (link.relay_tried && !link.relay.is_zero()) {
@@ -391,6 +527,7 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
 }
 
 bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
+  if (down_) return false;
   const auto it = links_.find(peer);
   if (it == links_.end() || !it->second.established) return false;
   Link& link = it->second;
@@ -519,6 +656,7 @@ void HostAgent::establish_relayed(Link& link) {
   link.established = true;
   if (link.punch_timer) link.punch_timer->stop();
   repunch_backoff_.erase(link.peer);
+  repunch_failures_.erase(link.peer);
   if (link.request_id != 0) request_to_peer_.erase(link.request_id);
   ++stats_.links_established;
   c_links_established_->inc();
@@ -830,6 +968,7 @@ void HostAgent::schedule_repunch(const HostInfo& info) {
   const Duration delay = jittered(backoff);
   backoff = std::min(backoff * 2, config_.repunch_backoff_max);
   ip_.sim().schedule_after(delay, [this, info] {
+    if (down_) return;
     if (!links_.contains(info.host_id)) {
       log::debug("agent", "{}: re-punching lost link to {}", self_.name,
                  info.host_id);
@@ -846,6 +985,7 @@ HostAgent::Link* HostAgent::link_by_endpoint(const net::Endpoint& ep) {
 }
 
 void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram) {
+  if (down_) return;  // offline host: the socket is deaf
   const auto type = peek_type(dgram);
   if (!type) return;
 
@@ -959,7 +1099,13 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
         }
       }
       silent_probes_ = 0;
+      register_backoff_ = kZeroDuration;
       if (!registered_) {
+        if (rehoming_ && last_rendezvous_ok_ != TimePoint{}) {
+          h_rehome_ms_->observe(
+              to_milliseconds(ip_.sim().now() - last_rendezvous_ok_));
+        }
+        rehoming_ = false;
         registered_ = true;
         ip_.sim().tracer().instant(obs::Category::kOverlay, "agent.registered",
                                    self_.name);

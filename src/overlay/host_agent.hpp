@@ -41,10 +41,24 @@ class HostAgent {
     /// liveness probes, the agent re-registers with the next (paper §II:
     /// a host "could join ... at least one rendezvous server").
     std::vector<net::Endpoint> rendezvous_backups{};
+    /// Sharded registration fleet: when non-empty this supersedes
+    /// `rendezvous`/`rendezvous_backups`. The agent hash-homes to
+    /// shards[h(host_id) % N] and fails over around the ring (successor
+    /// order), so a dead shard's population spreads across the survivors
+    /// deterministically.
+    std::vector<net::Endpoint> rendezvous_shards{};
     std::uint32_t rendezvous_probe_failures{3};  // probes before failover
     /// STUN primary/alternate endpoints; unset skips type detection and
     /// assumes a port-restricted cone (the common case).
     std::optional<std::pair<net::Endpoint, net::Endpoint>> stun{};
+    /// Declared NAT type: skips the STUN probe and asserts the type
+    /// directly. Churn populations sample measured NAT mixes and declare
+    /// them; the traversal policy (punch-vs-relay) still applies.
+    std::optional<nat::NatType> nat_type{};
+    /// Metric instance label override. Large fleets set one shared label
+    /// so 10k agents aggregate into a handful of counters instead of
+    /// exploding the registry (and the export) per host.
+    std::string metrics_instance{};
     std::uint16_t port{7777};
     Duration heartbeat_interval{seconds(15)};
     Duration pulse_interval{seconds(5)};   // paper §III.B uses 5 s
@@ -58,6 +72,16 @@ class HostAgent {
     /// Repeated repunch attempts back off exponentially up to this cap,
     /// so links lost to long partitions keep retrying until the WAN heals.
     Duration repunch_backoff_max{seconds(30)};
+    /// After this many consecutive terminal connect failures to one peer
+    /// the agent presumes it permanently departed and prunes its per-peer
+    /// state (backoff map, pending request ids) instead of retrying
+    /// forever. 0 = never give up (the pre-churn behavior).
+    std::uint32_t repunch_give_up{0};
+    /// Registration retries back off exponentially from this base up to
+    /// the cap (jittered), so a crashed shard's whole population doesn't
+    /// hammer the survivor in lockstep.
+    Duration register_retry{seconds(2)};
+    Duration register_retry_max{seconds(30)};
     /// A query unanswered past the timeout is retried with backoff; after
     /// the retries run out its handler fires with an empty result.
     Duration query_timeout{seconds(2)};
@@ -102,6 +126,17 @@ class HostAgent {
 
   /// Runs STUN (if configured) then registers with the rendezvous server.
   void start(RegisteredHandler on_registered = {});
+
+  /// Churn lifecycle: takes the host offline. Graceful departure sends a
+  /// Deregister first; a crash just goes silent (peers idle the links
+  /// out, the server expires the registration). Either way every link,
+  /// pending query and per-peer retry record is torn down, all timers
+  /// stop, and the agent ignores traffic until go_online().
+  void go_offline(bool graceful);
+  /// Returns after a departure: re-homes to the original (hash-home)
+  /// rendezvous and registers from scratch.
+  void go_online(RegisteredHandler on_registered = {});
+  [[nodiscard]] bool offline() const noexcept { return down_; }
 
   [[nodiscard]] bool registered() const noexcept { return registered_; }
   [[nodiscard]] const HostInfo& self_info() const noexcept { return self_; }
@@ -155,6 +190,7 @@ class HostAgent {
     std::uint64_t query_retries_sent{0};
     std::uint64_t reregistrations{0};  // server lost our record; registered anew
     std::uint64_t connects_failed{0};  // every traversal rung exhausted
+    std::uint64_t peers_forgotten{0};  // per-peer state pruned after give-up
     std::uint64_t relay_fallbacks{0};  // punching gave up; relay tier entered
     std::uint64_t relay_failovers{0};  // live relayed link moved to a new relay
     std::uint64_t relay_upgrades{0};   // relayed link switched to direct
@@ -180,6 +216,16 @@ class HostAgent {
       if (!q.probe) ++n;
     }
     return n;
+  }
+  /// Non-probe pending queries older than `age` — the retry ladder bounds
+  /// a legitimate entry's lifetime to ~(query_retries+1) x query_timeout,
+  /// so anything past that is a leaked handler rather than in-flight work.
+  [[nodiscard]] std::size_t stale_query_count(Duration age) const;
+  /// Per-peer retry records currently held (backoff + failure counts).
+  /// Under churn this must stay bounded — a growing value is the leak the
+  /// peers_forgotten pruning exists to prevent.
+  [[nodiscard]] std::size_t repunch_state_size() const noexcept {
+    return repunch_backoff_.size() + repunch_failures_.size();
   }
 
  private:
@@ -226,6 +272,7 @@ class HostAgent {
     std::uint32_t attempts{0};
     bool probe{false};  // liveness probes never retry and never call back
     sim::EventId deadline{};
+    TimePoint issued{};
   };
 
   void on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram);
@@ -271,17 +318,27 @@ class HostAgent {
 
   HostInfo self_;
   bool registered_{false};
+  bool down_{false};  // offline between churn sessions; ignores all I/O
   RegisteredHandler on_registered_;
   net::Endpoint active_rendezvous_{};
+  net::Endpoint home_rendezvous_{};  // hash-home shard; go_online resets here
+  Duration register_backoff_{};      // 0 = next retry uses register_retry
   std::size_t next_backup_{0};
   std::uint64_t last_probe_query_id_{0};
   std::uint32_t silent_probes_{0};
   std::uint32_t rendezvous_failovers_{0};
+  // Re-home latency bookkeeping: the clock runs from the last positive
+  // signal off the old shard (ack or probe reply) to the RegisterAck on
+  // the new one, so the measured window includes the silence-detection
+  // probes, the ring walk, and the registration backoff.
+  TimePoint last_rendezvous_ok_{};
+  bool rehoming_{false};
 
   std::uint64_t next_query_id_{1};
   std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
   std::uint64_t next_request_id_;
   std::unordered_map<HostId, Duration> repunch_backoff_;
+  std::unordered_map<HostId, std::uint32_t> repunch_failures_;
   std::unordered_map<std::uint64_t, HostId> request_to_peer_;
 
   std::unordered_map<HostId, Link> links_;
@@ -320,6 +377,7 @@ class HostAgent {
   obs::Counter* c_failed_incompatible_{nullptr};
   obs::Counter* c_failed_relay_{nullptr};
   obs::Counter* c_failed_broker_{nullptr};
+  obs::Counter* c_peers_forgotten_{nullptr};
   obs::Counter* c_traversal_direct_{nullptr};   // links that came up direct
   obs::Counter* c_traversal_relayed_{nullptr};  // links that came up relayed
   obs::Counter* c_relay_fallbacks_{nullptr};
@@ -330,6 +388,7 @@ class HostAgent {
   obs::Gauge* g_links_relayed_{nullptr};  // subset currently riding a relay
   obs::Histogram* h_punch_latency_ms_{nullptr};
   obs::Histogram* h_relay_alloc_ms_{nullptr};
+  obs::Histogram* h_rehome_ms_{nullptr};
 };
 
 }  // namespace wav::overlay

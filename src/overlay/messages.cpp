@@ -42,7 +42,7 @@ std::optional<MsgType> peek_type(const net::UdpDatagram& dgram) {
     return std::nullopt;
   }
   const auto t = static_cast<std::uint8_t>(chunk->real[0]);
-  if (t < 1 || t > static_cast<std::uint8_t>(MsgType::kRelayFlushAck)) {
+  if (t < 1 || t > static_cast<std::uint8_t>(MsgType::kShardPong)) {
     return std::nullopt;
   }
   return static_cast<MsgType>(t);
@@ -434,6 +434,40 @@ std::optional<RelayFlushAckMsg> parse_relay_flush_ack(const net::Chunk& c) {
   const auto nonce = r->u64();
   if (!from || !nonce) return std::nullopt;
   return RelayFlushAckMsg{*from, *nonce};
+}
+
+net::Chunk encode(const ShardPingMsg& m) {
+  ByteBuffer out = begin(MsgType::kShardPing);
+  ByteWriter w{out};
+  encode_endpoint(w, m.from);
+  w.u32(m.registered_hosts);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<ShardPingMsg> parse_shard_ping(const net::Chunk& c) {
+  auto r = open(c, MsgType::kShardPing);
+  if (!r) return std::nullopt;
+  const auto from = parse_endpoint(*r);
+  const auto hosts = r->u32();
+  if (!from || !hosts) return std::nullopt;
+  return ShardPingMsg{*from, *hosts};
+}
+
+net::Chunk encode(const ShardPongMsg& m) {
+  ByteBuffer out = begin(MsgType::kShardPong);
+  ByteWriter w{out};
+  encode_endpoint(w, m.from);
+  w.u32(m.registered_hosts);
+  return net::Chunk::from_bytes(std::move(out));
+}
+
+std::optional<ShardPongMsg> parse_shard_pong(const net::Chunk& c) {
+  auto r = open(c, MsgType::kShardPong);
+  if (!r) return std::nullopt;
+  const auto from = parse_endpoint(*r);
+  const auto hosts = r->u32();
+  if (!from || !hosts) return std::nullopt;
+  return ShardPongMsg{*from, *hosts};
 }
 
 net::Chunk encode_pulse() {

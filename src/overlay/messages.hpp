@@ -58,6 +58,9 @@ enum class MsgType : std::uint8_t {
   kRelayPulse,  // keepalive forwarded through the relay channel
   kRelayFlush,  // upgrade barrier: last message on the relayed path
   kRelayFlushAck,
+  // rendezvous <-> rendezvous shard liveness (sharded registration fleet)
+  kShardPing,
+  kShardPong,
 };
 
 /// Extra wire bytes a relayed data frame carries compared to a direct
@@ -155,6 +158,17 @@ struct RelayFlushAckMsg {
   HostId from_host{0};
   std::uint64_t nonce{0};
 };
+/// Shard liveness probe between rendezvous peers. Carries the sender's
+/// registered-host count so peers can export a fleet-wide gauge without a
+/// second exchange.
+struct ShardPingMsg {
+  net::Endpoint from{};  // sender's host-facing endpoint (fleet identity)
+  std::uint32_t registered_hosts{0};
+};
+struct ShardPongMsg {
+  net::Endpoint from{};
+  std::uint32_t registered_hosts{0};
+};
 
 [[nodiscard]] net::Chunk encode(const RegisterMsg&);
 [[nodiscard]] net::Chunk encode(const RegisterAckMsg&);
@@ -174,6 +188,8 @@ struct RelayFlushAckMsg {
 [[nodiscard]] net::Chunk encode(const RelayPulseMsg&);
 [[nodiscard]] net::Chunk encode(const RelayFlushMsg&);
 [[nodiscard]] net::Chunk encode(const RelayFlushAckMsg&);
+[[nodiscard]] net::Chunk encode(const ShardPingMsg&);
+[[nodiscard]] net::Chunk encode(const ShardPongMsg&);
 
 /// The lightweight keepalive: exactly two bytes on the wire (type tag +
 /// version byte), as the paper describes.
@@ -198,5 +214,7 @@ struct RelayFlushAckMsg {
 [[nodiscard]] std::optional<RelayPulseMsg> parse_relay_pulse(const net::Chunk&);
 [[nodiscard]] std::optional<RelayFlushMsg> parse_relay_flush(const net::Chunk&);
 [[nodiscard]] std::optional<RelayFlushAckMsg> parse_relay_flush_ack(const net::Chunk&);
+[[nodiscard]] std::optional<ShardPingMsg> parse_shard_ping(const net::Chunk&);
+[[nodiscard]] std::optional<ShardPongMsg> parse_shard_pong(const net::Chunk&);
 
 }  // namespace wav::overlay

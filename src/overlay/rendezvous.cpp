@@ -22,7 +22,9 @@ RendezvousServer::RendezvousServer(stack::IpLayer& ip, Config config)
             can_socket_.send_to(to, std::move(msg));
           },
           can::CanNode::Config{config.can_dims, seconds(10), milliseconds(800), 1}),
-      expiry_timer_(ip.sim(), seconds(30), [this] { expire_stale_hosts(); }) {
+      expiry_timer_(ip.sim(), seconds(30), [this] { expire_stale_hosts(); }),
+      shard_ping_timer_(ip.sim(), config.shard_ping_interval,
+                        [this] { shard_ping_tick(); }) {
   host_socket_.on_receive([this](const net::Endpoint& from, const net::UdpDatagram& d) {
     on_host_datagram(from, d);
   });
@@ -38,8 +40,64 @@ RendezvousServer::RendezvousServer(stack::IpLayer& ip, Config config)
   c_connects_brokered_ = &reg.counter("rendezvous.connects_brokered", instance);
   c_connects_failed_ = &reg.counter("rendezvous.connects_failed", instance);
   c_hosts_expired_ = &reg.counter("rendezvous.hosts_expired", instance);
+  c_shard_pings_ = &reg.counter("rendezvous.shard_pings", instance);
   g_registered_hosts_ = &reg.gauge("rendezvous.registered_hosts", instance);
+  g_shards_alive_ = &reg.gauge("rendezvous.shards_alive", instance);
   expiry_timer_.start();
+  if (!config_.shard_peers.empty()) set_shard_peers(config_.shard_peers);
+}
+
+void RendezvousServer::set_shard_peers(std::vector<net::Endpoint> peers) {
+  config_.shard_peers = std::move(peers);
+  shard_state_.clear();
+  for (const auto& peer : config_.shard_peers) shard_state_[peer];
+  shard_ping_timer_.stop();
+  if (!config_.shard_peers.empty() && !down_) shard_ping_timer_.start();
+  sync_shard_gauge();
+}
+
+std::size_t RendezvousServer::alive_shards() const {
+  const TimePoint now = ip_.sim().now();
+  const Duration window = 3 * config_.shard_ping_interval;
+  std::size_t alive = down_ ? 0 : 1;
+  for (const auto& [peer, state] : shard_state_) {
+    if (state.ever_seen && now - state.last_seen <= window) ++alive;
+  }
+  return alive;
+}
+
+std::size_t RendezvousServer::fleet_registered_hosts() const {
+  const TimePoint now = ip_.sim().now();
+  const Duration window = 3 * config_.shard_ping_interval;
+  std::size_t total = down_ ? 0 : hosts_.size();
+  for (const auto& [peer, state] : shard_state_) {
+    if (state.ever_seen && now - state.last_seen <= window) {
+      total += state.reported_hosts;
+    }
+  }
+  return total;
+}
+
+void RendezvousServer::shard_ping_tick() {
+  if (down_) return;
+  ShardPingMsg ping;
+  ping.from = host_endpoint();
+  ping.registered_hosts = static_cast<std::uint32_t>(hosts_.size());
+  for (const auto& peer : config_.shard_peers) {
+    c_shard_pings_->inc();
+    host_socket_.send_to(peer, encode(ping));
+    // Cross-hello the peer's CAN node too (fleet convention: one shared
+    // can_port). After a false-positive liveness takeover two shards can
+    // hold overlapping zone claims with no neighbor-table path between
+    // them; this out-of-band hello is what lets the CAN layer notice and
+    // resolve the conflict (see CanNode::announce_to).
+    can_.announce_to({peer.ip, config_.can_port});
+  }
+  sync_shard_gauge();
+}
+
+void RendezvousServer::sync_shard_gauge() {
+  g_shards_alive_->set(static_cast<double>(alive_shards()));
 }
 
 void RendezvousServer::sync_host_gauge() {
@@ -58,7 +116,11 @@ void RendezvousServer::crash() {
   hosts_.clear();
   sync_host_gauge();
   pending_connects_.clear();
+  expiry_buckets_.clear();
   expiry_timer_.stop();
+  shard_ping_timer_.stop();
+  for (auto& [peer, state] : shard_state_) state = ShardPeer{};
+  sync_shard_gauge();
   can_.crash();
   ip_.sim().tracer().instant(obs::Category::kChaos, "rendezvous.crash",
                              ip_.ip_address().to_string());
@@ -68,6 +130,7 @@ void RendezvousServer::restart() {
   if (!down_) return;
   down_ = false;
   expiry_timer_.start();
+  if (!config_.shard_peers.empty()) shard_ping_timer_.start();
   can_.restart();
   can_.bootstrap();
   ip_.sim().tracer().instant(obs::Category::kChaos, "rendezvous.restart",
@@ -78,6 +141,7 @@ void RendezvousServer::restart(const net::Endpoint& seed_can_endpoint) {
   if (!down_) return;
   down_ = false;
   expiry_timer_.start();
+  if (!config_.shard_peers.empty()) shard_ping_timer_.start();
   can_.restart();
   can_.join(seed_can_endpoint);
   ip_.sim().tracer().instant(obs::Category::kChaos, "rendezvous.restart",
@@ -130,6 +194,7 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
         if (it != hosts_.end()) {
           it->second.last_seen = ip_.sim().now();
           it->second.observed = from;  // NAT rebinding keeps working
+          note_alive(msg->host_id, it->second.last_seen);
           // Refresh the CAN record's TTL (erase the old copy first so
           // re-stores do not pile up duplicates).
           ByteBuffer blob;
@@ -191,6 +256,31 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
       }
       return;
     }
+    case MsgType::kShardPing: {
+      if (const auto msg = parse_shard_ping(*chunk)) {
+        if (const auto it = shard_state_.find(msg->from); it != shard_state_.end()) {
+          it->second.last_seen = ip_.sim().now();
+          it->second.reported_hosts = msg->registered_hosts;
+          it->second.ever_seen = true;
+        }
+        ShardPongMsg pong;
+        pong.from = host_endpoint();
+        pong.registered_hosts = static_cast<std::uint32_t>(hosts_.size());
+        host_socket_.send_to(msg->from, encode(pong));
+      }
+      return;
+    }
+    case MsgType::kShardPong: {
+      if (const auto msg = parse_shard_pong(*chunk)) {
+        if (const auto it = shard_state_.find(msg->from); it != shard_state_.end()) {
+          it->second.last_seen = ip_.sim().now();
+          it->second.reported_hosts = msg->registered_hosts;
+          it->second.ever_seen = true;
+          sync_shard_gauge();
+        }
+      }
+      return;
+    }
     default:
       log::debug("rendezvous", "unexpected message type {}",
                  static_cast<int>(*type));
@@ -228,7 +318,9 @@ void RendezvousServer::handle_register(const net::Endpoint& from, const Register
   encode_host_info(w, reg.info);
   can_.store(attrs_to_point(reg.info.attributes), std::move(blob), config_.host_expiry);
 
+  const TimePoint seen = reg.last_seen;
   hosts_[msg.info.host_id] = std::move(reg);
+  note_alive(msg.info.host_id, seen);
   sync_host_gauge();
 
   RegisterAckMsg ack;
@@ -324,19 +416,42 @@ void RendezvousServer::handle_rv_forward(const net::Endpoint& from,
   reply_to(encode(to_requester));
 }
 
+// Bucket width for the expiry wheel. Must divide the expiry tick period
+// (30 s) so that sweeps land exactly on bucket boundaries — which makes
+// the wheel expire precisely the hosts the old full-table scan would
+// have, just without visiting the fresh ones.
+namespace {
+constexpr std::uint64_t kExpiryBucketNs = 10'000'000'000ULL;  // 10 s
+}  // namespace
+
+void RendezvousServer::note_alive(HostId id, TimePoint last_seen) {
+  const auto deadline =
+      static_cast<std::uint64_t>((last_seen + config_.host_expiry).since_start.count());
+  expiry_buckets_[deadline / kExpiryBucketNs].push_back(id);
+}
+
 void RendezvousServer::expire_stale_hosts() {
   const TimePoint now = ip_.sim().now();
-  for (auto it = hosts_.begin(); it != hosts_.end();) {
-    if (now - it->second.last_seen > config_.host_expiry) {
+  // Sweep only buckets whose whole deadline range lies in the past. A
+  // host refreshed since its entry was queued fails the staleness check
+  // and is skipped — its live entry sits in a later bucket.
+  const auto now_bucket =
+      static_cast<std::uint64_t>(now.since_start.count()) / kExpiryBucketNs;
+  while (!expiry_buckets_.empty()) {
+    const auto bucket = expiry_buckets_.begin();
+    if (bucket->first >= now_bucket) break;
+    for (const HostId id : bucket->second) {
+      const auto it = hosts_.find(id);
+      if (it == hosts_.end()) continue;  // departed or already expired
+      if (now - it->second.last_seen <= config_.host_expiry) continue;  // refreshed
       ByteBuffer blob;
       ByteWriter w{blob};
       encode_host_info(w, it->second.info);
       can_.erase(attrs_to_point(it->second.info.attributes), std::move(blob));
       c_hosts_expired_->inc();
-      it = hosts_.erase(it);
-    } else {
-      ++it;
+      hosts_.erase(it);
     }
+    expiry_buckets_.erase(bucket);
   }
   sync_host_gauge();
   // Connect requests that never completed fail loudly: the requester

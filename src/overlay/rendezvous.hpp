@@ -6,6 +6,7 @@
 //   * brokers direct host-to-host connection setup (Figure 3 steps 1-3).
 #pragma once
 
+#include <map>
 #include <unordered_map>
 
 #include "can/node.hpp"
@@ -28,6 +29,11 @@ class RendezvousServer {
     // Relay servers advertised to every registering host (RegisterAck).
     // Usually co-hosted on this or sibling rendezvous nodes.
     std::vector<net::Endpoint> relays{};
+    // Sibling shards of the registration fleet (host-facing endpoints,
+    // excluding this server). When non-empty the server pings each peer
+    // on this cadence and exports a shards-alive gauge.
+    std::vector<net::Endpoint> shard_peers{};
+    Duration shard_ping_interval{seconds(10)};
   };
 
   explicit RendezvousServer(stack::IpLayer& ip);
@@ -55,6 +61,17 @@ class RendezvousServer {
   [[nodiscard]] std::size_t pending_connect_count() const noexcept {
     return pending_connects_.size();
   }
+
+  /// Installs (or replaces) the sibling-shard list after construction —
+  /// the fleet's endpoints are only known once every shard exists. Starts
+  /// the liveness ping loop.
+  void set_shard_peers(std::vector<net::Endpoint> peers);
+  /// Shards this server believes are up: itself plus every peer whose
+  /// pong arrived within three ping intervals. 1 when unsharded.
+  [[nodiscard]] std::size_t alive_shards() const;
+  /// Registered hosts across the fleet as last reported by alive peers
+  /// (plus this server's own table).
+  [[nodiscard]] std::size_t fleet_registered_hosts() const;
 
   /// Ungraceful process death: every registration, pending connect and
   /// the server's CAN state are lost, and both UDP ports go deaf until
@@ -93,6 +110,14 @@ class RendezvousServer {
   void handle_connect_request(const net::Endpoint& from, const ConnectRequestMsg& msg);
   void handle_rv_forward(const net::Endpoint& from, const RvForwardNotifyMsg& msg);
   void expire_stale_hosts();
+  /// Appends the host to the expiry bucket matching `last_seen +
+  /// host_expiry`. Buckets use lazy deletion: refreshes just append to a
+  /// later bucket, and the expiry sweep skips entries whose host turned
+  /// out to be fresher (or gone) — so a sweep touches only hosts whose
+  /// deadline actually elapsed, not the whole table.
+  void note_alive(HostId id, TimePoint last_seen);
+  void shard_ping_tick();
+  void sync_shard_gauge();
   /// Mirrors hosts_.size() into the rendezvous.registered_hosts gauge
   /// after every table mutation (the SLO liveness floor reads it).
   void sync_host_gauge();
@@ -108,7 +133,18 @@ class RendezvousServer {
 
   std::unordered_map<HostId, Registered> hosts_;
   std::unordered_map<std::uint64_t, PendingConnect> pending_connects_;
+  // Expiry wheel: bucket index = deadline / bucket width. std::map keeps
+  // the sweep order (and thus CAN-erase order) deterministic.
+  std::map<std::uint64_t, std::vector<HostId>> expiry_buckets_;
   sim::PeriodicTimer expiry_timer_;
+  // Shard fleet liveness (empty peer list = unsharded, timer idle).
+  struct ShardPeer {
+    TimePoint last_seen{};
+    std::uint32_t reported_hosts{0};
+    bool ever_seen{false};
+  };
+  std::map<net::Endpoint, ShardPeer> shard_state_;
+  sim::PeriodicTimer shard_ping_timer_;
   Stats stats_;
   bool down_{false};
 
@@ -118,7 +154,9 @@ class RendezvousServer {
   obs::Counter* c_connects_brokered_{nullptr};
   obs::Counter* c_connects_failed_{nullptr};
   obs::Counter* c_hosts_expired_{nullptr};
+  obs::Counter* c_shard_pings_{nullptr};
   obs::Gauge* g_registered_hosts_{nullptr};  // live registration table size
+  obs::Gauge* g_shards_alive_{nullptr};      // self + responsive peers
 };
 
 }  // namespace wav::overlay

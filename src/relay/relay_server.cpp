@@ -157,12 +157,16 @@ void RelayServer::handle_allocate(const net::Endpoint& from,
   // sender's current mapping.
   mine.endpoint = from;
   mine.bound = true;
+  mine.last_seen = ip_.sim().now();
   ch.last_active = ip_.sim().now();
+  // peer_bound vouches only for a *live* binding: a crashed peer's side
+  // stops counting once its liveness window lapses, even though the
+  // survivor's refreshes keep the channel itself active.
   socket_.send_to(from,
-                  encode(RelayAllocateAckMsg{msg.to_host, true, theirs.bound, ""}));
+                  encode(RelayAllocateAckMsg{msg.to_host, true, side_alive(theirs), ""}));
   // Completing the pair unblocks the side that bound first — tell it
   // proactively instead of making it wait for its next refresh.
-  if (newly_bound && theirs.bound) {
+  if (newly_bound && side_alive(theirs)) {
     socket_.send_to(theirs.endpoint,
                     encode(RelayAllocateAckMsg{msg.from_host, true, true, ""}));
   }
@@ -195,8 +199,10 @@ void RelayServer::forward_encap(const net::EncapFrame& encap) {
     return;
   }
   Channel& ch = it->second;
+  Side& src = side_of(ch, encap.overlay_src, encap.overlay_dst);
   Side& dst = side_of(ch, encap.overlay_dst, encap.overlay_src);
-  if (!side_of(ch, encap.overlay_src, encap.overlay_dst).bound || !dst.bound) {
+  if (src.bound) src.last_seen = ip_.sim().now();
+  if (!src.bound || !side_alive(dst)) {
     ++stats_.frames_dropped_unbound;
     c_dropped_unbound_->inc();
     if (flow != nullptr) {
@@ -238,8 +244,10 @@ void RelayServer::forward_control(HostId from_host, HostId to_host,
                                   const net::Chunk& chunk) {
   const auto it = channels_.find(key_of(from_host, to_host));
   if (it == channels_.end()) return;
+  Side& src = side_of(it->second, from_host, to_host);
+  if (src.bound) src.last_seen = ip_.sim().now();
   Side& dst = other_side(it->second, from_host, to_host);
-  if (!dst.bound) return;
+  if (!side_alive(dst)) return;
   it->second.last_active = ip_.sim().now();
   socket_.send_to(dst.endpoint, chunk);
 }
@@ -255,7 +263,18 @@ void RelayServer::expire_idle_channels() {
   const TimePoint now = ip_.sim().now();
   bool erased = false;
   for (auto it = channels_.begin(); it != channels_.end();) {
-    if (now - it->second.last_active > config_.channel_idle_timeout) {
+    Channel& ch = it->second;
+    // Unbind individually-stale sides so a channel kept busy by one
+    // survivor still sheds its dead peer's binding.
+    const auto shed_stale = [&](Side& side) {
+      if (side.bound && now - side.last_seen > config_.side_liveness_timeout) {
+        side.bound = false;
+      }
+    };
+    shed_stale(ch.lo_side);
+    shed_stale(ch.hi_side);
+    if ((!ch.lo_side.bound && !ch.hi_side.bound) ||
+        now - ch.last_active > config_.channel_idle_timeout) {
       ++stats_.channels_expired;
       c_channels_expired_->inc();
       it = channels_.erase(it);
@@ -265,6 +284,10 @@ void RelayServer::expire_idle_channels() {
     }
   }
   if (erased) sync_channel_gauge();
+}
+
+bool RelayServer::side_alive(const Side& side) const {
+  return side.bound && ip_.sim().now() - side.last_seen <= config_.side_liveness_timeout;
 }
 
 }  // namespace wav::relay

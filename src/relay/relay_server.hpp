@@ -40,6 +40,14 @@ class RelayServer {
     Duration credit_interval{seconds(1)};
     // A channel with no data/keepalive in this window is reclaimed.
     Duration channel_idle_timeout{seconds(60)};
+    // A *side* not heard from in this window no longer counts as bound,
+    // even while the other side keeps the channel busy. Without per-side
+    // liveness a survivor's one-sided refreshes and pulses keep a dead
+    // peer's binding immortal, and every re-allocate sees peer_bound=true
+    // — the relay then vouches forever for a host that crashed (zombie
+    // relayed links under churn). Must exceed the agents' refresh and
+    // pulse cadences with margin.
+    Duration side_liveness_timeout{seconds(20)};
   };
 
   explicit RelayServer(stack::IpLayer& ip);
@@ -80,6 +88,7 @@ class RelayServer {
   struct Side {
     net::Endpoint endpoint{};
     bool bound{false};
+    TimePoint last_seen{};  // last allocate/pulse/frame from this side
   };
   struct Channel {
     Side lo_side;  // side of the smaller host id in the pair key
@@ -109,6 +118,9 @@ class RelayServer {
   [[nodiscard]] static Side& other_side(Channel& ch, HostId id, HostId peer) {
     return id < peer ? ch.hi_side : ch.lo_side;
   }
+  /// Bound AND recently heard from — what peer_bound reports and what
+  /// forwarding requires.
+  [[nodiscard]] bool side_alive(const Side& side) const;
 
   void init();
 

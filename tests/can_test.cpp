@@ -3,6 +3,7 @@
 // loopback transport with per-message delivery delay.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 
 #include "can/node.hpp"
@@ -240,6 +241,129 @@ TEST(CanOverlay, GracefulLeaveMergesZone) {
   ASSERT_EQ(overlay.nodes_[0]->items().size(), 1u);
   EXPECT_EQ(bytes_to_string(overlay.nodes_[0]->items()[0].payload), "keep-me");
   EXPECT_TRUE(overlay.nodes_[0]->neighbors().empty());
+}
+
+TEST(CanOverlay, SimultaneousAdjacentCrashesElectOneWinnerPerZone) {
+  // Two neighbors die in the same instant. Each orphaned zone must be
+  // absorbed by exactly one survivor: the gossiped-neighbor-list
+  // election may not produce two claimants (overlap) or zero (orphan),
+  // even though each victim's last gossiped list still names the other
+  // victim as a live candidate.
+  Overlay overlay{16};
+  std::size_t a = 0;
+  std::size_t b = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < overlay.nodes_.size() && !found; ++i) {
+    for (std::size_t j = i + 1; j < overlay.nodes_.size() && !found; ++j) {
+      if (overlay.nodes_[i]->zone().is_neighbor(overlay.nodes_[j]->zone())) {
+        a = i;
+        b = j;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  overlay.nodes_[a]->crash();
+  overlay.nodes_[b]->crash();
+  // Liveness window is 3 hello intervals (30 s); give the survivors a
+  // few extra rounds for second-stage takeovers (a zone whose elected
+  // winner was the other victim re-runs once that victim is also
+  // declared dead).
+  overlay.sim_.run_for(seconds(90));
+
+  // No orphan: the survivors' zones tile the whole space again.
+  double volume = 0.0;
+  for (std::size_t i = 0; i < overlay.nodes_.size(); ++i) {
+    if (i == a || i == b) continue;
+    ASSERT_TRUE(overlay.nodes_[i]->joined());
+    volume += overlay.nodes_[i]->zone().volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+
+  // No double-absorb: every point has exactly one surviving owner.
+  Rng rng{321};
+  for (int k = 0; k < 300; ++k) {
+    const Point p = Point::random(rng, 2);
+    int owners = 0;
+    for (std::size_t i = 0; i < overlay.nodes_.size(); ++i) {
+      if (i == a || i == b) continue;
+      if (overlay.nodes_[i]->zone().contains(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "point " << p.to_string();
+  }
+
+  // Exactly one takeover per orphaned zone across the fleet.
+  std::uint64_t takeovers = 0;
+  for (std::size_t i = 0; i < overlay.nodes_.size(); ++i) {
+    if (i == a || i == b) continue;
+    takeovers += overlay.nodes_[i]->stats().zone_takeovers;
+  }
+  EXPECT_EQ(takeovers, 2u);
+}
+
+TEST(CanOverlay, FragmentedCrashHealsViaCascadingHandover) {
+  // Classic CAN fragmentation: a victim whose zone no survivor can merge
+  // into a rectangle (e.g. a half-space bordered only by quadrants).
+  // Direct takeover can never fire; the fleet must heal through the
+  // handover path — the elected survivor vacates its own zone to an heir
+  // (cascading until someone can merge) and adopts the victim's zone.
+  std::unique_ptr<Overlay> overlay;
+  std::size_t victim = 0;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 50 && !found; ++seed) {
+    overlay = std::make_unique<Overlay>(4, seed);
+    for (std::size_t i = 0; i < overlay->nodes_.size() && !found; ++i) {
+      bool mergeable = false;
+      for (std::size_t j = 0; j < overlay->nodes_.size(); ++j) {
+        if (i == j) continue;
+        if (overlay->nodes_[j]->zone().merged_with(overlay->nodes_[i]->zone())) {
+          mergeable = true;
+          break;
+        }
+      }
+      if (!mergeable) {
+        victim = i;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "no fragmented topology in 50 seeds";
+
+  overlay->nodes_[victim]->crash();
+  // Liveness detection (3 hello intervals) + the handover's extra grace
+  // window (3 more) + time for the cascade and table repair to settle.
+  overlay->sim_.run_for(seconds(150));
+
+  double volume = 0.0;
+  for (std::size_t i = 0; i < overlay->nodes_.size(); ++i) {
+    if (i == victim) continue;
+    ASSERT_TRUE(overlay->nodes_[i]->joined());
+    volume += overlay->nodes_[i]->zone().volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+
+  // No overlapping claims either: the survivors tile the space.
+  for (std::size_t i = 0; i < overlay->nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < overlay->nodes_.size(); ++j) {
+      if (i == victim || j == victim) continue;
+      EXPECT_LT(overlay->nodes_[i]->zone().overlap_volume(
+                    overlay->nodes_[j]->zone()),
+                1e-12);
+    }
+  }
+}
+
+TEST(CanGeometry, OverlapVolumeAndZoneContainment) {
+  const Zone whole = Zone::whole(2);
+  const auto [left, right] = whole.split();
+  EXPECT_NEAR(left.overlap_volume(right), 0.0, 1e-12);  // abutting, not overlapping
+  EXPECT_NEAR(whole.overlap_volume(left), 0.5, 1e-12);
+  EXPECT_NEAR(left.overlap_volume(left), 0.5, 1e-12);
+  EXPECT_TRUE(whole.contains_zone(left));
+  EXPECT_TRUE(left.contains_zone(left));
+  EXPECT_FALSE(left.contains_zone(whole));
+  EXPECT_FALSE(left.contains_zone(right));
 }
 
 TEST(CanOverlay, HigherDimensionalSpace) {

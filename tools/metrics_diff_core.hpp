@@ -51,6 +51,21 @@ inline std::vector<Tolerance> default_tolerances() {
       {"traversal.connect_ms", 100.0, 0.5},
       {"traversal.ping_rtt_ms", 30.0, 0.5},
       {"traversal.goodput_mbps", 5.0, 0.5},
+      // Churn invariants are exact: a single violation at the end of a
+      // churn run is a regression. Population accounting (arrivals,
+      // crashes, online gauge) is a pure function of the seed, so it
+      // gets a tight band too; connect outcomes and the convergence /
+      // re-home latency distributions ride timing jitter across build
+      // flavors and get the usual slack.
+      {"churn.final_violations", 0.4, 0.0},
+      {"churn.arrivals", 0.4, 0.0},
+      {"churn.departures_graceful", 0.4, 0.0},
+      {"churn.crashes", 0.4, 0.0},
+      {"churn.online_hosts", 0.4, 0.0},
+      {"churn.rehomes", 10.0, 0.25},
+      {"churn.connects_", 20.0, 0.25},
+      {"churn.converge_ms", 100.0, 0.75},
+      {"overlay.rehome_ms", 15000.0, 0.75},
       // Wall-clock throughput gauges (bench --perf-out): machine- and
       // load-dependent, so recorded for the artifact but never gated.
       // Absolute regressions are caught by reviewing the BENCH summary.

@@ -336,6 +336,168 @@ void report_series(const std::string& path) {
   std::printf("\n");
 }
 
+/// `wavnet-doctor churn`: the churn-at-scale view. Per-shard
+/// registered-host timelines (who carried the population, and when a
+/// shard's table emptied and refilled), the re-home and convergence
+/// latency distributions, the churn lifecycle totals, and the invariant
+/// violation summary. Returns the exit code (0 = parsed, 2 = unreadable).
+int report_churn(const std::string& metrics_path, const std::string& series_path) {
+  int rc = 0;
+  if (!series_path.empty()) {
+    const auto body = wav::obs::json::read_file(series_path);
+    if (!body) {
+      std::printf("series: cannot read %s\n", series_path.c_str());
+      return 2;
+    }
+    const std::vector<Value> series = wav::obs::json::parse_jsonl(*body);
+
+    // Per-shard registered-host timelines, downsampled to a fixed-width
+    // digit strip (each column shows the bucket mean scaled 0-9 against
+    // the busiest shard). A '0' stretch inside the run is a shard whose
+    // table emptied — a crash — and the refill is the re-home wave.
+    struct ShardSeries {
+      std::string instance;
+      const Value* points{nullptr};
+    };
+    std::vector<ShardSeries> shards;
+    double fleet_peak = 0;
+    for (const Value& s : series) {
+      if (s.str_or("name", "") != "rendezvous.registered_hosts") continue;
+      const Value* pts = s.find("points");
+      if (pts == nullptr || pts->array.empty()) continue;
+      shards.push_back({s.str_or("instance", "?"), pts});
+      for (const Value& p : pts->array) {
+        fleet_peak = std::max(fleet_peak, p.num_or("v", 0));
+      }
+    }
+    std::printf("== shard registration timelines (%s) ==\n", series_path.c_str());
+    if (shards.empty()) {
+      std::printf("  no rendezvous.registered_hosts series found\n\n");
+    } else {
+      constexpr std::size_t kColumns = 60;
+      for (const ShardSeries& shard : shards) {
+        const auto& pts = shard.points->array;
+        std::string strip(kColumns, ' ');
+        for (std::size_t col = 0; col < kColumns; ++col) {
+          const std::size_t begin = col * pts.size() / kColumns;
+          const std::size_t end =
+              std::max(begin + 1, (col + 1) * pts.size() / kColumns);
+          double sum = 0;
+          for (std::size_t i = begin; i < end && i < pts.size(); ++i) {
+            sum += pts[i].num_or("v", 0);
+          }
+          const double mean = sum / static_cast<double>(end - begin);
+          const int level =
+              fleet_peak <= 0
+                  ? 0
+                  : std::min(9, static_cast<int>(10.0 * mean / fleet_peak));
+          strip[col] = static_cast<char>('0' + level);
+        }
+        const double last = pts.back().num_or("v", 0);
+        std::printf("  %-14s |%s| last=%.0f\n", shard.instance.c_str(),
+                    strip.c_str(), last);
+      }
+      const double t0 = shards[0].points->array.front().num_or("t_ns", 0);
+      const double t1 = shards[0].points->array.back().num_or("t_ns", 0);
+      std::printf("  %-14s  %-.1fs%*s%.1fs   (0-9 = share of peak %.0f)\n", "",
+                  ns_to_s(t0), static_cast<int>(kColumns) - 8, "", ns_to_s(t1),
+                  fleet_peak);
+    }
+
+    // Invariant violations as the sampler saw them.
+    for (const Value& s : series) {
+      if (s.str_or("name", "") != "chaos.invariant_violations") continue;
+      const Value* pts = s.find("points");
+      if (pts == nullptr || pts->array.empty()) continue;
+      double peak = 0;
+      double peak_t = 0;
+      double last_nonzero_t = -1;
+      for (const Value& p : pts->array) {
+        const double v = p.num_or("v", 0);
+        if (v > peak) {
+          peak = v;
+          peak_t = p.num_or("t_ns", 0);
+        }
+        if (v > 0) last_nonzero_t = p.num_or("t_ns", 0);
+      }
+      if (peak > 0) {
+        std::printf("  invariant violations: peaked at %.0f (t=%.1fs), "
+                    "last seen t=%.1fs\n",
+                    peak, ns_to_s(peak_t), ns_to_s(last_nonzero_t));
+      } else {
+        std::printf("  invariant violations: zero for the whole run\n");
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (!metrics_path.empty()) {
+    const auto body = wav::obs::json::read_file(metrics_path);
+    if (!body) {
+      std::printf("metrics: cannot read %s\n", metrics_path.c_str());
+      return 2;
+    }
+    for (const Value& world : wav::obs::json::parse_jsonl(*body)) {
+      const Value* metrics = world.find("metrics");
+      if (metrics == nullptr) continue;
+      std::printf("== churn lifecycle [%s seed %.0f] (%s) ==\n",
+                  world.str_or("plane", "?").c_str(), world.num_or("seed", 0),
+                  metrics_path.c_str());
+      std::map<std::string, double> sums;
+      if (const Value* counters = metrics->find("counters"); counters != nullptr) {
+        for (const Value& c : counters->array) {
+          sums[c.str_or("name", "")] += c.num_or("value", 0);
+        }
+      }
+      const auto sum_of = [&sums](const char* name) {
+        const auto it = sums.find(name);
+        return it == sums.end() ? 0.0 : it->second;
+      };
+      if (sum_of("churn.arrivals") > 0) {
+        std::printf("  sessions: %.0f arrivals, %.0f graceful departures, "
+                    "%.0f crashes\n",
+                    sum_of("churn.arrivals"), sum_of("churn.departures_graceful"),
+                    sum_of("churn.crashes"));
+        const double resolved =
+            sum_of("churn.connects_ok") + sum_of("churn.connects_failed");
+        if (resolved > 0) {
+          std::printf("  connects: %.0f dialed, %.0f ok, %.0f failed "
+                      "(%.1f%% success)\n",
+                      sum_of("churn.connects_attempted"), sum_of("churn.connects_ok"),
+                      sum_of("churn.connects_failed"),
+                      100.0 * sum_of("churn.connects_ok") / resolved);
+        }
+        std::printf("  re-homes: %.0f shard failovers across the fleet\n",
+                    sum_of("churn.rehomes"));
+      }
+      if (const Value* hists = metrics->find("histograms"); hists != nullptr) {
+        for (const Value& h : hists->array) {
+          const std::string name = h.str_or("name", "");
+          if (name == "overlay.rehome_ms" || name == "churn.converge_ms") {
+            std::printf("  %-20s n=%-6.0f mean=%8.1f p50=%8.1f p95=%8.1f "
+                        "max=%8.1f  (ms)\n",
+                        name == "overlay.rehome_ms" ? "re-home latency"
+                                                    : "converge latency",
+                        h.num_or("count", 0), h.num_or("mean", 0),
+                        h.num_or("p50", 0), h.num_or("p95", 0), h.num_or("max", 0));
+          }
+        }
+      }
+      if (const Value* gauges = metrics->find("gauges"); gauges != nullptr) {
+        for (const Value& g : gauges->array) {
+          if (g.str_or("name", "") == "churn.final_violations") {
+            const double v = g.num_or("value", 0);
+            std::printf("  final invariant sweep: %.0f violation(s)%s\n", v,
+                        v == 0 ? " — clean" : "  <-- REGRESSION");
+          }
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return rc;
+}
+
 /// `wavnet-doctor flows`: causal flow reconstruction. Returns the exit
 /// code (0 = parsed, 2 = unreadable input).
 int report_flows(const std::string& flows_path, const std::string& hops_path) {
@@ -369,6 +531,7 @@ int main(int argc, char** argv) {
   std::string flows;
   std::string hops;
   bool flows_cmd = false;
+  bool churn_cmd = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&](const char* flag) -> const char* {
@@ -381,6 +544,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "flows") {
       flows_cmd = true;
+    } else if (arg == "churn") {
+      churn_cmd = true;
     } else if (const char* v = value_of("--metrics")) {
       metrics = v;
     } else if (const char* v2 = value_of("--series")) {
@@ -403,13 +568,23 @@ int main(int argc, char** argv) {
     std::printf("wavnet-doctor flows\n===================\n\n");
     return report_flows(flows, hops);
   }
+  if (churn_cmd) {
+    if (metrics.empty() && series.empty()) {
+      std::printf(
+          "usage: wavnet-doctor churn [--metrics m.jsonl] [--series s.jsonl]\n");
+      return 2;
+    }
+    std::printf("wavnet-doctor churn\n===================\n\n");
+    return report_churn(metrics, series);
+  }
   if (metrics.empty() && series.empty() && health.empty() && trace.empty() &&
       flows.empty()) {
     std::printf(
         "usage: wavnet-doctor [--metrics m.jsonl] [--series s.jsonl]\n"
         "                     [--health h.jsonl] [--trace t.jsonl]\n"
         "                     [--flows f.jsonl [--hops h.jsonl]]\n"
-        "       wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]\n");
+        "       wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]\n"
+        "       wavnet-doctor churn [--metrics m.jsonl] [--series s.jsonl]\n");
     return 2;
   }
   std::printf("wavnet-doctor report\n====================\n\n");
