@@ -68,19 +68,10 @@ struct TierResult {
   std::size_t rehomes{0};
 };
 
-/// "series.jsonl" for tier 1, "series-N.jsonl" for tier N>=2 — the same
-/// numbering scheme World::flush_observability uses, so CI artifact
-/// globs treat this bench like any multi-world one.
-std::string numbered_path(const std::string& path, int run) {
-  if (run == 1) return path;
-  const std::string suffix = "-" + std::to_string(run);
-  const std::size_t dot = path.rfind('.');
-  const std::size_t slash = path.rfind('/');
-  const bool has_ext =
-      dot != std::string::npos && (slash == std::string::npos || dot > slash);
-  if (!has_ext) return path + suffix;
-  return path.substr(0, dot) + suffix + path.substr(dot);
-}
+// Per-tier exports reuse benchx::numbered_path ("series.jsonl" for tier
+// 1, "series-N.jsonl" for tier N>=2) so CI artifact globs treat this
+// bench like any multi-world one.
+using benchx::numbered_path;
 
 TierResult run_tier(std::size_t n_hosts, std::uint64_t seed, int tier_index) {
   TierResult result;
@@ -233,6 +224,7 @@ TierResult run_tier(std::size_t n_hosts, std::uint64_t seed, int tier_index) {
   }
 
   benchx::append_metrics_line(sim, "churn-" + std::to_string(n_hosts), seed);
+  benchx::append_profile_line("churn-" + std::to_string(n_hosts), seed);
   const auto& obs = benchx::obs_options();
   if (!obs.series_out.empty()) {
     sampler.write_jsonl(numbered_path(obs.series_out, tier_index));

@@ -9,6 +9,11 @@
 // exported as metrics JSONL. All simulation-visible counts are a pure
 // function of --seed; wall-clock rates ride along as `perf.*` gauges,
 // which metrics_diff records but never gates. See docs/PERFORMANCE.md.
+//
+// Adding `--prof-out=<file>` turns on the wall-clock profiler for the
+// perf phases (one summary line + folded flamegraph per phase). The CI
+// perf-smoke job runs both ways and gates the profiler's overhead on the
+// measured wall times (<5%).
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "fabric/host.hpp"
+#include "harness.hpp"
 #include "fabric/network.hpp"
 #include "fabric/wan.hpp"
 #include "net/codec.hpp"
@@ -312,7 +318,9 @@ int run_perf_mode(const std::string& out_path, std::uint64_t seed) {
     return 2;
   }
   perf_event_phase(f, seed);
+  benchx::append_profile_line("micro-events", seed);
   const int rc = perf_frame_phase(f, seed);
+  benchx::append_profile_line("micro-frames", seed);
   std::fclose(f);
   return rc;
 }
@@ -320,6 +328,9 @@ int run_perf_mode(const std::string& out_path, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Installs the shared observability sinks; --prof-out enables the
+  // wall-clock profiler for the perf phases below.
+  wav::benchx::obs_init(argc, argv);
   std::string perf_out;
   std::uint64_t seed = 2026;
   for (int i = 1; i < argc; ++i) {

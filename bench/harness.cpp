@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace wav::benchx {
 
 const char* to_string(Plane plane) noexcept {
@@ -20,10 +22,30 @@ const char* to_string(Plane plane) noexcept {
 namespace {
 
 ObsOptions g_obs;
-int g_worlds_flushed = 0;  // numbers the per-World trace files
+int g_worlds_flushed = 0;    // numbers the per-World trace files
+int g_profiles_flushed = 0;  // numbers the per-experiment profile files
 
-/// "trace.json" stays "trace.json" for run 1; run N>=2 becomes
-/// "trace-N.json" (suffix lands before the extension if there is one).
+/// One row per observability flag: a string sink or a validated numeric
+/// option. Adding a sink = adding an ObsOptions member and a row here.
+struct FlagDef {
+  const char* flag;
+  std::string ObsOptions::* str{nullptr};    // string-valued flag
+  double ObsOptions::* num{nullptr};         // numeric flag (kept if > 0)
+};
+
+constexpr FlagDef kObsFlags[] = {
+    {"--metrics-out", &ObsOptions::metrics_out, nullptr},
+    {"--trace-out", &ObsOptions::trace_out, nullptr},
+    {"--series-out", &ObsOptions::series_out, nullptr},
+    {"--health-out", &ObsOptions::health_out, nullptr},
+    {"--flows-out", &ObsOptions::flows_out, nullptr},
+    {"--hops-out", &ObsOptions::hops_out, nullptr},
+    {"--prof-out", &ObsOptions::prof_out, nullptr},
+    {"--sample-interval", nullptr, &ObsOptions::sample_interval_s},
+};
+
+}  // namespace
+
 std::string numbered_path(const std::string& path, int run) {
   if (run == 1) return path;
   const std::string suffix = "-" + std::to_string(run);
@@ -34,8 +56,6 @@ std::string numbered_path(const std::string& path, int run) {
   if (!has_ext) return path + suffix;
   return path.substr(0, dot) + suffix + path.substr(dot);
 }
-
-}  // namespace
 
 void obs_init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -48,26 +68,25 @@ void obs_init(int argc, char** argv) {
       }
       return nullptr;
     };
-    if (const char* v = value_of("--metrics-out")) {
-      g_obs.metrics_out = v;
-    } else if (const char* v2 = value_of("--trace-out")) {
-      g_obs.trace_out = v2;
-    } else if (const char* v3 = value_of("--series-out")) {
-      g_obs.series_out = v3;
-    } else if (const char* v4 = value_of("--health-out")) {
-      g_obs.health_out = v4;
-    } else if (const char* vf = value_of("--flows-out")) {
-      g_obs.flows_out = vf;
-    } else if (const char* vh = value_of("--hops-out")) {
-      g_obs.hops_out = vh;
-    } else if (const char* v5 = value_of("--sample-interval")) {
-      const double s = std::strtod(v5, nullptr);
-      if (s > 0) g_obs.sample_interval_s = s;
+    for (const FlagDef& def : kObsFlags) {
+      const char* v = value_of(def.flag);
+      if (v == nullptr) continue;
+      if (def.str != nullptr) {
+        g_obs.*def.str = v;
+      } else {
+        const double n = std::strtod(v, nullptr);
+        if (n > 0) g_obs.*def.num = n;
+      }
+      break;
     }
   }
-  // Start the JSONL metrics file fresh; Worlds append as they die.
+  // Start the JSONL append-mode files fresh; Worlds append as they die.
   if (!g_obs.metrics_out.empty()) {
     if (std::FILE* f = std::fopen(g_obs.metrics_out.c_str(), "w")) std::fclose(f);
+  }
+  if (!g_obs.prof_out.empty()) {
+    if (std::FILE* f = std::fopen(g_obs.prof_out.c_str(), "w")) std::fclose(f);
+    obs::Profiler::instance().set_enabled(true);
   }
 }
 
@@ -101,7 +120,32 @@ void append_metrics_line(sim::Simulation& sim, const std::string& label,
   std::fclose(f);
 }
 
+void append_profile_line(const std::string& label, std::uint64_t seed) {
+  if (g_obs.prof_out.empty()) return;
+  obs::Profiler& prof = obs::Profiler::instance();
+  const int run = ++g_profiles_flushed;
+  if (std::FILE* f = std::fopen(g_obs.prof_out.c_str(), "a")) {
+    const std::string line = "{\"plane\":\"" + label +
+                             "\",\"seed\":" + std::to_string(seed) +
+                             ",\"profile\":" + prof.summary_json() + "}\n";
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+  }
+  // The folded flamegraph rides alongside: "prof.jsonl" -> "prof.folded",
+  // numbered per experiment like every other per-World sink.
+  const std::size_t dot = g_obs.prof_out.rfind('.');
+  const std::size_t slash = g_obs.prof_out.rfind('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string stem = has_ext ? g_obs.prof_out.substr(0, dot) : g_obs.prof_out;
+  prof.write_folded(numbered_path(stem + ".folded", run));
+  prof.reset();
+}
+
 void World::flush_observability() {
+  // Profiles flush on their own counter: profiling composes with any
+  // subset of the deterministic sinks (including none).
+  append_profile_line(to_string(plane_), seed_);
   if (g_obs.metrics_out.empty() && g_obs.trace_out.empty() &&
       g_obs.series_out.empty() && g_obs.health_out.empty() &&
       g_obs.flows_out.empty() && g_obs.hops_out.empty()) {

@@ -48,11 +48,22 @@ enum class Plane { kPhysical, kWavnet, kIpop };
 ///                          (NetFlow-style aggregates; numbered like
 ///                          --trace-out),
 ///   --hops-out <file>      write each World's per-hop flow timelines
-///                          JSONL (numbered like --trace-out), and
+///                          JSONL (numbered like --trace-out),
+///   --prof-out <file>      enable the wall-clock profiler
+///                          (obs/profiler.hpp) and append one profile
+///                          summary JSON line per World; a folded-stack
+///                          flamegraph file rides alongside as
+///                          "<stem>.folded" (numbered like --trace-out).
+///                          Profiles carry wall-clock data only — the
+///                          deterministic exports above stay
+///                          byte-identical with or without this flag, and
 ///   --sample-interval <s>  telemetry sampling cadence in simulated
 ///                          seconds (default 1).
 /// All flags also accept the --flag=value spelling. Worlds flush on
 /// destruction, so a bench needs no per-experiment export code.
+///
+/// Flags are declared in one table (kObsFlags in harness.cpp): a new sink
+/// is one added ObsOptions member plus one table row.
 struct ObsOptions {
   std::string metrics_out;  // empty = disabled
   std::string trace_out;    // empty = disabled
@@ -60,6 +71,7 @@ struct ObsOptions {
   std::string health_out;   // empty = disabled
   std::string flows_out;    // empty = disabled
   std::string hops_out;     // empty = disabled
+  std::string prof_out;     // empty = profiler disabled
   double sample_interval_s{1.0};
 };
 
@@ -68,6 +80,11 @@ struct ObsOptions {
 void obs_init(int argc, char** argv);
 
 [[nodiscard]] const ObsOptions& obs_options() noexcept;
+
+/// Multi-run export numbering shared by every per-World sink: run 1 keeps
+/// the exact path ("trace.json"); run N>=2 becomes "trace-N.json" (the
+/// suffix lands before the extension if there is one).
+[[nodiscard]] std::string numbered_path(const std::string& path, int run);
 
 /// A deployed host on the measured plane.
 struct Deployed {
@@ -212,5 +229,13 @@ void banner(const std::string& experiment, const std::string& description);
 /// --metrics-out was not given.
 void append_metrics_line(sim::Simulation& sim, const std::string& label,
                          std::uint64_t seed);
+
+/// Flushes the wall-clock profiler for one finished experiment: appends a
+/// {"plane":label,"seed":N,"profile":{...}} line to --prof-out, writes the
+/// numbered "<stem>.folded" flamegraph file, and resets the profiler so
+/// the next World/tier starts from zero. Worlds call this automatically;
+/// raw-Simulation benches call it after each experiment. No-op when
+/// --prof-out was not given.
+void append_profile_line(const std::string& label, std::uint64_t seed);
 
 }  // namespace wav::benchx

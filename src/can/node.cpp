@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::can {
 namespace {
@@ -277,6 +278,7 @@ void CanNode::relinquish_and_rejoin(const net::Endpoint& via) {
 }
 
 void CanNode::process_pending_handovers() {
+  WAV_PROF_SCOPE("can", "handover");
   const TimePoint now = sim_.now();
   constexpr double kVolumeEps = 1e-12;
   bool grew = false;
@@ -330,6 +332,7 @@ bool CanNode::adopt_zone_via_handover(const NeighborInfo& dead) {
 }
 
 void CanNode::take_over_zone(const NeighborInfo& dead) {
+  WAV_PROF_SCOPE("can", "takeover");
   const auto merged = zone_.merged_with(dead.zone);
   if (!merged) return;
   zone_ = *merged;
@@ -367,6 +370,7 @@ void CanNode::send(const net::Endpoint& to, net::Chunk msg) {
 }
 
 bool CanNode::route(const Point& target, const net::Chunk& msg, std::uint8_t hops) {
+  WAV_PROF_SCOPE("can", "route");
   if (hops >= kMaxHops) {
     ++stats_.routed_dead_end;
     c_routed_dead_end_->inc();
@@ -398,6 +402,7 @@ bool CanNode::route(const Point& target, const net::Chunk& msg, std::uint8_t hop
 
 void CanNode::on_message(const net::Endpoint& from, const net::Chunk& msg) {
   if (down_) return;  // a crashed node hears nothing
+  WAV_PROF_SCOPE("can", "on_message");
   ++stats_.messages_received;
   c_messages_received_->inc();
   if (msg.real.size() < 2) return;
@@ -742,6 +747,7 @@ void CanNode::handle_erase(const net::Chunk& msg) {
 }
 
 void CanNode::handle_query(const net::Chunk& msg) {
+  WAV_PROF_SCOPE("can", "query");
   ByteReader r{msg.real};
   (void)r.u8();
   (void)r.u8();

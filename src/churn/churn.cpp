@@ -1,4 +1,5 @@
 #include "churn/churn.hpp"
+#include "obs/profiler.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -72,7 +73,8 @@ Duration ChurnPlan::sample_offline(Rng& rng) const {
 }
 
 ChurnEngine::ChurnEngine(sim::Simulation& sim, ChurnPlan plan)
-    : sim_(sim), plan_(plan), tick_timer_(sim, kTickPeriod, [this] { tick(); }) {
+    : sim_(sim), plan_(plan), tick_timer_(sim, kTickPeriod, [this] { tick(); },
+                  WAV_PROF_CATEGORY("churn", "tick_event")) {
   auto& reg = sim_.metrics();
   const std::string inst = "churn";
   c_arrivals_ = &reg.counter("churn.arrivals", inst);
@@ -105,7 +107,7 @@ void ChurnEngine::start() {
                         static_cast<double>(n > 0 ? n : 1);
     const auto delay = Duration{
         static_cast<Duration::rep>(static_cast<double>(plan_.ramp.count()) * frac)};
-    sim_.schedule_after(delay, [this, i] {
+    sim_.schedule_after(delay, WAV_PROF_CATEGORY("churn", "arrival_event"), [this, i] {
       if (running_) arrive(i);
     });
   }
@@ -118,6 +120,7 @@ void ChurnEngine::stop() {
 }
 
 void ChurnEngine::arrive(std::size_t idx) {
+  WAV_PROF_SCOPE("churn", "arrive");
   Slot& slot = slots_[idx];
   if (slot.online) return;
   slot.online = true;
@@ -141,12 +144,13 @@ void ChurnEngine::arrive(std::size_t idx) {
   // The session clock starts at arrival, not at convergence: a host that
   // crashes while still registering is exactly the hard case.
   const Duration session = plan_.sample_session(sim_.rng());
-  sim_.schedule_after(session, [this, idx] {
+  sim_.schedule_after(session, WAV_PROF_CATEGORY("churn", "depart_event"), [this, idx] {
     if (running_) depart(idx);
   });
 }
 
 void ChurnEngine::depart(std::size_t idx) {
+  WAV_PROF_SCOPE("churn", "depart");
   Slot& slot = slots_[idx];
   if (!slot.online) return;
   const bool crash = sim_.rng().chance(plan_.crash_fraction);
@@ -164,7 +168,7 @@ void ChurnEngine::depart(std::size_t idx) {
   }
   g_online_->set(static_cast<double>(online_));
   const Duration offline = plan_.sample_offline(sim_.rng());
-  sim_.schedule_after(offline, [this, idx] {
+  sim_.schedule_after(offline, WAV_PROF_CATEGORY("churn", "rejoin_event"), [this, idx] {
     if (running_) arrive(idx);
   });
 }
@@ -219,6 +223,7 @@ void ChurnEngine::issue_connects(std::size_t idx) {
 }
 
 void ChurnEngine::tick() {
+  WAV_PROF_SCOPE("churn", "tick");
   const TimePoint now = sim_.now();
   std::size_t registered_online = 0;
   for (Slot& slot : slots_) {

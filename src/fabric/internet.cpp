@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "fabric/network.hpp"
 #include "obs/flow.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::fabric {
 
@@ -106,7 +107,8 @@ void InternetNode::forward(net::IpPacket pkt, Link& from) {
   TimePoint& last = last_forward_[dir_key];
   if (depart < last) depart = last;
   last = depart;
-  sim().schedule_at(depart, [this, out, pkt = std::move(pkt)]() mutable {
+  sim().schedule_at(depart, WAV_PROF_CATEGORY("internet", "forward"),
+                    [this, out, pkt = std::move(pkt)]() mutable {
     transmit(*out, std::move(pkt));
   });
 }

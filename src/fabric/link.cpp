@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "fabric/node.hpp"
 #include "obs/flow.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::fabric {
 
@@ -89,7 +90,8 @@ void Link::transmit(const Node& from, net::IpPacket pkt) {
   ++stats_.delivered_packets;
   stats_.delivered_bytes += size;
 
-  sim_.schedule_at(arrival, [this, &dest, pkt = std::move(pkt)]() mutable {
+  sim_.schedule_at(arrival, WAV_PROF_CATEGORY("link", "deliver"),
+                   [this, &dest, pkt = std::move(pkt)]() mutable {
     dest.receive_from_link(std::move(pkt), *this);
   });
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 #include "fabric/network.hpp"
 
 namespace wav::nat {
@@ -133,6 +134,7 @@ void NatGateway::restart() {
 }
 
 void NatGateway::drop_expired() {
+  WAV_PROF_SCOPE("nat", "drop_expired");
   for (auto it = port_to_binding_.begin(); it != port_to_binding_.end();) {
     if (is_expired(it->second)) {
       const Binding& b = it->second;
@@ -210,6 +212,7 @@ NatGateway::Binding* NatGateway::find_or_create_binding(const FlowKey& key) {
 }
 
 void NatGateway::forward(net::IpPacket pkt, fabric::Link& from) {
+  WAV_PROF_SCOPE("nat", "forward");
   if (down_) {
     ++nat_stats_.dropped_down;
     note_flow_drop(pkt, obs::DropReason::kNatDown);
@@ -243,6 +246,7 @@ void NatGateway::forward(net::IpPacket pkt, fabric::Link& from) {
 }
 
 void NatGateway::translate_outbound(net::IpPacket pkt) {
+  WAV_PROF_SCOPE("nat", "translate_outbound");
   const auto ports = l4_ports(pkt);
   if (!ports) {
     ++stats_.dropped_no_route;
@@ -286,6 +290,7 @@ void NatGateway::deliver_local(const net::IpPacket& pkt, fabric::Link& from) {
 }
 
 void NatGateway::translate_inbound(const net::IpPacket& pkt, fabric::Link& from) {
+  WAV_PROF_SCOPE("nat", "translate_inbound");
   (void)from;
   const auto ports = l4_ports(pkt);
   if (!ports) {

@@ -26,6 +26,7 @@ double interpolated_percentile(const std::vector<double>& bounds,
   std::uint64_t total = 0;
   for (const std::uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
+  if (std::isnan(p)) p = 0.0;
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(total);
   std::uint64_t cum = 0;
@@ -34,12 +35,22 @@ double interpolated_percentile(const std::vector<double>& bounds,
     const double prev = static_cast<double>(cum);
     cum += counts[i];
     if (static_cast<double>(cum) < rank) continue;
-    const double lo = i == 0 ? lo_edge : bounds[i - 1];
-    const double hi = i < bounds.size() ? bounds[i] : hi_edge;
+    double lo = i == 0 ? lo_edge : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : hi_edge;
+    // Callers without an observed min/max hand open-ended buckets
+    // non-finite edges (hi_edge = +inf for the overflow bucket is the
+    // classic case: frac 0 would multiply 0 * inf into NaN). Substitute
+    // the bucket's finite edge so the estimate stays finite; a
+    // degenerate bucket with no finite edge at all pins to 0.
+    if (!std::isfinite(lo)) lo = std::isfinite(hi) ? hi : 0.0;
+    if (!std::isfinite(hi)) hi = lo;
     const double frac = (rank - prev) / static_cast<double>(counts[i]);
     return lo + frac * (hi - lo);
   }
-  return hi_edge;  // unreachable: the loop always covers rank <= total
+  // Only reachable when p=100 rounding bites: pin to the highest finite
+  // edge rather than a possibly-infinite hi_edge.
+  if (std::isfinite(hi_edge)) return hi_edge;
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 double Histogram::percentile(double p) const {

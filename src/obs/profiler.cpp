@@ -1,0 +1,208 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace wav::obs {
+
+struct Profiler::Impl {
+  mutable std::mutex mu;
+  // Interning: names[0] is the implicit "sim/event" default category.
+  std::map<std::pair<std::string, std::string>, ProfCategoryId> ids;
+  std::vector<std::string> names{"sim/event"};
+  std::vector<std::unique_ptr<ThreadState>> threads;
+};
+
+namespace {
+thread_local Profiler::ThreadState* t_state = nullptr;
+}  // namespace
+
+Profiler::Profiler() : impl_(new Impl) {}
+
+Profiler& Profiler::instance() {
+  // Leaked on purpose: probe sites in static destructors and detached
+  // threads must never observe a destroyed profiler.
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+Profiler::ThreadState& Profiler::tls() {
+  if (t_state == nullptr) t_state = &instance().register_thread();
+  return *t_state;
+}
+
+Profiler::ThreadState& Profiler::register_thread() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->threads.push_back(std::make_unique<ThreadState>());
+  return *impl_->threads.back();
+}
+
+ProfCategoryId Profiler::intern(const std::string& subsystem, const std::string& op) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto key = std::make_pair(subsystem, op);
+  const auto it = impl_->ids.find(key);
+  if (it != impl_->ids.end()) return it->second;
+  if (impl_->names.size() > 0xFFFF) return kProfCategoryNone;  // saturated
+  const auto id = static_cast<ProfCategoryId>(impl_->names.size());
+  impl_->ids.emplace(key, id);
+  impl_->names.push_back(subsystem + "/" + op);
+  return id;
+}
+
+std::string Profiler::category_name(ProfCategoryId id) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (id >= impl_->names.size()) return "unknown/" + std::to_string(id);
+  return impl_->names[id];
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& t : impl_->threads) {
+    // Keep the node structure (site statics keep their ids anyway);
+    // dropping to a fresh root also resets any dangling stack state.
+    t->nodes.assign(1, Node{});
+    t->stack.clear();
+    t->current = 0;
+    t->gate = true;
+    t->event_tick = 0;
+    t->events_measured = 0;
+    t->event_ns = 0;
+  }
+}
+
+std::vector<Profiler::CategoryRow> Profiler::category_rows() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::map<std::string, CategoryRow> by_name;
+  for (const auto& t : impl_->threads) {
+    for (std::size_t i = 1; i < t->nodes.size(); ++i) {
+      const Node& n = t->nodes[i];
+      const std::string& name = n.cat < impl_->names.size()
+                                    ? impl_->names[n.cat]
+                                    : impl_->names[0];
+      CategoryRow& row = by_name[name];
+      row.name = name;
+      row.calls += n.calls;
+      row.total_ns += n.total_ns;
+      row.self_ns += n.self_ns;
+    }
+  }
+  std::vector<CategoryRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) rows.push_back(std::move(row));
+  return rows;
+}
+
+std::uint64_t Profiler::events_measured() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t n = 0;
+  for (const auto& t : impl_->threads) n += t->events_measured;
+  return n;
+}
+
+std::uint64_t Profiler::event_ns() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t n = 0;
+  for (const auto& t : impl_->threads) n += t->event_ns;
+  return n;
+}
+
+bool Profiler::write_folded(const std::string& path) const {
+  std::map<std::string, std::uint64_t> folded;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& t : impl_->threads) {
+      // Recover each node's full calling context by walking parents.
+      for (std::size_t i = 1; i < t->nodes.size(); ++i) {
+        const Node& n = t->nodes[i];
+        if (n.self_ns == 0 && n.calls == 0) continue;
+        std::vector<std::uint32_t> chain;
+        for (std::uint32_t cur = static_cast<std::uint32_t>(i); cur != 0;
+             cur = t->nodes[cur].parent) {
+          chain.push_back(cur);
+        }
+        std::string stack = "all";
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+          const ProfCategoryId cat = t->nodes[*it].cat;
+          stack += ';';
+          stack += cat < impl_->names.size() ? impl_->names[cat] : impl_->names[0];
+        }
+        folded[stack] += n.self_ns;
+      }
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const auto& [stack, ns] : folded) out << stack << ' ' << ns << '\n';
+  return static_cast<bool>(out);
+}
+
+std::string Profiler::summary_json() const {
+  const std::uint32_t period = sample_period();
+  const std::uint64_t measured = events_measured();
+  const std::uint64_t ev_ns = event_ns();
+  // Whole-run estimate: sampled events are representative, so the rate
+  // of measured events stands in for the full stream.
+  double events_per_sec = 0.0;
+  if (ev_ns > 0) {
+    events_per_sec = static_cast<double>(measured) * 1e9 / static_cast<double>(ev_ns);
+  }
+
+  std::vector<CategoryRow> rows = category_rows();
+
+  // Top event types: categories that appear as children of a thread root
+  // inside an event scope are exactly what the executor pushed; rank the
+  // flat table by total_ns for the expensive-event view.
+  std::vector<CategoryRow> top = rows;
+  std::sort(top.begin(), top.end(), [](const CategoryRow& a, const CategoryRow& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  constexpr std::size_t kTopK = 8;
+  if (top.size() > kTopK) top.resize(kTopK);
+
+  const auto esc = [](const std::string& s) {
+    std::string r;
+    r.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') r += '\\';
+      r += c;
+    }
+    return r;
+  };
+
+  std::ostringstream out;
+  out << "{\"sample_period\":" << period
+      << ",\"events_measured\":" << measured
+      << ",\"event_ns\":" << ev_ns
+      << ",\"perf.events_per_sec\":" << static_cast<std::uint64_t>(events_per_sec)
+      << ",\"perf.event_wall_ms\":" << static_cast<double>(ev_ns) / 1e6
+      << ",\"top_events\":[";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"category\":\"" << esc(top[i].name) << "\",\"calls\":" << top[i].calls
+        << ",\"total_ns\":" << top[i].total_ns << ",\"self_ns\":" << top[i].self_ns
+        << '}';
+  }
+  out << "],\"categories\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"category\":\"" << esc(rows[i].name) << "\",\"calls\":" << rows[i].calls
+        << ",\"total_ns\":" << rows[i].total_ns << ",\"self_ns\":" << rows[i].self_ns
+        << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+ProfCategoryId prof_default_event_category() {
+  // names[0] is pre-seeded as "sim/event"; id 0 doubles as both "no tag"
+  // at schedule time and the default bucket at execution time.
+  return kProfCategoryNone;
+}
+
+}  // namespace wav::obs

@@ -1,0 +1,283 @@
+// Cost-attribution profiler: where does the simulator spend its
+// wall-clock time?
+//
+// Hierarchical, low-overhead and always-compiled-in (unless the
+// WAVNET_DISABLE_PROFILER kill switch reduces every probe to a no-op):
+// call sites drop a `WAV_PROF_SCOPE("switch", "deliver")` RAII guard,
+// which interns a (subsystem, operation) category once per site and —
+// only while profiling is enabled at runtime — records the scope into a
+// per-thread calling-context tree. Each tree node keeps call count and
+// total/self nanoseconds in flat arrays, so a probe costs two
+// steady_clock reads and a few stores; a disabled probe costs one
+// relaxed atomic load.
+//
+// The event executor (sim/simulation.cpp) wraps every fired event in a
+// ProfEventScope carrying the category the event was tagged with at
+// schedule time. Events are *sampled* (default 1 in 16) to bound
+// executor overhead: an unsampled event closes the thread's gate so the
+// scopes inside it no-op too, while a sampled event is measured end to
+// end, giving statistically proportional flamegraphs at a few percent
+// cost.
+//
+// Exports: folded stacks ("all;sim/event;switch/ingress 12345", one
+// line per calling context, value = self nanoseconds) load directly
+// into flamegraph.pl / speedscope; summary_json() is the per-category
+// flat view the bench harness appends to the --prof-out JSONL and
+// `wavnet-doctor prof` ranks/diffs.
+//
+// Determinism contract: the profiler never touches the metrics
+// registry, the tracer, or any simulation state. Seeded runs produce
+// byte-identical --metrics-out/--flows-out exports whether profiling is
+// enabled or not; all wall-clock data lives in the profile files (and
+// the never-gated perf.* keys inside them).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wav::obs {
+
+/// Interned (subsystem, operation) id. 0 is "untagged": events scheduled
+/// without a tag fall into the default "sim/event" category.
+using ProfCategoryId = std::uint16_t;
+
+inline constexpr ProfCategoryId kProfCategoryNone = 0;
+
+class Profiler {
+ public:
+  /// One calling-context-tree node. Flat storage: nodes live in a
+  /// per-thread vector; sibling lists are index-linked (0 = none; node 0
+  /// is the root sentinel, so index 0 can double as the null link).
+  struct Node {
+    ProfCategoryId cat{0};
+    std::uint32_t parent{0};
+    std::uint32_t first_child{0};
+    std::uint32_t next_sibling{0};
+    std::uint64_t calls{0};
+    std::uint64_t total_ns{0};
+    std::uint64_t self_ns{0};
+  };
+
+  struct Frame {
+    std::uint32_t node{0};
+    std::uint64_t t0_ns{0};
+    std::uint64_t child_ns{0};
+  };
+
+  /// Per-thread recording state. Thread-local (registered on first use),
+  /// so the future sharded core's worker threads record without locks or
+  /// cross-shard contention; exports merge across threads.
+  struct ThreadState {
+    std::vector<Node> nodes{Node{}};  // [0] = root
+    std::vector<Frame> stack;
+    std::uint32_t current{0};
+    bool gate{true};  // closed while executing an unsampled event
+    std::uint64_t event_tick{0};
+    std::uint64_t events_measured{0};
+    std::uint64_t event_ns{0};
+
+    [[nodiscard]] static std::uint64_t now_ns() noexcept {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    }
+
+    void push(ProfCategoryId cat) {
+      std::uint32_t child = nodes[current].first_child;
+      while (child != 0 && nodes[child].cat != cat) child = nodes[child].next_sibling;
+      if (child == 0) {
+        child = static_cast<std::uint32_t>(nodes.size());
+        Node n;
+        n.cat = cat;
+        n.parent = current;
+        n.next_sibling = nodes[current].first_child;
+        nodes.push_back(n);
+        nodes[current].first_child = child;
+      }
+      stack.push_back(Frame{child, now_ns(), 0});
+      current = child;
+    }
+
+    /// Closes the innermost scope; returns its total duration so the
+    /// event wrapper can accumulate per-event cost.
+    std::uint64_t pop() {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const std::uint64_t t1 = now_ns();
+      const std::uint64_t dt = t1 > f.t0_ns ? t1 - f.t0_ns : 0;
+      Node& n = nodes[f.node];
+      ++n.calls;
+      n.total_ns += dt;
+      n.self_ns += dt > f.child_ns ? dt - f.child_ns : 0;
+      if (!stack.empty()) stack.back().child_ns += dt;
+      current = stack.empty() ? 0 : stack.back().node;
+      return dt;
+    }
+  };
+
+  static Profiler& instance();
+
+  /// Hot-path check, one relaxed load. Every probe starts here.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// 1-in-N event sampling for the executor wrapper (min 1 = measure
+  /// everything). Scopes outside the executor are always measured.
+  [[nodiscard]] static std::uint32_t sample_period() noexcept {
+    return sample_period_.load(std::memory_order_relaxed);
+  }
+  void set_sample_period(std::uint32_t n) noexcept {
+    sample_period_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  /// Interns a category; stable for the process lifetime. Call once per
+  /// site (the WAV_PROF_SCOPE macro caches it in a function-local
+  /// static). Thread-safe; saturates at 65535 categories.
+  ProfCategoryId intern(const std::string& subsystem, const std::string& op);
+
+  /// "subsystem/op" for an interned id ("sim/event" for kProfCategoryNone).
+  [[nodiscard]] std::string category_name(ProfCategoryId id) const;
+
+  /// The calling thread's recording state (registered on first use).
+  static ThreadState& tls();
+
+  /// Zeroes every thread's recorded data (categories stay interned).
+  /// Call between experiments, not while other threads are recording.
+  void reset();
+
+  /// Per-category flat totals merged across threads and calling
+  /// contexts, sorted by name for deterministic structure.
+  struct CategoryRow {
+    std::string name;
+    std::uint64_t calls{0};
+    std::uint64_t total_ns{0};
+    std::uint64_t self_ns{0};
+  };
+  [[nodiscard]] std::vector<CategoryRow> category_rows() const;
+
+  /// Events measured by the executor wrapper across all threads, and
+  /// the wall nanoseconds they took (sampled; scale by sample_period()
+  /// for whole-run estimates).
+  [[nodiscard]] std::uint64_t events_measured() const;
+  [[nodiscard]] std::uint64_t event_ns() const;
+
+  /// Folded-stack export (flamegraph.pl / speedscope "folded" format):
+  /// "all;catA;catB <self_ns>" per calling context, lines sorted.
+  /// False on I/O failure.
+  bool write_folded(const std::string& path) const;
+
+  /// One-line JSON object: sampling config, measured-event totals, the
+  /// never-gated perf.* wall rates, per-event-type costs (the executor's
+  /// top-level contexts, most expensive first) and the per-category flat
+  /// table. The bench harness wraps this into the --prof-out JSONL.
+  [[nodiscard]] std::string summary_json() const;
+
+ private:
+  Profiler();
+  ThreadState& register_thread();
+
+  inline static std::atomic<bool> enabled_{false};
+  inline static std::atomic<std::uint32_t> sample_period_{16};
+
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: threads may outlive static dtors
+};
+
+/// Returns the interned id the executor substitutes for untagged events.
+[[nodiscard]] ProfCategoryId prof_default_event_category();
+
+/// RAII probe for code regions. Near-zero cost when profiling is
+/// disabled or the thread's sampling gate is closed.
+class ProfScope {
+ public:
+  explicit ProfScope(ProfCategoryId cat) noexcept {
+    if (!Profiler::enabled()) return;
+    Profiler::ThreadState& ts = Profiler::tls();
+    if (!ts.gate) return;
+    ts_ = &ts;
+    ts.push(cat);
+  }
+  ~ProfScope() {
+    if (ts_ != nullptr) ts_->pop();
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler::ThreadState* ts_{nullptr};
+};
+
+/// RAII wrapper the event executor puts around each fired event: decides
+/// whether this event is sampled, opens/closes the thread gate
+/// accordingly, and accumulates measured-event wall time. Construct only
+/// when Profiler::enabled().
+class ProfEventScope {
+ public:
+  explicit ProfEventScope(ProfCategoryId cat) noexcept
+      : ts_(&Profiler::tls()), prev_gate_(ts_->gate) {
+    const std::uint32_t period = Profiler::sample_period();
+    const bool sampled = prev_gate_ && (ts_->event_tick++ % period) == 0;
+    ts_->gate = sampled;
+    if (sampled) {
+      ts_->push(cat == kProfCategoryNone ? prof_default_event_category() : cat);
+      pushed_ = true;
+    }
+  }
+  ~ProfEventScope() {
+    if (pushed_) {
+      ++ts_->events_measured;
+      ts_->event_ns += ts_->pop();
+    }
+    ts_->gate = prev_gate_;
+  }
+
+  ProfEventScope(const ProfEventScope&) = delete;
+  ProfEventScope& operator=(const ProfEventScope&) = delete;
+
+ private:
+  Profiler::ThreadState* ts_;
+  bool prev_gate_;
+  bool pushed_{false};
+};
+
+}  // namespace wav::obs
+
+// --- probe macros -----------------------------------------------------------
+// WAV_PROF_SCOPE("subsystem", "op") drops an RAII guard for the rest of
+// the enclosing scope; WAV_PROF_CATEGORY("subsystem", "op") is an
+// expression yielding the interned id (for tagging scheduled events).
+// Compiling with -DWAVNET_DISABLE_PROFILER reduces both to nothing.
+
+#define WAV_PROF_CONCAT_INNER(a, b) a##b
+#define WAV_PROF_CONCAT(a, b) WAV_PROF_CONCAT_INNER(a, b)
+
+#if defined(WAVNET_DISABLE_PROFILER)
+
+#define WAV_PROF_SCOPE(subsystem, op) static_cast<void>(0)
+#define WAV_PROF_CATEGORY(subsystem, op) (::wav::obs::kProfCategoryNone)
+
+#else
+
+#define WAV_PROF_SCOPE(subsystem, op)                                               \
+  static const ::wav::obs::ProfCategoryId WAV_PROF_CONCAT(wav_prof_cat_,            \
+                                                          __LINE__) =               \
+      ::wav::obs::Profiler::instance().intern(subsystem, op);                       \
+  const ::wav::obs::ProfScope WAV_PROF_CONCAT(wav_prof_scope_, __LINE__) {          \
+    WAV_PROF_CONCAT(wav_prof_cat_, __LINE__)                                        \
+  }
+
+#define WAV_PROF_CATEGORY(subsystem, op)                                            \
+  ([]() -> ::wav::obs::ProfCategoryId {                                             \
+    static const ::wav::obs::ProfCategoryId wav_prof_cat_id =                       \
+        ::wav::obs::Profiler::instance().intern(subsystem, op);                     \
+    return wav_prof_cat_id;                                                         \
+  }())
+
+#endif  // WAVNET_DISABLE_PROFILER

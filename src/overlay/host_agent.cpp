@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::overlay {
 
@@ -21,7 +22,8 @@ HostAgent::HostAgent(stack::IpLayer& ip, Config config)
                            probe_rendezvous();
                          }
                        }),
-      pulse_timer_(ip.sim(), config_.pulse_interval, [this] { pulse_links(); }),
+      pulse_timer_(ip.sim(), config_.pulse_interval, [this] { pulse_links(); },
+                   WAV_PROF_CATEGORY("overlay", "pulse_timer")),
       idle_check_timer_(ip.sim(), std::max(config_.link_idle_timeout / 3, seconds(1)),
                         [this] { reap_idle_links(); }),
       relay_refresh_timer_(ip.sim(), config_.relay_refresh_interval,
@@ -398,12 +400,14 @@ void HostAgent::begin_punching(const HostInfo& peer, ConnectHandler handler) {
     // punching at once) don't lock their rounds into the same instant.
     link.punch_timer = std::make_unique<sim::PeriodicTimer>(
         ip_.sim(), jittered(config_.punch_interval),
-        [this, peer_id] { punch_round(peer_id); });
+        [this, peer_id] { punch_round(peer_id); },
+        WAV_PROF_CATEGORY("overlay", "punch_timer"));
   }
   link.punch_timer->start_after(kZeroDuration);
 }
 
 void HostAgent::punch_round(HostId peer) {
+  WAV_PROF_SCOPE("overlay", "punch_round");
   const auto it = links_.find(peer);
   if (it == links_.end()) return;
   Link& link = it->second;
@@ -489,6 +493,7 @@ void HostAgent::fail_link(HostId peer, const std::string& reason) {
 }
 
 void HostAgent::establish(Link& link, const net::Endpoint& proven) {
+  WAV_PROF_SCOPE("overlay", "establish");
   link.remote = proven;
   link.last_rx = ip_.sim().now();
   endpoint_to_peer_[proven] = link.peer;
@@ -527,6 +532,7 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
 }
 
 bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
+  WAV_PROF_SCOPE("overlay", "send_frame");
   if (down_) return false;
   const auto it = links_.find(peer);
   if (it == links_.end() || !it->second.established) return false;
@@ -761,7 +767,8 @@ void HostAgent::start_upgrade_probe(Link& link) {
     const HostId peer_id = link.peer;
     link.punch_timer = std::make_unique<sim::PeriodicTimer>(
         ip_.sim(), jittered(config_.punch_interval),
-        [this, peer_id] { punch_round(peer_id); });
+        [this, peer_id] { punch_round(peer_id); },
+        WAV_PROF_CATEGORY("overlay", "punch_timer"));
   }
   link.punch_timer->start_after(kZeroDuration);
 }
@@ -926,6 +933,7 @@ void HostAgent::drop_link(HostId peer) {
 }
 
 void HostAgent::pulse_links() {
+  WAV_PROF_SCOPE("overlay", "pulse_links");
   for (auto& [peer, link] : links_) {
     if (!link.established) continue;
     ++stats_.pulses_sent;

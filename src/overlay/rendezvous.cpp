@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::overlay {
 
@@ -160,6 +161,7 @@ can::Point RendezvousServer::attrs_to_point(const std::vector<double>& attrs) co
 void RendezvousServer::on_host_datagram(const net::Endpoint& from,
                                         const net::UdpDatagram& dgram) {
   if (down_) return;  // crashed process: the port is deaf
+  WAV_PROF_SCOPE("rendezvous", "datagram");
   const auto* chunk = dgram.chunk();
   if (chunk == nullptr) return;
   const auto type = peek_type(dgram);
@@ -289,6 +291,7 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
 }
 
 void RendezvousServer::handle_register(const net::Endpoint& from, const RegisterMsg& msg) {
+  WAV_PROF_SCOPE("rendezvous", "register");
   ++stats_.registrations;
   c_registrations_->inc();
   ip_.sim().tracer().instant(obs::Category::kOverlay, "rendezvous.register",
@@ -331,6 +334,7 @@ void RendezvousServer::handle_register(const net::Endpoint& from, const Register
 }
 
 void RendezvousServer::handle_query(const net::Endpoint& from, const QueryMsg& msg) {
+  WAV_PROF_SCOPE("rendezvous", "query");
   ++stats_.queries;
   c_queries_->inc();
   const can::Point target = attrs_to_point(msg.target);
@@ -431,6 +435,7 @@ void RendezvousServer::note_alive(HostId id, TimePoint last_seen) {
 }
 
 void RendezvousServer::expire_stale_hosts() {
+  WAV_PROF_SCOPE("rendezvous", "expire");
   const TimePoint now = ip_.sim().now();
   // Sweep only buckets whose whole deadline range lies in the past. A
   // host refreshed since its entry was queued fails the staleness check

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::relay {
 
@@ -79,6 +80,7 @@ void RelayServer::restart() {
 }
 
 void RelayServer::on_datagram(const net::Endpoint& from, const net::UdpDatagram& dgram) {
+  WAV_PROF_SCOPE("relay", "datagram");
   if (down_) {  // crashed process: the port is deaf
     if (const auto* encap = dgram.encap();
         encap != nullptr && encap->frame && encap->frame->flow.id != 0) {
@@ -185,6 +187,7 @@ void RelayServer::handle_release(const net::Endpoint& from, const RelayReleaseMs
 }
 
 void RelayServer::forward_encap(const net::EncapFrame& encap) {
+  WAV_PROF_SCOPE("relay", "forward_encap");
   const net::FlowContext* flow =
       encap.frame && encap.frame->flow.id != 0 ? &encap.frame->flow : nullptr;
   const auto it = channels_.find(key_of(encap.overlay_src, encap.overlay_dst));
@@ -260,6 +263,7 @@ void RelayServer::refill_credits() {
 }
 
 void RelayServer::expire_idle_channels() {
+  WAV_PROF_SCOPE("relay", "expire_channels");
   const TimePoint now = ip_.sim().now();
   bool erased = false;
   for (auto it = channels_.begin(); it != channels_.end();) {

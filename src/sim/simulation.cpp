@@ -17,7 +17,8 @@ Simulation::Simulation(std::uint64_t seed)
   queue_depth_gauge_ = &metrics_->gauge("sim.queue_depth");
 }
 
-EventId Simulation::schedule_impl(TimePoint at, EventCallback fn) {
+EventId Simulation::schedule_impl(TimePoint at, obs::ProfCategoryId category,
+                                  EventCallback fn) {
   if (at < now_) at = now_;
   std::uint32_t idx;
   if (!free_slots_.empty()) {
@@ -30,6 +31,7 @@ EventId Simulation::schedule_impl(TimePoint at, EventCallback fn) {
   Slot& slot = slots_[idx];
   slot.at = at;
   slot.seq = next_seq_++;
+  slot.category = category;
   slot.fn = std::move(fn);
   slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(idx);
@@ -117,12 +119,19 @@ bool Simulation::pop_and_run_next(TimePoint deadline) {
   // callback can freely schedule (reusing this slot) or cancel; a cancel
   // of the in-flight event's own id correctly reports false.
   EventCallback fn = std::move(slot.fn);
+  const obs::ProfCategoryId category = slot.category;
   heap_remove(0);
   release_slot(idx);
   ++executed_;
   events_counter_->inc();
   queue_depth_gauge_->set(static_cast<double>(heap_.size()));
-  if (profiling_) {
+  if (obs::Profiler::enabled()) {
+    // Sampled wall-clock attribution rooted at the event's schedule-time
+    // category. Purely observational: identical event order with the
+    // profiler on or off (determinism contract, obs/profiler.hpp).
+    const obs::ProfEventScope prof(category);
+    fn();
+  } else if (profiling_) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
     const auto t1 = std::chrono::steady_clock::now();
@@ -150,8 +159,9 @@ bool Simulation::run_until(TimePoint deadline) {
 
 bool Simulation::run_for(Duration d) { return run_until(now_ + d); }
 
-PeriodicTimer::PeriodicTimer(Simulation& sim, Duration period, std::function<void()> on_fire)
-    : sim_(sim), period_(period), on_fire_(std::move(on_fire)) {}
+PeriodicTimer::PeriodicTimer(Simulation& sim, Duration period,
+                             std::function<void()> on_fire, obs::ProfCategoryId category)
+    : sim_(sim), period_(period), on_fire_(std::move(on_fire)), category_(category) {}
 
 PeriodicTimer::~PeriodicTimer() { stop(); }
 
@@ -159,7 +169,7 @@ void PeriodicTimer::start() { start_after(period_); }
 
 void PeriodicTimer::start_after(Duration initial_delay) {
   stop();
-  pending_ = sim_.schedule_after(initial_delay, [this] { fire(); });
+  pending_ = sim_.schedule_after(initial_delay, category_, [this] { fire(); });
 }
 
 void PeriodicTimer::stop() {
@@ -172,19 +182,20 @@ void PeriodicTimer::stop() {
 void PeriodicTimer::fire() {
   pending_ = EventId{};
   // Reschedule before invoking so the callback may stop() the timer.
-  pending_ = sim_.schedule_after(period_, [this] { fire(); });
+  pending_ = sim_.schedule_after(period_, category_, [this] { fire(); });
   on_fire_();
 }
 
-OneShotTimer::OneShotTimer(Simulation& sim, std::function<void()> on_fire)
-    : sim_(sim), on_fire_(std::move(on_fire)) {}
+OneShotTimer::OneShotTimer(Simulation& sim, std::function<void()> on_fire,
+                           obs::ProfCategoryId category)
+    : sim_(sim), on_fire_(std::move(on_fire)), category_(category) {}
 
 OneShotTimer::~OneShotTimer() { cancel(); }
 
 void OneShotTimer::arm(Duration delay) {
   cancel();
   deadline_ = sim_.now() + delay;
-  pending_ = sim_.schedule_after(delay, [this] {
+  pending_ = sim_.schedule_after(delay, category_, [this] {
     pending_ = EventId{};
     on_fire_();
   });

@@ -25,6 +25,7 @@
 #include "common/units.hpp"
 #include "obs/flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_callback.hpp"
 
@@ -53,14 +54,31 @@ class Simulation {
   /// void() callable; small captures are stored inline in the event slab.
   template <class F>
   EventId schedule_at(TimePoint at, F&& fn) {
-    return schedule_impl(at, EventCallback(std::forward<F>(fn)));
+    return schedule_impl(at, obs::kProfCategoryNone, EventCallback(std::forward<F>(fn)));
   }
 
   /// Schedules `fn` after a relative delay (negative clamps to zero).
   template <class F>
   EventId schedule_after(Duration delay, F&& fn) {
     if (delay < kZeroDuration) delay = kZeroDuration;
-    return schedule_impl(now_ + delay, EventCallback(std::forward<F>(fn)));
+    return schedule_impl(now_ + delay, obs::kProfCategoryNone,
+                         EventCallback(std::forward<F>(fn)));
+  }
+
+  /// Tagged variants: the category (from WAV_PROF_CATEGORY) rides in the
+  /// event slot and roots the profiler's flamegraph for that event, so
+  /// per-event-type cost attribution needs no per-callsite bookkeeping.
+  /// Tags are profiler-only — scheduling order, ids and execution are
+  /// identical to the untagged overloads.
+  template <class F>
+  EventId schedule_at(TimePoint at, obs::ProfCategoryId category, F&& fn) {
+    return schedule_impl(at, category, EventCallback(std::forward<F>(fn)));
+  }
+
+  template <class F>
+  EventId schedule_after(Duration delay, obs::ProfCategoryId category, F&& fn) {
+    if (delay < kZeroDuration) delay = kZeroDuration;
+    return schedule_impl(now_ + delay, category, EventCallback(std::forward<F>(fn)));
   }
 
   /// Cancels a pending event; returns false if it already ran, was
@@ -116,10 +134,11 @@ class Simulation {
     std::uint64_t seq{0};  // tiebreaker: FIFO among same-time events
     std::uint32_t generation{1};
     std::uint32_t heap_pos{kNotInHeap};
+    obs::ProfCategoryId category{obs::kProfCategoryNone};  // profiler tag
     EventCallback fn;
   };
 
-  EventId schedule_impl(TimePoint at, EventCallback fn);
+  EventId schedule_impl(TimePoint at, obs::ProfCategoryId category, EventCallback fn);
   void release_slot(std::uint32_t idx);
   /// Strict total order: (at, seq); seq values are unique.
   [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const noexcept {
@@ -157,7 +176,8 @@ class Simulation {
 /// pulses, measurement polls, dirty-page sampling, etc.
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulation& sim, Duration period, std::function<void()> on_fire);
+  PeriodicTimer(Simulation& sim, Duration period, std::function<void()> on_fire,
+                obs::ProfCategoryId category = obs::kProfCategoryNone);
   ~PeriodicTimer();
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -178,6 +198,7 @@ class PeriodicTimer {
   Simulation& sim_;
   Duration period_;
   std::function<void()> on_fire_;
+  obs::ProfCategoryId category_{obs::kProfCategoryNone};
   EventId pending_{};
 };
 
@@ -185,7 +206,8 @@ class PeriodicTimer {
 /// (TCP RTO, NAT binding expiry, hole-punch retries).
 class OneShotTimer {
  public:
-  OneShotTimer(Simulation& sim, std::function<void()> on_fire);
+  OneShotTimer(Simulation& sim, std::function<void()> on_fire,
+               obs::ProfCategoryId category = obs::kProfCategoryNone);
   ~OneShotTimer();
 
   OneShotTimer(const OneShotTimer&) = delete;
@@ -200,6 +222,7 @@ class OneShotTimer {
  private:
   Simulation& sim_;
   std::function<void()> on_fire_;
+  obs::ProfCategoryId category_{obs::kProfCategoryNone};
   EventId pending_{};
   TimePoint deadline_{};
 };

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::tcp {
 
@@ -97,6 +98,7 @@ TcpConnection::Ptr TcpLayer::connect(net::Endpoint remote, const TcpConfig& conf
 }
 
 void TcpLayer::handle_packet(const net::IpPacket& pkt) {
+  WAV_PROF_SCOPE("tcp", "handle_packet");
   const auto* seg = pkt.tcp();
   if (seg == nullptr) return;
   const net::Endpoint local{pkt.dst, seg->dst_port};
@@ -156,7 +158,8 @@ TcpConnection::TcpConnection(TcpLayer& layer, net::Endpoint local, net::Endpoint
       local_(local),
       remote_(remote),
       rto_(config.initial_rto),
-      rto_timer_(layer.sim(), [this] { on_rto(); }),
+      rto_timer_(layer.sim(), [this] { on_rto(); },
+                 WAV_PROF_CATEGORY("tcp", "rto_timer")),
       time_wait_timer_(layer.sim(), [this] { become_closed(CloseReason::kNormal); }) {
   cwnd_ = static_cast<std::uint64_t>(config_.mss) * config_.initial_cwnd_segments;
   ssthresh_ = UINT64_MAX;
@@ -269,6 +272,7 @@ std::uint32_t TcpConnection::wire_ack() const noexcept {
 }
 
 void TcpConnection::try_send() {
+  WAV_PROF_SCOPE("tcp", "try_send");
   if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
       state_ != TcpState::kFinWait1 && state_ != TcpState::kClosing &&
       state_ != TcpState::kLastAck) {
@@ -356,6 +360,7 @@ void TcpConnection::arm_rto() {
 }
 
 void TcpConnection::on_rto() {
+  WAV_PROF_SCOPE("tcp", "rto");
   const auto& cfg = config_;
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
     if (++syn_retries_ > cfg.max_syn_retries) {
@@ -422,6 +427,7 @@ void TcpConnection::update_rtt(Duration sample) {
 // --- TcpConnection: receiving ----------------------------------------------
 
 void TcpConnection::handle_segment(const net::TcpSegment& seg) {
+  WAV_PROF_SCOPE("tcp", "handle_segment");
   ++stats_.segments_received;
 
   if (seg.flags.rst) {

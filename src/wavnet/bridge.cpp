@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace wav::wavnet {
 
 BridgePort::~BridgePort() {
@@ -53,10 +55,12 @@ void SoftwareBridge::inject(BridgePort* from, const net::EthernetFrame& frame) {
   // Forwarding is decoupled from the caller's stack via the event queue:
   // two stacks on one bridge would otherwise recurse synchronously
   // (segment -> ACK -> segment -> ...) without bound.
-  sim_.schedule_after(latency_, [this, from, frame] { forward_now(from, frame); });
+  sim_.schedule_after(latency_, WAV_PROF_CATEGORY("bridge", "forward_event"),
+                      [this, from, frame] { forward_now(from, frame); });
 }
 
 void SoftwareBridge::forward_now(BridgePort* from, const net::EthernetFrame& frame) {
+  WAV_PROF_SCOPE("bridge", "forward");
   const TimePoint now = sim_.now();
   // The source port may have been detached while the frame was in flight.
   if (from != nullptr && std::find(ports_.begin(), ports_.end(), from) == ports_.end()) {

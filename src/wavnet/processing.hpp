@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "sim/simulation.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::wavnet {
 
@@ -37,7 +38,8 @@ class ProcessingQueue {
         config_.per_packet + config_.per_byte * static_cast<std::int64_t>(bytes);
     busy_until_ += service;
     ++processed_;
-    sim_.schedule_at(busy_until_, std::forward<F>(done));
+    sim_.schedule_at(busy_until_, WAV_PROF_CATEGORY("switch", "processing_done"),
+                     std::forward<F>(done));
     return true;
   }
 

@@ -1,6 +1,7 @@
 #include "wavnet/switch.hpp"
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace wav::wavnet {
 
@@ -49,6 +50,7 @@ void WavSwitch::on_link_down(overlay::HostId peer) {
 }
 
 void WavSwitch::deliver(const net::EthernetFrame& frame) {
+  WAV_PROF_SCOPE("switch", "deliver");
   const TimePoint now = agent_.sim().now();
 
   if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
@@ -90,6 +92,7 @@ void WavSwitch::tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame)
   const TimePoint submitted = agent_.sim().now();
   const bool accepted = egress_.submit(size, [this, peer, shared, size,
                                              header_bytes, submitted] {
+    WAV_PROF_SCOPE("switch", "egress");
     if (shared->flow.id != 0) {
       // Queue delay = how long the frame waited for the Packet Assembler.
       agent_.sim().flows().forwarded(shared->flow,
@@ -131,6 +134,7 @@ void WavSwitch::on_wan_frame(overlay::HostId from, const net::EncapFrame& encap)
   const TimePoint submitted = agent_.sim().now();
   const bool accepted =
       ingress_.submit(wire_bytes, [this, from, shared, wire_bytes, submitted] {
+        WAV_PROF_SCOPE("switch", "ingress");
         c_frames_received_->inc();
         c_bytes_received_->inc(wire_bytes);
         const net::EthernetFrame& frame = *shared;

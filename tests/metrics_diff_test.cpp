@@ -73,9 +73,10 @@ TEST(MetricsDiff, PerfMetricsNeverGateOnValueButMustExist) {
   EXPECT_NE(r.failures[0].key.find("perf.frames_per_sec"), std::string::npos);
 }
 
-TEST(MetricsDiff, CandidateOnlyMetricsAreIgnored) {
+TEST(MetricsDiff, CandidateOnlyMetricsWarnButPass) {
   // The codebase grows: new metrics in the candidate must not fail the
-  // gate (baselines get refreshed on the next intentional re-baseline).
+  // gate (baselines get refreshed on the next intentional re-baseline),
+  // but they are surfaced as warnings so the drift is visible.
   const auto grown = world(
       R"({"counters":[{"name":"switch.frames_tunneled","value":100},)"
       R"({"name":"perf.frames_per_sec","value":500000},)"
@@ -86,6 +87,15 @@ TEST(MetricsDiff, CandidateOnlyMetricsAreIgnored) {
       tools::diff_worlds(world(kBase), grown, tools::default_tolerances());
   EXPECT_TRUE(r.pass());
   EXPECT_EQ(r.compared, 5u);  // the new counter is never compared
+  ASSERT_EQ(r.new_metrics.size(), 1u);
+  EXPECT_EQ(r.new_metrics[0], "world 1 flow.passages:value");
+}
+
+TEST(MetricsDiff, IdenticalWorldsReportNoNewMetrics) {
+  const DiffResult r =
+      tools::diff_worlds(world(kBase), world(kBase), tools::default_tolerances());
+  EXPECT_TRUE(r.pass());
+  EXPECT_TRUE(r.new_metrics.empty());
 }
 
 TEST(MetricsDiff, WorldCountMismatchFails) {

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "fabric/wan.hpp"
+#include "harness.hpp"
 #include "overlay/rendezvous.hpp"
 #include "stack/icmp.hpp"
 #include "wavnet/host.hpp"
@@ -154,6 +157,57 @@ TEST(ObsIntegration, IdenticalSeedsYieldByteIdenticalExports) {
   EXPECT_EQ(metrics_a, metrics_b);
   EXPECT_EQ(trace_a, trace_b);
   EXPECT_NE(trace_a.find("punch.success"), std::string::npos);
+}
+
+TEST(ObsIntegration, NumberedPathInsertsRunSuffixBeforeExtension) {
+  EXPECT_EQ(benchx::numbered_path("trace.json", 1), "trace.json");
+  EXPECT_EQ(benchx::numbered_path("trace.json", 2), "trace-2.json");
+  EXPECT_EQ(benchx::numbered_path("trace.json", 3), "trace-3.json");
+  EXPECT_EQ(benchx::numbered_path("out/series.jsonl", 2), "out/series-2.jsonl");
+  // No extension: the suffix appends.
+  EXPECT_EQ(benchx::numbered_path("profile", 2), "profile-2");
+  // A dot in a directory name is not an extension.
+  EXPECT_EQ(benchx::numbered_path("run.d/trace", 2), "run.d/trace-2");
+}
+
+TEST(ObsIntegration, MultiWorldRunsNumberEveryExportSink) {
+  // Two Worlds in one process: the first gets the exact --*-out paths
+  // (so traces load straight into Perfetto), the second gets
+  // "<stem>-2<ext>" — for every per-World sink, not just --trace-out.
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/wavnet_multiworld";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string trace = dir + "/trace.json";
+  const std::string series = dir + "/series.jsonl";
+  const std::string flows = dir + "/flows.jsonl";
+  const std::string hops = dir + "/hops.jsonl";
+
+  std::vector<std::string> args = {"obs_integration_test",
+                                   "--trace-out=" + trace,
+                                   "--series-out=" + series,
+                                   "--flows-out=" + flows,
+                                   "--hops-out=" + hops};
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  benchx::obs_init(static_cast<int>(argv.size()), argv.data());
+
+  for (int run = 0; run < 2; ++run) {
+    benchx::World world(benchx::Plane::kPhysical, 7);
+    world.build_emulated(2, megabits_per_sec(100), milliseconds(10));
+    world.sim().run_for(seconds(2));
+    // ~World flushes every sink.
+  }
+
+  for (const std::string& base : {trace, series, flows, hops}) {
+    EXPECT_TRUE(fs::exists(base)) << base;
+    EXPECT_TRUE(fs::exists(benchx::numbered_path(base, 2)))
+        << benchx::numbered_path(base, 2);
+    EXPECT_FALSE(fs::exists(benchx::numbered_path(base, 3)))
+        << "only two Worlds ran: " << benchx::numbered_path(base, 3);
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -217,6 +218,55 @@ TEST(Metrics, InterpolatedPercentileHitsBucketBoundariesExactly) {
       obs::interpolated_percentile({100}, uniform, 25.0, 0.0, 100.0), 25.0);
   EXPECT_DOUBLE_EQ(
       obs::interpolated_percentile({100}, uniform, 75.0, 0.0, 100.0), 75.0);
+}
+
+TEST(Metrics, InterpolatedPercentileNeverProducesNanOrInf) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> bounds{10, 20};
+
+  // All mass in the overflow bucket with an unbounded hi_edge: frac 0
+  // would otherwise multiply 0 * inf into NaN.
+  const std::vector<std::uint64_t> overflow_only{0, 0, 5};
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    const double v = obs::interpolated_percentile(bounds, overflow_only, p, 0.0, kInf);
+    EXPECT_TRUE(std::isfinite(v)) << "p=" << p;
+    // The overflow bucket's only finite edge is its lower bound.
+    EXPECT_DOUBLE_EQ(v, 20.0) << "p=" << p;
+  }
+
+  // NaN percentile requests behave as p=0 instead of poisoning the scan.
+  const std::vector<std::uint64_t> counts{1, 1, 0};
+  EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, counts, kNan, 3.0, 20.0), 3.0);
+
+  // Empty histogram stays 0 for every p, including the weird ones.
+  for (const double p : {-5.0, 0.0, 100.0, 250.0, kNan, kInf}) {
+    EXPECT_DOUBLE_EQ(obs::interpolated_percentile(bounds, {0, 0, 0}, p, 0.0, kInf), 0.0);
+  }
+
+  // Both edges non-finite (degenerate single +inf bucket): pins to 0
+  // rather than returning inf or NaN.
+  const std::vector<double> no_bounds{};
+  const std::vector<std::uint64_t> one_bucket{3};
+  for (const double p : {0.0, 50.0, 100.0}) {
+    const double v = obs::interpolated_percentile(no_bounds, one_bucket, p, -kInf, kInf);
+    EXPECT_TRUE(std::isfinite(v)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(v, 0.0) << "p=" << p;
+  }
+
+  // Non-finite lo_edge with a finite upper bound collapses the first
+  // bucket to its finite edge.
+  const std::vector<std::uint64_t> first_only{4, 0, 0};
+  const double lo = obs::interpolated_percentile(bounds, first_only, 0.0, -kInf, kInf);
+  EXPECT_TRUE(std::isfinite(lo));
+  EXPECT_DOUBLE_EQ(lo, 10.0);
+
+  // p=100 with every count in play still lands on a finite value when
+  // hi_edge is infinite.
+  const std::vector<std::uint64_t> spread{2, 2, 2};
+  const double top = obs::interpolated_percentile(bounds, spread, 100.0, 0.0, kInf);
+  EXPECT_TRUE(std::isfinite(top));
+  EXPECT_DOUBLE_EQ(top, 20.0);
 }
 
 TEST(Metrics, HistogramPercentileClampsToObservedRange) {

@@ -112,8 +112,14 @@ int main(int argc, char** argv) {
                   wav::obs::json_double(f.excess).c_str());
     }
   }
-  std::printf("metrics_diff: %zu metric(s) compared, %zu failure(s)\n",
-              result.compared, result.failures.size());
+  // Candidate-only metrics warn but never gate: they show up whenever the
+  // codebase grows, and the warning is the cue to regenerate the baseline
+  // so the new metrics come under tolerance coverage.
+  for (const std::string& key : result.new_metrics) {
+    std::printf("NEW      %-50s (absent from baseline; not gated)\n", key.c_str());
+  }
+  std::printf("metrics_diff: %zu metric(s) compared, %zu failure(s), %zu new\n",
+              result.compared, result.failures.size(), result.new_metrics.size());
 
   // Canonical summary for CI artifact publication.
   std::string summary;
@@ -123,6 +129,7 @@ int main(int argc, char** argv) {
   summary += ",\"worlds\":" + std::to_string(result.worlds);
   summary += ",\"metrics_compared\":" + std::to_string(result.compared);
   summary += ",\"failures\":" + std::to_string(result.failures.size());
+  summary += ",\"new_metrics\":" + std::to_string(result.new_metrics.size());
   summary += ",\"pass\":";
   summary += result.pass() ? "true" : "false";
   summary += ",\"worst\":[";

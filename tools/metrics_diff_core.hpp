@@ -135,6 +135,11 @@ inline std::map<std::string, double> flatten(const obs::json::Value& world) {
 
 struct DiffResult {
   std::vector<Deviation> failures;  // sorted worst-first by excess
+  /// Candidate metrics with no baseline counterpart ("world N name").
+  /// Warnings, not failures: new metrics appear whenever the codebase
+  /// grows, but they should be visible so baselines get regenerated
+  /// deliberately instead of silently drifting out of coverage.
+  std::vector<std::string> new_metrics;
   std::size_t compared{0};
   std::size_t worlds{0};
   [[nodiscard]] bool pass() const noexcept { return failures.empty(); }
@@ -142,7 +147,8 @@ struct DiffResult {
 
 /// Compares parsed baseline/candidate world lines. Every baseline metric
 /// must exist in the candidate (MISSING failure otherwise) and be within
-/// its tolerance rule; candidate-only metrics are ignored.
+/// its tolerance rule; candidate-only metrics are reported as
+/// new_metrics warnings.
 inline DiffResult diff_worlds(const std::vector<obs::json::Value>& base_worlds,
                               const std::vector<obs::json::Value>& cand_worlds,
                               const std::vector<Tolerance>& rules) {
@@ -174,8 +180,13 @@ inline DiffResult diff_worlds(const std::vector<obs::json::Value>& base_worlds,
              std::fabs(it->second - base_value) - bound, false});
       }
     }
-    // New metrics in the candidate are fine (the codebase grows); only
-    // disappearing metrics fail, handled above.
+    // New metrics in the candidate never fail (the codebase grows), but
+    // they are surfaced as warnings; disappearing metrics fail, above.
+    for (const auto& [key, cand_value] : cand) {
+      if (base.find(key) == base.end()) {
+        result.new_metrics.push_back(world_tag + key);
+      }
+    }
   }
   std::stable_sort(result.failures.begin(), result.failures.end(),
                    [](const Deviation& a, const Deviation& b) {

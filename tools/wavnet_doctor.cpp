@@ -12,6 +12,9 @@
 // (wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]) reconstructs
 // sampled flows hop by hop, names the dominant-latency hop, and
 // attributes every drop to the exact component instance that dropped it.
+// The `prof` subcommand (wavnet-doctor prof --profile prof.jsonl
+// [--baseline other.jsonl]) ranks the wall-clock profiler's per-subsystem
+// hotspots and, with a baseline, diffs two profiles side by side.
 // Exit 0 when every input parsed (diagnosis is reporting, not gating;
 // metrics_diff is the gate).
 #include <algorithm>
@@ -521,6 +524,130 @@ int report_flows(const std::string& flows_path, const std::string& hops_path) {
   return 0;
 }
 
+// --- prof: wall-clock hotspot ranking + profile diff ------------------------
+
+struct ProfTotals {
+  struct Row {
+    double calls{0};
+    double total_ns{0};
+    double self_ns{0};
+  };
+  std::map<std::string, Row> categories;
+  double events_measured{0};
+  double event_ns{0};
+  double events_per_sec{0};  // from the last line (whole-run estimate)
+  std::vector<std::string> experiments;
+};
+
+/// Aggregates every line of a --prof-out JSONL file (one experiment per
+/// line) into one per-category table.
+std::optional<ProfTotals> load_profile(const std::string& path) {
+  const auto body = wav::obs::json::read_file(path);
+  if (!body) return std::nullopt;
+  ProfTotals totals;
+  for (const Value& line : wav::obs::json::parse_jsonl(*body)) {
+    const Value* profile = line.find("profile");
+    if (profile == nullptr) continue;
+    totals.experiments.push_back(line.str_or("plane", "?"));
+    totals.events_measured += profile->num_or("events_measured", 0);
+    totals.event_ns += profile->num_or("event_ns", 0);
+    const double eps = profile->num_or("perf.events_per_sec", 0);
+    if (eps > 0) totals.events_per_sec = eps;
+    if (const Value* cats = profile->find("categories"); cats != nullptr) {
+      for (const Value& c : cats->array) {
+        ProfTotals::Row& row = totals.categories[c.str_or("category", "?")];
+        row.calls += c.num_or("calls", 0);
+        row.total_ns += c.num_or("total_ns", 0);
+        row.self_ns += c.num_or("self_ns", 0);
+      }
+    }
+  }
+  return totals;
+}
+
+/// `wavnet-doctor prof`: ranks per-category self wall time (where did the
+/// run actually spend its cycles), and with --baseline prints the delta
+/// against another profile — the before/after view a perf PR argues with.
+int report_prof(const std::string& profile_path, const std::string& baseline_path) {
+  const auto prof = load_profile(profile_path);
+  if (!prof) {
+    std::printf("prof: cannot read %s\n", profile_path.c_str());
+    return 2;
+  }
+  std::optional<ProfTotals> base;
+  if (!baseline_path.empty()) {
+    base = load_profile(baseline_path);
+    if (!base) {
+      std::printf("prof: cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("experiments: %zu", prof->experiments.size());
+  for (const std::string& e : prof->experiments) std::printf("  %s", e.c_str());
+  std::printf("\n");
+  if (prof->events_measured > 0) {
+    std::printf("sampled events: %.0f measured, %.2f ms inside events",
+                prof->events_measured, prof->event_ns / 1e6);
+    if (prof->events_per_sec > 0) {
+      std::printf("  (~%.2f M events/s)", prof->events_per_sec / 1e6);
+    }
+    std::printf("\n");
+  }
+  double total_self = 0;
+  for (const auto& [name, row] : prof->categories) total_self += row.self_ns;
+  std::printf("attributed wall time: %.2f ms across %zu categories\n\n",
+              total_self / 1e6, prof->categories.size());
+
+  // Rank by self time: the cost the category itself incurs, not what it
+  // delegates to callees.
+  std::vector<std::pair<std::string, ProfTotals::Row>> ranked(
+      prof->categories.begin(), prof->categories.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_ns != b.second.self_ns) return a.second.self_ns > b.second.self_ns;
+    return a.first < b.first;
+  });
+
+  if (!base) {
+    std::printf("%-4s %-28s %12s %10s %8s %10s %10s\n", "#", "category", "calls",
+                "self ms", "self %", "total ms", "ns/call");
+    for (std::size_t i = 0; i < ranked.size() && i < 20; ++i) {
+      const auto& [name, row] = ranked[i];
+      const double pct = total_self > 0 ? 100.0 * row.self_ns / total_self : 0.0;
+      const double per_call = row.calls > 0 ? row.total_ns / row.calls : 0.0;
+      std::printf("%-4zu %-28s %12.0f %10.3f %7.1f%% %10.3f %10.0f\n", i + 1,
+                  name.c_str(), row.calls, row.self_ns / 1e6, pct, row.total_ns / 1e6,
+                  per_call);
+    }
+    return 0;
+  }
+
+  // Diff mode: candidate vs baseline, matched by category name.
+  std::printf("%-28s %12s %12s %9s\n", "category", "base self ms", "cand self ms",
+              "delta");
+  for (const auto& [name, row] : ranked) {
+    const auto it = base->categories.find(name);
+    if (it == base->categories.end()) continue;
+    const double b = it->second.self_ns;
+    const double delta_pct = b > 0 ? 100.0 * (row.self_ns - b) / b : 0.0;
+    std::printf("%-28s %12.3f %12.3f %+8.1f%%\n", name.c_str(), b / 1e6,
+                row.self_ns / 1e6, delta_pct);
+  }
+  for (const auto& [name, row] : prof->categories) {
+    if (base->categories.find(name) == base->categories.end()) {
+      std::printf("warning: %-28s only in candidate (%.3f self ms)\n", name.c_str(),
+                  row.self_ns / 1e6);
+    }
+  }
+  for (const auto& [name, row] : base->categories) {
+    if (prof->categories.find(name) == prof->categories.end()) {
+      std::printf("warning: %-28s only in baseline (%.3f self ms)\n", name.c_str(),
+                  row.self_ns / 1e6);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -530,8 +657,11 @@ int main(int argc, char** argv) {
   std::string trace;
   std::string flows;
   std::string hops;
+  std::string profile;
+  std::string prof_baseline;
   bool flows_cmd = false;
   bool churn_cmd = false;
+  bool prof_cmd = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&](const char* flag) -> const char* {
@@ -546,6 +676,12 @@ int main(int argc, char** argv) {
       flows_cmd = true;
     } else if (arg == "churn") {
       churn_cmd = true;
+    } else if (arg == "prof") {
+      prof_cmd = true;
+    } else if (const char* vp = value_of("--profile")) {
+      profile = vp;
+    } else if (const char* vb = value_of("--baseline")) {
+      prof_baseline = vb;
     } else if (const char* v = value_of("--metrics")) {
       metrics = v;
     } else if (const char* v2 = value_of("--series")) {
@@ -577,6 +713,15 @@ int main(int argc, char** argv) {
     std::printf("wavnet-doctor churn\n===================\n\n");
     return report_churn(metrics, series);
   }
+  if (prof_cmd) {
+    if (profile.empty()) {
+      std::printf(
+          "usage: wavnet-doctor prof --profile prof.jsonl [--baseline other.jsonl]\n");
+      return 2;
+    }
+    std::printf("wavnet-doctor prof\n==================\n\n");
+    return report_prof(profile, prof_baseline);
+  }
   if (metrics.empty() && series.empty() && health.empty() && trace.empty() &&
       flows.empty()) {
     std::printf(
@@ -584,7 +729,8 @@ int main(int argc, char** argv) {
         "                     [--health h.jsonl] [--trace t.jsonl]\n"
         "                     [--flows f.jsonl [--hops h.jsonl]]\n"
         "       wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]\n"
-        "       wavnet-doctor churn [--metrics m.jsonl] [--series s.jsonl]\n");
+        "       wavnet-doctor churn [--metrics m.jsonl] [--series s.jsonl]\n"
+        "       wavnet-doctor prof --profile prof.jsonl [--baseline other.jsonl]\n");
     return 2;
   }
   std::printf("wavnet-doctor report\n====================\n\n");
