@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "fabric/network.hpp"
 #include "fabric/wan.hpp"
 #include "net/codec.hpp"
+#include "obs/profiler.hpp"
 #include "overlay/rendezvous.hpp"
 #include "tcp/tcp.hpp"
 #include "wavnet/bridge.hpp"
@@ -311,6 +313,128 @@ int perf_frame_phase(std::FILE* out, std::uint64_t seed) {
   return 0;
 }
 
+// --- timers-heavy mode (--timers-out) ---------------------------------------
+
+/// One store's run of the timers-heavy workload: everything the two
+/// stores must agree on, plus the wall clock they compete on.
+struct TimerRunResult {
+  std::uint64_t events_executed{0};
+  std::uint64_t fires{0};
+  std::uint64_t checksum{0};
+  double wall_s{0.0};
+};
+
+/// The 10k-live-recurring-timer workload (keepalives, RTO-style backoff
+/// re-arms, and a deep bed of parked far-future timeouts), run through
+/// either event store. The fire-order checksum makes the heap/wheel
+/// equivalence check sensitive to any ordering divergence.
+TimerRunResult run_timer_store(std::uint64_t seed, bool use_wheel) {
+  constexpr int kPeriodicTimers = 9000;  // keepalive-style fixed cadence
+  constexpr int kOneShotTimers = 1000;   // RTO-style re-arm on every fire
+  constexpr int kParkedTimeouts = 30000;  // pending but never firing
+  TimerRunResult res;
+
+  sim::Simulation sim{seed};
+  sim.set_use_timer_wheel(use_wheel);
+  const auto category = WAV_PROF_CATEGORY("bench", "timer");
+
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> periodic;
+  periodic.reserve(kPeriodicTimers);
+  for (int i = 0; i < kPeriodicTimers; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    auto t = std::make_unique<sim::PeriodicTimer>(
+        sim, milliseconds(5 + i % 45),
+        [&res, idx] {
+          ++res.fires;
+          res.checksum += (idx + 1) * res.fires;  // order-sensitive mix
+        },
+        category);
+    t->start_after(microseconds((i * 37) % 5000));
+    periodic.push_back(std::move(t));
+  }
+  std::vector<std::unique_ptr<sim::OneShotTimer>> oneshot(
+      static_cast<std::size_t>(kOneShotTimers));
+  for (int i = 0; i < kOneShotTimers; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    auto* slot = &oneshot[static_cast<std::size_t>(i)];
+    *slot = std::make_unique<sim::OneShotTimer>(
+        sim,
+        [&res, idx, slot] {
+          ++res.fires;
+          res.checksum += (idx + 0x10000) * res.fires;
+          (*slot)->arm(
+              milliseconds(static_cast<std::int64_t>(1 + (idx + res.fires) % 20)));
+        },
+        category);
+    (*slot)->arm(microseconds(500 + (i * 131) % 3000));
+  }
+  // Parked ballast: timeouts that are pending for the whole run but never
+  // fire (NAT expiries, dead-peer timers). They deepen the heap to ~40k
+  // entries; the wheel parks them in upper levels at O(1).
+  for (int i = 0; i < kParkedTimeouts; ++i) {
+    sim.schedule_after(seconds(3600 + i % 600), category, [] {});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(seconds(5));
+  res.wall_s = wall_seconds_since(t0);
+  res.events_executed = sim.events_executed();
+  return res;
+}
+
+int perf_timer_phase(std::FILE* out, std::uint64_t seed) {
+  const TimerRunResult heap = run_timer_store(seed, /*use_wheel=*/false);
+  const TimerRunResult wheel = run_timer_store(seed, /*use_wheel=*/true);
+  if (wheel.events_executed != heap.events_executed || wheel.fires != heap.fires ||
+      wheel.checksum != heap.checksum) {
+    std::fprintf(stderr,
+                 "perf: timer stores diverged (wheel %llu/%llu/%llx vs heap "
+                 "%llu/%llu/%llx)\n",
+                 static_cast<unsigned long long>(wheel.events_executed),
+                 static_cast<unsigned long long>(wheel.fires),
+                 static_cast<unsigned long long>(wheel.checksum),
+                 static_cast<unsigned long long>(heap.events_executed),
+                 static_cast<unsigned long long>(heap.fires),
+                 static_cast<unsigned long long>(heap.checksum));
+    return 1;
+  }
+  const double wheel_rate = static_cast<double>(wheel.events_executed) / wheel.wall_s;
+  const double heap_rate = static_cast<double>(heap.events_executed) / heap.wall_s;
+
+  // A scratch world carries the export: deterministic bench.* counts the
+  // CI gate compares, wall-clock perf.* gauges that ride along ungated.
+  sim::Simulation scratch{seed};
+  obs::MetricsRegistry& reg = scratch.metrics();
+  reg.gauge("bench.timer_events_executed")
+      .set(static_cast<double>(wheel.events_executed));
+  reg.gauge("bench.timer_fires").set(static_cast<double>(wheel.fires));
+  reg.gauge("bench.timer_checksum_low32")
+      .set(static_cast<double>(wheel.checksum & 0xFFFFFFFFull));
+  reg.gauge("bench.timer_stores_agree").set(1.0);
+  reg.gauge("perf.timers_wheel_events_per_sec").set(wheel_rate);
+  reg.gauge("perf.timers_heap_events_per_sec").set(heap_rate);
+  reg.gauge("perf.timers_wheel_speedup").set(wheel_rate / heap_rate);
+  reg.gauge("perf.timers_wall_ms").set((wheel.wall_s + heap.wall_s) * 1e3);
+  write_world_line(out, "micro-timers", seed, reg);
+  std::printf("perf: timers  %12.0f fired     wheel %8.2f ms  heap %8.2f ms  "
+              "speedup %.2fx\n",
+              static_cast<double>(wheel.fires), wheel.wall_s * 1e3, heap.wall_s * 1e3,
+              wheel_rate / heap_rate);
+  return 0;
+}
+
+int run_timers_mode(const std::string& out_path, std::uint64_t seed) {
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  const int rc = perf_timer_phase(f, seed);
+  benchx::append_profile_line("micro-timers", seed);
+  std::fclose(f);
+  return rc;
+}
+
 int run_perf_mode(const std::string& out_path, std::uint64_t seed) {
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -332,6 +456,7 @@ int main(int argc, char** argv) {
   // wall-clock profiler for the perf phases below.
   wav::benchx::obs_init(argc, argv);
   std::string perf_out;
+  std::string timers_out;
   std::uint64_t seed = 2026;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -345,11 +470,18 @@ int main(int argc, char** argv) {
     };
     if (const char* v = value_of("--perf-out")) {
       perf_out = v;
+    } else if (const char* v1 = value_of("--timers-out")) {
+      timers_out = v1;
     } else if (const char* v2 = value_of("--seed")) {
       seed = std::strtoull(v2, nullptr, 10);
     }
   }
-  if (!perf_out.empty()) return run_perf_mode(perf_out, seed);
+  if (!perf_out.empty() || !timers_out.empty()) {
+    int rc = 0;
+    if (!perf_out.empty()) rc = run_perf_mode(perf_out, seed);
+    if (rc == 0 && !timers_out.empty()) rc = run_timers_mode(timers_out, seed);
+    return rc;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 namespace wav::sim {
@@ -15,10 +16,14 @@ Simulation::Simulation(std::uint64_t seed)
                                                [this] { return now_; })) {
   events_counter_ = &metrics_->counter("sim.events_executed");
   queue_depth_gauge_ = &metrics_->gauge("sim.queue_depth");
+  if (const char* env = std::getenv("WAVNET_DISABLE_TIMER_WHEEL");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    timer_wheel_enabled_ = false;
+  }
 }
 
 EventId Simulation::schedule_impl(TimePoint at, obs::ProfCategoryId category,
-                                  EventCallback fn) {
+                                  EventCallback fn, bool relative) {
   if (at < now_) at = now_;
   std::uint32_t idx;
   if (!free_slots_.empty()) {
@@ -33,9 +38,14 @@ EventId Simulation::schedule_impl(TimePoint at, obs::ProfCategoryId category,
   slot.seq = next_seq_++;
   slot.category = category;
   slot.fn = std::move(fn);
-  slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(idx);
-  sift_up(heap_.size() - 1);
+  if (relative && timer_wheel_enabled_) {
+    slot.heap_pos = kInWheel;
+    wheel_.insert(idx, at, slot.seq);
+  } else {
+    slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(idx);
+    sift_up(heap_.size() - 1);
+  }
   return EventId{(static_cast<std::uint64_t>(slot.generation) << 32) | idx};
 }
 
@@ -56,7 +66,11 @@ bool Simulation::cancel(EventId id) {
   if (gen == 0 || idx >= slots_.size()) return false;
   Slot& slot = slots_[idx];
   if (slot.generation != gen || slot.heap_pos == kNotInHeap) return false;
-  heap_remove(slot.heap_pos);
+  if (slot.heap_pos == kInWheel) {
+    wheel_.remove(idx);
+  } else {
+    heap_remove(slot.heap_pos);
+  }
   release_slot(idx);
   return true;
 }
@@ -109,8 +123,19 @@ void Simulation::heap_remove(std::size_t pos) {
 }
 
 bool Simulation::pop_and_run_next(TimePoint deadline) {
-  if (heap_.empty()) return false;
-  const std::uint32_t idx = heap_[0];
+  // Merge the two stores by global (time, seq) order: the next event is
+  // the earlier of the heap root and the wheel minimum. `seq` values are
+  // unique across both, so the merge is a strict total order and a run is
+  // byte-identical however events are distributed between the stores.
+  std::uint32_t idx = heap_.empty() ? kNotInHeap : heap_[0];
+  bool from_wheel = false;
+  if (const std::uint32_t widx = wheel_.peek_min(); widx != TimerWheel::kNil) {
+    if (idx == kNotInHeap || earlier(widx, idx)) {
+      idx = widx;
+      from_wheel = true;
+    }
+  }
+  if (idx == kNotInHeap) return false;
   Slot& slot = slots_[idx];
   if (slot.at > deadline) return false;
   assert(slot.at >= now_ && "event queue must be monotonic");
@@ -120,11 +145,15 @@ bool Simulation::pop_and_run_next(TimePoint deadline) {
   // of the in-flight event's own id correctly reports false.
   EventCallback fn = std::move(slot.fn);
   const obs::ProfCategoryId category = slot.category;
-  heap_remove(0);
+  if (from_wheel) {
+    wheel_.extract(idx);
+  } else {
+    heap_remove(0);
+  }
   release_slot(idx);
   ++executed_;
   events_counter_->inc();
-  queue_depth_gauge_->set(static_cast<double>(heap_.size()));
+  queue_depth_gauge_->set(static_cast<double>(heap_.size() + wheel_.size()));
   if (obs::Profiler::enabled()) {
     // Sampled wall-clock attribution rooted at the event's schedule-time
     // category. Purely observational: identical event order with the
@@ -169,6 +198,8 @@ void PeriodicTimer::start() { start_after(period_); }
 
 void PeriodicTimer::start_after(Duration initial_delay) {
   stop();
+  if (initial_delay < kZeroDuration) initial_delay = kZeroDuration;
+  next_at_ = sim_.now() + initial_delay;
   pending_ = sim_.schedule_after(initial_delay, category_, [this] { fire(); });
 }
 
@@ -181,8 +212,15 @@ void PeriodicTimer::stop() {
 
 void PeriodicTimer::fire() {
   pending_ = EventId{};
-  // Reschedule before invoking so the callback may stop() the timer.
-  pending_ = sim_.schedule_after(period_, category_, [this] { fire(); });
+  // Reschedule before invoking so the callback may stop() the timer. The
+  // next deadline is the previous one plus the period — the period grid —
+  // not now() + period: the two only differ if the clock ever drifts past
+  // the intended deadline, and anchoring to the grid keeps keepalive
+  // cadence exact under load instead of compounding the skew.
+  next_at_ = next_at_ + period_;
+  Duration delay = next_at_ - sim_.now();
+  if (delay < kZeroDuration) delay = kZeroDuration;
+  pending_ = sim_.schedule_after(delay, category_, [this] { fire(); });
   on_fire_();
 }
 
@@ -194,8 +232,14 @@ OneShotTimer::~OneShotTimer() { cancel(); }
 
 void OneShotTimer::arm(Duration delay) {
   cancel();
+  const std::uint64_t epoch = ++arm_epoch_;
   deadline_ = sim_.now() + delay;
-  pending_ = sim_.schedule_after(delay, category_, [this] {
+  // The epoch guard makes reentrant re-arms (on_fire calling arm(), the
+  // TCP RTO pattern) structurally safe: if this firing was superseded by
+  // a newer arm() in any path the generation check doesn't cover, the
+  // stale lambda refuses to clear `pending_` or fire.
+  pending_ = sim_.schedule_after(delay, category_, [this, epoch] {
+    if (epoch != arm_epoch_) return;
     pending_ = EventId{};
     on_fire_();
   });

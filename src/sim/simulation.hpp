@@ -6,13 +6,20 @@
 // pure function of (program, seed): the foundation for reproducible
 // experiments and property tests.
 //
-// The event store is a slab of reusable slots indexed by a 4-ary heap of
-// slot numbers keyed on (time, seq). Scheduling is allocation-free in the
-// steady state (slots recycle; callbacks live inline in the slot, see
-// event_callback.hpp), cancellation is a true O(log n) heap removal, and
-// pending_events() is exact — there are no tombstones to drift. EventIds
-// carry a per-slot generation so a stale id (event already fired or
-// cancelled, slot since reused) is always rejected.
+// The event store is a slab of reusable slots indexed by two structures:
+// a 4-ary heap of slot numbers keyed on (time, seq) for absolute-time
+// `schedule_at` events, and a hashed hierarchical timer wheel
+// (sim/timer_wheel.hpp) for the much larger rotating population of
+// relative-delay `schedule_after` events — keepalives, RTOs, punch
+// retries — which are overwhelmingly cancelled or re-armed before
+// firing. Scheduling is allocation-free in the steady state (slots
+// recycle; callbacks live inline in the slot, see event_callback.hpp),
+// cancellation is a true removal in either store (O(log n) heap /
+// O(1) wheel), and pending_events() is exact — there are no tombstones
+// to drift. EventIds carry a per-slot generation so a stale id (event
+// already fired or cancelled, slot since reused) is always rejected.
+// The executor merges both stores by global (time, seq) order, so a run
+// is byte-identical whether the wheel is enabled or not.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,7 @@
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_callback.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace wav::sim {
 
@@ -54,15 +62,18 @@ class Simulation {
   /// void() callable; small captures are stored inline in the event slab.
   template <class F>
   EventId schedule_at(TimePoint at, F&& fn) {
-    return schedule_impl(at, obs::kProfCategoryNone, EventCallback(std::forward<F>(fn)));
+    return schedule_impl(at, obs::kProfCategoryNone, EventCallback(std::forward<F>(fn)),
+                         /*relative=*/false);
   }
 
   /// Schedules `fn` after a relative delay (negative clamps to zero).
+  /// Relative events are stored on the timer wheel (O(1) schedule/cancel)
+  /// unless disabled; firing order is identical either way.
   template <class F>
   EventId schedule_after(Duration delay, F&& fn) {
     if (delay < kZeroDuration) delay = kZeroDuration;
     return schedule_impl(now_ + delay, obs::kProfCategoryNone,
-                         EventCallback(std::forward<F>(fn)));
+                         EventCallback(std::forward<F>(fn)), /*relative=*/true);
   }
 
   /// Tagged variants: the category (from WAV_PROF_CATEGORY) rides in the
@@ -72,13 +83,15 @@ class Simulation {
   /// identical to the untagged overloads.
   template <class F>
   EventId schedule_at(TimePoint at, obs::ProfCategoryId category, F&& fn) {
-    return schedule_impl(at, category, EventCallback(std::forward<F>(fn)));
+    return schedule_impl(at, category, EventCallback(std::forward<F>(fn)),
+                         /*relative=*/false);
   }
 
   template <class F>
   EventId schedule_after(Duration delay, obs::ProfCategoryId category, F&& fn) {
     if (delay < kZeroDuration) delay = kZeroDuration;
-    return schedule_impl(now_ + delay, category, EventCallback(std::forward<F>(fn)));
+    return schedule_impl(now_ + delay, category, EventCallback(std::forward<F>(fn)),
+                         /*relative=*/true);
   }
 
   /// Cancels a pending event; returns false if it already ran, was
@@ -103,8 +116,22 @@ class Simulation {
 
   /// Number of events executed since construction (for tests/diagnostics).
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
-  /// Exact count of scheduled-but-not-yet-fired events.
-  [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
+  /// Exact count of scheduled-but-not-yet-fired events (both stores).
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return heap_.size() + wheel_.size();
+  }
+
+  /// Routes future `schedule_after` events through the timer wheel (on by
+  /// default; the WAVNET_DISABLE_TIMER_WHEEL env var forces it off).
+  /// Toggling only affects events scheduled afterwards — both stores stay
+  /// live and merge in global (time, seq) order, so A/B equivalence tests
+  /// can flip this per-Simulation and compare exports byte-for-byte.
+  void set_use_timer_wheel(bool on) noexcept { timer_wheel_enabled_ = on; }
+  [[nodiscard]] bool timer_wheel_enabled() const noexcept {
+    return timer_wheel_enabled_;
+  }
+  /// Events currently stored on the wheel (tests/diagnostics).
+  [[nodiscard]] std::size_t wheel_events() const noexcept { return wheel_.size(); }
 
   /// Per-simulation observability: every component instrumenting itself
   /// reaches its registry/tracer through the Simulation it runs on, so
@@ -126,6 +153,8 @@ class Simulation {
 
  private:
   static constexpr std::uint32_t kNotInHeap = 0xFFFFFFFFu;
+  /// heap_pos sentinel: the slot lives on the timer wheel, not the heap.
+  static constexpr std::uint32_t kInWheel = 0xFFFFFFFEu;
 
   /// One slab slot. Reused across events; `generation` distinguishes the
   /// incarnations so stale EventIds never alias a newer event.
@@ -138,7 +167,8 @@ class Simulation {
     EventCallback fn;
   };
 
-  EventId schedule_impl(TimePoint at, obs::ProfCategoryId category, EventCallback fn);
+  EventId schedule_impl(TimePoint at, obs::ProfCategoryId category, EventCallback fn,
+                        bool relative);
   void release_slot(std::uint32_t idx);
   /// Strict total order: (at, seq); seq values are unique.
   [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const noexcept {
@@ -157,6 +187,8 @@ class Simulation {
   std::vector<Slot> slots_;               // slab; grows, never shrinks
   std::vector<std::uint32_t> free_slots_; // recycled slot indices
   std::vector<std::uint32_t> heap_;       // 4-ary min-heap of slot indices
+  TimerWheel wheel_;                      // relative-delay (timer) events
+  bool timer_wheel_enabled_{true};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
   bool stopped_{false};
@@ -200,6 +232,10 @@ class PeriodicTimer {
   std::function<void()> on_fire_;
   obs::ProfCategoryId category_{obs::kProfCategoryNone};
   EventId pending_{};
+  /// Deadline of the pending firing. The next firing is anchored to
+  /// `next_at_ + period` (the period grid), never `now() + period`, so
+  /// cadence cannot skew even if a fire path perturbs the clock.
+  TimePoint next_at_{};
 };
 
 /// RAII one-shot timer that can be re-armed; used for protocol timeouts
@@ -225,6 +261,11 @@ class OneShotTimer {
   obs::ProfCategoryId category_{obs::kProfCategoryNone};
   EventId pending_{};
   TimePoint deadline_{};
+  /// Bumped by every arm(); the firing lambda captures its epoch and
+  /// refuses to run if a re-arm (possibly from inside on_fire itself — the
+  /// TCP RTO pattern) superseded it. Belt-and-braces on top of the
+  /// generation-tagged cancel.
+  std::uint64_t arm_epoch_{0};
 };
 
 }  // namespace wav::sim

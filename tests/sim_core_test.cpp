@@ -294,6 +294,145 @@ TEST(Simulation, OrderingPreservedUnderSlabReuse) {
   }
 }
 
+TEST(Simulation, OneShotTimerRearmsInsideItsOwnCallback) {
+  // The TCP RTO pattern: on_fire re-arms the same timer with backoff.
+  // Regression lock for the cancel-then-schedule path — a stale
+  // generation or heap_pos reused across the reentrant arm would either
+  // drop a firing or fire twice.
+  sim::Simulation sim;
+  int fired = 0;
+  sim::OneShotTimer* self = nullptr;
+  sim::OneShotTimer timer{sim, [&] {
+                            ++fired;
+                            if (fired < 4) {
+                              self->arm(milliseconds(10 << fired));
+                              EXPECT_TRUE(self->armed());
+                            }
+                          }};
+  self = &timer;
+  timer.arm(milliseconds(10));
+  sim.run();
+  // Firings at 10, 10+20, 30+40, 70+80 ms: exactly four, then disarmed.
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(timer.armed());
+  EXPECT_EQ(sim.now(), kSimStart + milliseconds(150));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, OneShotTimerRearmCancelRearmInsideCallback) {
+  // Arm / cancel / arm again inside the firing: only the last arm may
+  // produce the next firing, and armed() must track it exactly.
+  sim::Simulation sim;
+  std::vector<std::int64_t> fire_ms;
+  sim::OneShotTimer* self = nullptr;
+  sim::OneShotTimer timer{sim, [&] {
+                            fire_ms.push_back((sim.now() - kSimStart).count() / 1'000'000);
+                            if (fire_ms.size() == 1) {
+                              self->arm(milliseconds(50));
+                              self->cancel();
+                              EXPECT_FALSE(self->armed());
+                              self->arm(milliseconds(30));
+                            }
+                          }};
+  self = &timer;
+  timer.arm(milliseconds(5));
+  sim.run();
+  EXPECT_EQ(fire_ms, (std::vector<std::int64_t>{5, 35}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, PeriodicTimerHoldsPeriodGridUnderLoad) {
+  // Every firing must land exactly on start + k * period — anchored to
+  // the period grid, not now() + period — even when each fire piles
+  // same-timestamp work onto the queue.
+  sim::Simulation sim;
+  std::vector<TimePoint> fires;
+  sim::PeriodicTimer timer{sim, milliseconds(7), [&] {
+                             fires.push_back(sim.now());
+                             for (int i = 0; i < 3; ++i) sim.schedule_after(kZeroDuration, [] {});
+                           }};
+  timer.start();
+  sim.run_for(milliseconds(7 * 100));
+  ASSERT_EQ(fires.size(), 100u);
+  for (std::size_t k = 0; k < fires.size(); ++k) {
+    EXPECT_EQ(fires[k], kSimStart + milliseconds(7 * (static_cast<std::int64_t>(k) + 1)));
+  }
+}
+
+TEST(Simulation, CancelWhileDrainingFuzz) {
+  // Seeded interleaving fuzz across both event stores: randomized
+  // schedule_at/schedule_after mixes with canceller events striking
+  // pending victims mid-drain, exercising heap_remove of the root, the
+  // last element and interior nodes, and wheel unlinks during cascades.
+  Rng rng{0xC0FFEEu};
+  for (int round = 0; round < 40; ++round) {
+    sim::Simulation sim;
+    sim.set_use_timer_wheel(round % 2 == 0);
+    const int n = 1 + static_cast<int>(rng.uniform_u64(0, 60));
+    std::vector<sim::EventId> ids(static_cast<std::size_t>(n));
+    std::vector<bool> cancelled(static_cast<std::size_t>(n), false);
+    std::vector<int> fired;
+    std::vector<std::int64_t> delay_us(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      delay_us[ui] = static_cast<std::int64_t>(rng.uniform_u64(0, 40));
+      const auto cb = [&fired, i] { fired.push_back(i); };
+      ids[ui] = rng.uniform() < 0.5
+                    ? sim.schedule_after(microseconds(delay_us[ui]), cb)
+                    : sim.schedule_at(sim.now() + microseconds(delay_us[ui]), cb);
+    }
+    const int strikes = static_cast<int>(rng.uniform_u64(0, 12));
+    for (int s = 0; s < strikes; ++s) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_u64(0, static_cast<std::uint64_t>(n) - 1));
+      const auto at_us = static_cast<std::int64_t>(rng.uniform_u64(0, 40));
+      sim.schedule_after(microseconds(at_us), [&sim, &ids, &cancelled, victim] {
+        if (sim.cancel(ids[victim])) cancelled[victim] = true;
+      });
+    }
+    sim.run();
+    EXPECT_EQ(sim.pending_events(), 0u);
+
+    // Exactly the uncancelled tags fired, in (deadline, insertion) order.
+    std::vector<int> expect;
+    for (int i = 0; i < n; ++i) {
+      if (!cancelled[static_cast<std::size_t>(i)]) expect.push_back(i);
+    }
+    std::stable_sort(expect.begin(), expect.end(), [&](int a, int b) {
+      return delay_us[static_cast<std::size_t>(a)] < delay_us[static_cast<std::size_t>(b)];
+    });
+    EXPECT_EQ(fired, expect) << "round " << round;
+  }
+}
+
+TEST(Simulation, HeapRemoveRootAndLastEdgeCases) {
+  // Directed edge cases for Simulation::heap_remove: cancelling the only
+  // element, the root with the heap non-trivial, and the physically last
+  // heap slot — each followed by a drain that must stay ordered. The
+  // heap path is forced explicitly; absolute-time events always live
+  // there.
+  sim::Simulation sim;
+  sim.set_use_timer_wheel(false);
+
+  // Only element.
+  auto only = sim.schedule_at(sim.now() + milliseconds(1), [] {});
+  EXPECT_TRUE(sim.cancel(only));
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  // Root of a populated heap, then the last-pushed element.
+  std::vector<int> order;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 9; ++i) {
+    ids.push_back(sim.schedule_at(sim.now() + milliseconds(i + 1),
+                                  [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(sim.cancel(ids[0]));              // heap root (earliest)
+  EXPECT_TRUE(sim.cancel(ids.back()));          // last heap position
+  EXPECT_TRUE(sim.cancel(ids[4]));              // interior node
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5, 6, 7}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(ThreadPool, RunsTasksAndParallelFor) {
   ThreadPool pool{4};
   EXPECT_EQ(pool.thread_count(), 4u);
