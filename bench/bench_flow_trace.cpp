@@ -59,7 +59,7 @@ ScenarioResult summarize(const std::string& name, benchx::World& world) {
       "fdb_miss",     "backlog",      "arp_unresolved", "nat_mapping_miss",
       "nat_filtered", "nat_down",     "relay_unbound",  "relay_capacity",
       "relay_down",   "link_down",    "link_queue",     "wire_loss",
-      "partition",    "ttl_expired",  "no_route"};
+      "partition",    "ttl_expired",  "no_route",       "group_isolation"};
   std::uint64_t best = 0;
   for (const char* reason : kReasons) {
     const std::uint64_t n =

@@ -40,6 +40,7 @@ constexpr FlagDef kObsFlags[] = {
     {"--health-out", &ObsOptions::health_out, nullptr},
     {"--flows-out", &ObsOptions::flows_out, nullptr},
     {"--hops-out", &ObsOptions::hops_out, nullptr},
+    {"--groups-out", &ObsOptions::groups_out, nullptr},
     {"--prof-out", &ObsOptions::prof_out, nullptr},
     {"--sample-interval", nullptr, &ObsOptions::sample_interval_s},
 };

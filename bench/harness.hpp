@@ -49,6 +49,12 @@ enum class Plane { kPhysical, kWavnet, kIpop };
 ///                          --trace-out),
 ///   --hops-out <file>      write each World's per-hop flow timelines
 ///                          JSONL (numbered like --trace-out),
+///   --groups-out <file>    write the private-group membership event log
+///                          JSONL (epoch adoptions, handshakes,
+///                          revocation teardowns — vpg::GroupLog; the
+///                          bench wires its log and writes via
+///                          numbered_path like the other per-World
+///                          sinks), and
 ///   --prof-out <file>      enable the wall-clock profiler
 ///                          (obs/profiler.hpp) and append one profile
 ///                          summary JSON line per World; a folded-stack
@@ -71,6 +77,7 @@ struct ObsOptions {
   std::string health_out;   // empty = disabled
   std::string flows_out;    // empty = disabled
   std::string hops_out;     // empty = disabled
+  std::string groups_out;   // empty = disabled
   std::string prof_out;     // empty = profiler disabled
   double sample_interval_s{1.0};
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "vpg/group_member.hpp"
+
 namespace wav::chaos {
 
 void InvariantChecker::expect_full_mesh() {
@@ -105,6 +107,13 @@ std::vector<std::string> InvariantChecker::violations() const {
       out.push_back("rendezvous " + server->host_endpoint().to_string() +
                     " CAN node leaks " + std::to_string(n) +
                     " pending query handler(s)");
+    }
+  }
+  for (const vpg::GroupMember* member : group_members_) {
+    if (const std::uint64_t n = member->invariant_violations(); n > 0) {
+      out.push_back("group member host#" + std::to_string(member->id()) +
+                    " crossed a revoked membership " + std::to_string(n) +
+                    " time(s)");
     }
   }
   if (can_coverage_dims_ > 0) {

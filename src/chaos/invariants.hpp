@@ -17,11 +17,22 @@
 #include "overlay/rendezvous.hpp"
 #include "relay/relay_server.hpp"
 
+namespace wav::vpg {
+class GroupMember;
+}  // namespace wav::vpg
+
 namespace wav::chaos {
 
 class InvariantChecker {
  public:
   void add_agent(overlay::HostAgent& agent) { agents_.push_back(&agent); }
+
+  /// Registers a private-group member: its invariant_violations() tally
+  /// (frames delivered across an adopted-revoked membership, handshakes
+  /// still open for a revoked pair) must be zero once the fleet heals.
+  void add_group_member(vpg::GroupMember& member) {
+    group_members_.push_back(&member);
+  }
 
   /// Churn mode: the live population changes every tick, so instead of a
   /// static agent list the checker pulls the agents that OUGHT to be
@@ -81,6 +92,7 @@ class InvariantChecker {
   std::vector<overlay::HostAgent*> agents_;
   std::vector<overlay::RendezvousServer*> servers_;
   std::vector<relay::RelayServer*> relays_;
+  std::vector<vpg::GroupMember*> group_members_;
   std::vector<ExpectedLink> expected_links_;
   AgentsProvider churn_agents_;
   DepartedProvider departed_hosts_;

@@ -105,6 +105,10 @@ struct EncapFrame {
   std::uint64_t overlay_src{0};
   std::uint64_t overlay_dst{0};
   std::uint8_t hop_count{0};                // hops taken so far in overlay routing
+  // Private-group isolation tag (vpg::GroupId; 0 = flat LAN). The sender
+  // bills its 4 wire bytes into header_bytes when tagging, so wire_size
+  // stays a pure function of header_bytes + frame.
+  std::uint32_t group{0};
   std::shared_ptr<const EthernetFrame> frame;
 
   [[nodiscard]] std::uint64_t wire_size() const noexcept;

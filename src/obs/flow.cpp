@@ -52,6 +52,7 @@ const char* to_string(DropReason r) noexcept {
     case DropReason::kPartition: return "partition";
     case DropReason::kTtlExpired: return "ttl_expired";
     case DropReason::kNoRoute: return "no_route";
+    case DropReason::kGroupIsolation: return "group_isolation";
   }
   return "?";
 }

@@ -69,8 +69,9 @@ enum class DropReason : std::uint8_t {
   kPartition,       // Internet-core partition mask
   kTtlExpired,      // IP TTL or overlay hop-count exhausted
   kNoRoute,         // no route / no overlay next hop / peer unreachable
+  kGroupIsolation,  // frame crossed a private-group membership boundary
 };
-inline constexpr std::size_t kDropReasonCount = 16;
+inline constexpr std::size_t kDropReasonCount = 17;
 
 [[nodiscard]] const char* to_string(HopComponent c) noexcept;
 [[nodiscard]] const char* to_string(HopVerdict v) noexcept;

@@ -529,6 +529,7 @@ void HostAgent::establish(Link& link, const net::Endpoint& proven) {
     handler(true, link.peer);
   }
   if (on_link_up_) on_link_up_(link.peer);
+  if (on_link_up_group_) on_link_up_group_(link.peer);
 }
 
 bool HostAgent::send_frame(HostId peer, net::EncapFrame frame) {
@@ -691,6 +692,7 @@ void HostAgent::establish_relayed(Link& link) {
     handler(true, link.peer);
   }
   if (on_link_up_) on_link_up_(link.peer);
+  if (on_link_up_group_) on_link_up_group_(link.peer);
 }
 
 void HostAgent::relay_failover(Link& link) {
@@ -929,7 +931,21 @@ void HostAgent::drop_link(HostId peer) {
     ip_.sim().tracer().instant(obs::Category::kOverlay, "link.down", self_.name,
                                "\"peer\":" + std::to_string(peer));
     if (on_link_down_) on_link_down_(peer);
+    if (on_link_down_group_) on_link_down_group_(peer);
   }
+}
+
+bool HostAgent::send_group_ctrl(HostId peer, net::Chunk chunk) {
+  if (down_) return false;
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.established) return false;
+  Link& link = it->second;
+  // A relayed link routes the chunk through the pair channel (the relay
+  // reads the (from, to) ids off the body via parse_group_route); this
+  // holds through an upgrade flush too — the channel stays bound until
+  // the handshake completes, so FIFO ordering is preserved.
+  return socket_.send_to(link.kind == LinkKind::kRelayed ? link.relay : link.remote,
+                         std::move(chunk));
 }
 
 void HostAgent::pulse_links() {
@@ -1228,6 +1244,17 @@ void HostAgent::on_datagram(const net::Endpoint& from, const net::UdpDatagram& d
       Link& link = it->second;
       if (!link.upgrading || link.flush_nonce != msg->nonce) return;
       complete_upgrade(link);
+      return;
+    }
+    case MsgType::kGroupHandshake: {
+      const auto route = parse_group_route(*dgram.chunk());
+      if (!route || route->to_host != self_.host_id) return;
+      // Refresh the link's idle clock when the sender's endpoint checks
+      // out, then hand the opaque body to the group layer. Delivery is
+      // not gated on an established link: a handshake racing our own
+      // punch-ack is fine — the group layer gates on link state itself.
+      if (Link* link = link_by_endpoint(from)) link->last_rx = ip_.sim().now();
+      if (on_group_ctrl_) on_group_ctrl_(route->from_host, *dgram.chunk());
       return;
     }
     default:

@@ -117,6 +117,7 @@ class HostAgent {
   using ConnectHandler = std::function<void(bool ok, HostId peer)>;
   using FrameHandler = std::function<void(HostId from, const net::EncapFrame&)>;
   using LinkHandler = std::function<void(HostId peer)>;
+  using GroupCtrlHandler = std::function<void(HostId from, const net::Chunk&)>;
 
   HostAgent(stack::IpLayer& ip, Config config);
   ~HostAgent();
@@ -175,6 +176,22 @@ class HostAgent {
   void on_link_up(LinkHandler handler) { on_link_up_ = std::move(handler); }
   void on_link_down(LinkHandler handler) { on_link_down_ = std::move(handler); }
 
+  /// Second observer pair for the group membership layer (the WavSwitch
+  /// owns the primary on_link_up/down slots). Fired right after them.
+  void on_link_up_group(LinkHandler handler) { on_link_up_group_ = std::move(handler); }
+  void on_link_down_group(LinkHandler handler) {
+    on_link_down_group_ = std::move(handler);
+  }
+
+  /// Sends a group control chunk (kGroupHandshake) over the established
+  /// tunnel to `peer` — direct links to the punched endpoint, relayed
+  /// links via the relay's pair channel. Returns false without a link.
+  bool send_group_ctrl(HostId peer, net::Chunk chunk);
+  /// Receives kGroupHandshake chunks arriving on the tunnel socket.
+  void on_group_datagram(GroupCtrlHandler handler) {
+    on_group_ctrl_ = std::move(handler);
+  }
+
   /// Closes a link locally (peer will idle it out).
   void drop_link(HostId peer);
 
@@ -200,6 +217,9 @@ class HostAgent {
 
   /// The raw socket (tests use it to inspect the local port).
   [[nodiscard]] const stack::UdpSocket& socket() const noexcept { return socket_; }
+  /// The agent's UDP layer: co-resident services (the group membership
+  /// agent) bind their own control ports here, sharing the host's stack.
+  [[nodiscard]] stack::UdpLayer& udp() noexcept { return udp_; }
   [[nodiscard]] sim::Simulation& sim() noexcept { return ip_.sim(); }
   /// The rendezvous server currently in use (changes on failover).
   [[nodiscard]] net::Endpoint active_rendezvous() const noexcept {
@@ -356,6 +376,9 @@ class HostAgent {
   FrameHandler on_frame_;
   LinkHandler on_link_up_;
   LinkHandler on_link_down_;
+  LinkHandler on_link_up_group_;
+  LinkHandler on_link_down_group_;
+  GroupCtrlHandler on_group_ctrl_;
   Stats stats_;
 
   // Cached registry handles (resolved once in the constructor; the frame

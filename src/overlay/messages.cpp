@@ -42,7 +42,7 @@ std::optional<MsgType> peek_type(const net::UdpDatagram& dgram) {
     return std::nullopt;
   }
   const auto t = static_cast<std::uint8_t>(chunk->real[0]);
-  if (t < 1 || t > static_cast<std::uint8_t>(MsgType::kShardPong)) {
+  if (t < 1 || t > static_cast<std::uint8_t>(MsgType::kGroupHandshake)) {
     return std::nullopt;
   }
   return static_cast<MsgType>(t);
@@ -441,6 +441,9 @@ net::Chunk encode(const ShardPingMsg& m) {
   ByteWriter w{out};
   encode_endpoint(w, m.from);
   w.u32(m.registered_hosts);
+  // The piggyback payload is appended only when present, so fleets with
+  // no co-hosted service keep the pre-existing wire bytes exactly.
+  if (!m.payload.empty()) w.raw(m.payload);
   return net::Chunk::from_bytes(std::move(out));
 }
 
@@ -450,7 +453,10 @@ std::optional<ShardPingMsg> parse_shard_ping(const net::Chunk& c) {
   const auto from = parse_endpoint(*r);
   const auto hosts = r->u32();
   if (!from || !hosts) return std::nullopt;
-  return ShardPingMsg{*from, *hosts};
+  ShardPingMsg m{*from, *hosts, {}};
+  const auto rest = r->rest();
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
 }
 
 net::Chunk encode(const ShardPongMsg& m) {
@@ -458,6 +464,7 @@ net::Chunk encode(const ShardPongMsg& m) {
   ByteWriter w{out};
   encode_endpoint(w, m.from);
   w.u32(m.registered_hosts);
+  if (!m.payload.empty()) w.raw(m.payload);
   return net::Chunk::from_bytes(std::move(out));
 }
 
@@ -467,7 +474,19 @@ std::optional<ShardPongMsg> parse_shard_pong(const net::Chunk& c) {
   const auto from = parse_endpoint(*r);
   const auto hosts = r->u32();
   if (!from || !hosts) return std::nullopt;
-  return ShardPongMsg{*from, *hosts};
+  ShardPongMsg m{*from, *hosts, {}};
+  const auto rest = r->rest();
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+
+std::optional<GroupRoute> parse_group_route(const net::Chunk& c) {
+  auto r = open(c, MsgType::kGroupHandshake);
+  if (!r) return std::nullopt;
+  const auto from = r->u64();
+  const auto to = r->u64();
+  if (!from || !to) return std::nullopt;
+  return GroupRoute{*from, *to};
 }
 
 net::Chunk encode_pulse() {

@@ -61,6 +61,15 @@ enum class MsgType : std::uint8_t {
   // rendezvous <-> rendezvous shard liveness (sharded registration fleet)
   kShardPing,
   kShardPong,
+  // private groups (vpg/): bodies are encoded in vpg/group.hpp — the
+  // overlay layer only ever inspects the type byte, plus the (from, to)
+  // routing pair of a relayed kGroupHandshake (parse_group_route).
+  kGroupOp,         // member -> authority membership operation
+  kGroupOpAck,      // authority -> member op outcome + epoch
+  kGroupSync,       // member -> authority anti-entropy (held versions)
+  kGroupEpoch,      // authority -> member epoch push / sync reply
+  kGroupReplicate,  // authority <-> authority eager record replication
+  kGroupHandshake,  // host <-> host modeled pair handshake (may be relayed)
 };
 
 /// Extra wire bytes a relayed data frame carries compared to a direct
@@ -164,10 +173,15 @@ struct RelayFlushAckMsg {
 struct ShardPingMsg {
   net::Endpoint from{};  // sender's host-facing endpoint (fleet identity)
   std::uint32_t registered_hosts{0};
+  // Opaque piggyback for co-hosted services (the group authority
+  // replicates its records here). Encoded only when non-empty so the
+  // wire stays byte-identical for fleets without such services.
+  ByteBuffer payload;
 };
 struct ShardPongMsg {
   net::Endpoint from{};
   std::uint32_t registered_hosts{0};
+  ByteBuffer payload;
 };
 
 [[nodiscard]] net::Chunk encode(const RegisterMsg&);
@@ -216,5 +230,14 @@ struct ShardPongMsg {
 [[nodiscard]] std::optional<RelayFlushAckMsg> parse_relay_flush_ack(const net::Chunk&);
 [[nodiscard]] std::optional<ShardPingMsg> parse_shard_ping(const net::Chunk&);
 [[nodiscard]] std::optional<ShardPongMsg> parse_shard_pong(const net::Chunk&);
+
+/// The (from, to) host pair leading every kGroupHandshake body, exposed
+/// so a relay can forward the message over the right channel without
+/// understanding the rest (which is vpg's business).
+struct GroupRoute {
+  HostId from_host{0};
+  HostId to_host{0};
+};
+[[nodiscard]] std::optional<GroupRoute> parse_group_route(const net::Chunk&);
 
 }  // namespace wav::overlay

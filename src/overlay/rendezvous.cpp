@@ -84,6 +84,7 @@ void RendezvousServer::shard_ping_tick() {
   ShardPingMsg ping;
   ping.from = host_endpoint();
   ping.registered_hosts = static_cast<std::uint32_t>(hosts_.size());
+  if (shard_payload_provider_) ping.payload = shard_payload_provider_();
   for (const auto& peer : config_.shard_peers) {
     c_shard_pings_->inc();
     host_socket_.send_to(peer, encode(ping));
@@ -265,9 +266,13 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
           it->second.reported_hosts = msg->registered_hosts;
           it->second.ever_seen = true;
         }
+        if (shard_payload_handler_ && !msg->payload.empty()) {
+          shard_payload_handler_(msg->payload);
+        }
         ShardPongMsg pong;
         pong.from = host_endpoint();
         pong.registered_hosts = static_cast<std::uint32_t>(hosts_.size());
+        if (shard_payload_provider_) pong.payload = shard_payload_provider_();
         host_socket_.send_to(msg->from, encode(pong));
       }
       return;
@@ -279,6 +284,9 @@ void RendezvousServer::on_host_datagram(const net::Endpoint& from,
           it->second.reported_hosts = msg->registered_hosts;
           it->second.ever_seen = true;
           sync_shard_gauge();
+        }
+        if (shard_payload_handler_ && !msg->payload.empty()) {
+          shard_payload_handler_(msg->payload);
         }
       }
       return;

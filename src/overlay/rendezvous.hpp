@@ -52,6 +52,9 @@ class RendezvousServer {
   }
 
   [[nodiscard]] const can::CanNode& can_node() const noexcept { return can_; }
+  /// Mutable CAN access for co-hosted services that store their own
+  /// resources in the overlay (the group authority's epoch records).
+  [[nodiscard]] can::CanNode& can_node() noexcept { return can_; }
   /// The server's UDP layer. An IpLayer carries at most one UdpLayer, so
   /// services co-hosted on this node (the TURN-style relay tier) must
   /// bind their ports on this layer rather than creating their own.
@@ -66,6 +69,18 @@ class RendezvousServer {
   /// the fleet's endpoints are only known once every shard exists. Starts
   /// the liveness ping loop.
   void set_shard_peers(std::vector<net::Endpoint> peers);
+
+  /// Piggyback channel on the shard liveness pings: `provider` supplies
+  /// an opaque payload attached to every outgoing ping/pong (empty =
+  /// attach nothing, keeping the wire unchanged) and `handler` receives
+  /// every non-empty payload arriving from a sibling. The co-hosted
+  /// group authority replicates its records through this channel.
+  using ShardPayloadProvider = std::function<ByteBuffer()>;
+  using ShardPayloadHandler = std::function<void(const ByteBuffer&)>;
+  void set_shard_payload(ShardPayloadProvider provider, ShardPayloadHandler handler) {
+    shard_payload_provider_ = std::move(provider);
+    shard_payload_handler_ = std::move(handler);
+  }
   /// Shards this server believes are up: itself plus every peer whose
   /// pong arrived within three ping intervals. 1 when unsharded.
   [[nodiscard]] std::size_t alive_shards() const;
@@ -145,6 +160,8 @@ class RendezvousServer {
   };
   std::map<net::Endpoint, ShardPeer> shard_state_;
   sim::PeriodicTimer shard_ping_timer_;
+  ShardPayloadProvider shard_payload_provider_;
+  ShardPayloadHandler shard_payload_handler_;
   Stats stats_;
   bool down_{false};
 

@@ -119,6 +119,14 @@ void RelayServer::on_datagram(const net::Endpoint& from, const net::UdpDatagram&
       }
       return;
     }
+    case MsgType::kGroupHandshake: {
+      // Group pair handshakes ride the same channel as data; the relay
+      // routes by the leading (from, to) pair and never parses the rest.
+      if (const auto route = parse_group_route(*chunk)) {
+        forward_control(route->from_host, route->to_host, *chunk);
+      }
+      return;
+    }
     default:
       log::debug("relay", "unexpected message type {}", static_cast<int>(*type));
       return;

@@ -1,0 +1,210 @@
+// Virtual Private Groups: the shared vocabulary of the VPG subsystem.
+//
+// WAVNet's flat virtual LAN becomes multi-tenant by carving the overlay
+// into membership-managed groups (the Virtual Private Overlay extension
+// of Wolinsky et al.): a GroupAuthority co-hosted on the rendezvous
+// fleet owns each group's lifecycle, members adopt monotonically
+// versioned membership epochs, and the WAV-Switch scopes its FDB and
+// broadcast domain by GroupId so one physical tunnel set carries N
+// isolated L2 domains.
+//
+// This header keeps the light, dependency-free pieces — ids, the epoch
+// record and its wire codec, the GroupGate interface the switch consults
+// per frame, and the GroupLog event collector behind --groups-out — so
+// wavnet/ can include it without pulling in the authority or member
+// machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace wav::vpg {
+
+/// Group identifier. 0 is reserved for "no group" (the legacy flat LAN);
+/// frames and FDB entries carry it as their isolation tag.
+using GroupId = std::uint32_t;
+
+/// One group's membership state at one version. Versions are bumped by
+/// the authority on every mutation and never reused; receivers adopt an
+/// epoch iff its version exceeds the one they hold (last-writer-wins
+/// under replication). Member/invited/revoked lists are kept sorted so
+/// identical states serialize identically (determinism contract).
+struct GroupEpoch {
+  GroupId group{0};
+  std::uint64_t version{0};
+  TimePoint changed_at{};  // authority sim-time of the last mutation
+  std::vector<std::uint64_t> members;  // sorted host ids
+  std::vector<std::uint64_t> invited;  // sorted host ids (may join)
+  std::vector<std::uint64_t> revoked;  // sorted host ids (tombstones)
+
+  [[nodiscard]] bool is_member(std::uint64_t host) const;
+  [[nodiscard]] bool is_invited(std::uint64_t host) const;
+  [[nodiscard]] bool is_revoked(std::uint64_t host) const;
+};
+
+/// Membership operations a member can ask the authority to apply.
+enum class GroupOp : std::uint8_t {
+  kCreate = 1,  // actor creates the group and becomes its first member
+  kInvite,      // actor invites target
+  kJoin,        // actor joins (must be invited, or the group's creator)
+  kLeave,       // actor leaves gracefully
+  kRevoke,      // actor revokes target's membership (tombstoned)
+};
+
+[[nodiscard]] const char* to_string(GroupOp op) noexcept;
+
+/// Outcome codes for a GroupOpAck.
+enum class GroupOpStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownGroup,
+  kExists,       // create for a group id already in use
+  kNotInvited,   // join without a standing invite
+  kNotMember,    // leave/invite/revoke by or on a non-member
+  kRevoked,      // actor has been revoked; no further ops accepted
+};
+
+[[nodiscard]] const char* to_string(GroupOpStatus status) noexcept;
+
+// --- wire formats -------------------------------------------------------
+// Group control messages ride the overlay MsgType space (kGroupOp..
+// kGroupHandshake, overlay/messages.hpp) but their bodies are encoded
+// here: the rendezvous/relay layers only ever need the leading type byte
+// (and, for relayed handshakes, the (from, to) routing pair — see
+// overlay::parse_group_route).
+
+struct GroupOpMsg {
+  std::uint64_t op_id{0};  // echoes back in the ack (retry matching)
+  GroupOp op{GroupOp::kCreate};
+  GroupId group{0};
+  std::uint64_t actor{0};
+  std::uint64_t target{0};  // invite/revoke subject; 0 otherwise
+};
+
+struct GroupOpAckMsg {
+  std::uint64_t op_id{0};
+  GroupOpStatus status{GroupOpStatus::kOk};
+  GroupEpoch epoch;  // authoritative state after the op (when known)
+};
+
+/// Member -> authority anti-entropy: "here is the version I hold for
+/// each group I think I'm in" (version 0 = none yet).
+struct GroupSyncMsg {
+  std::uint64_t host{0};
+  std::vector<std::pair<GroupId, std::uint64_t>> held;  // (group, version)
+};
+
+/// Authority -> member epoch push (also the sync reply, one per group
+/// with news). Members ignore versions at or below what they hold.
+struct GroupEpochMsg {
+  GroupEpoch epoch;
+};
+
+/// Authority <-> authority replication payload: full records for every
+/// group the sender owns knowledge of. Rides the shard-ping channel as
+/// an opaque payload (overlay::ShardPingMsg::payload) and doubles as the
+/// direct kGroupReplicate body for eager post-write replication.
+struct GroupReplicateMsg {
+  std::vector<GroupEpoch> epochs;
+};
+
+/// Host <-> host modeled pair handshake for one group, riding the
+/// punched tunnel socket: `round` counts the RTT exchanges; the
+/// responder echoes the round until the configured count is reached.
+struct GroupHandshakeMsg {
+  std::uint64_t from_host{0};
+  std::uint64_t to_host{0};
+  GroupId group{0};
+  std::uint32_t round{0};
+  bool reply{false};
+};
+
+void encode_epoch(ByteWriter& w, const GroupEpoch& epoch);
+[[nodiscard]] std::optional<GroupEpoch> parse_epoch(ByteReader& r);
+
+[[nodiscard]] net::Chunk encode(const GroupOpMsg&);
+[[nodiscard]] net::Chunk encode(const GroupOpAckMsg&);
+[[nodiscard]] net::Chunk encode(const GroupSyncMsg&);
+[[nodiscard]] net::Chunk encode(const GroupEpochMsg&);
+[[nodiscard]] net::Chunk encode(const GroupReplicateMsg&);
+[[nodiscard]] net::Chunk encode(const GroupHandshakeMsg&);
+
+[[nodiscard]] std::optional<GroupOpMsg> parse_group_op(const net::Chunk&);
+[[nodiscard]] std::optional<GroupOpAckMsg> parse_group_op_ack(const net::Chunk&);
+[[nodiscard]] std::optional<GroupSyncMsg> parse_group_sync(const net::Chunk&);
+[[nodiscard]] std::optional<GroupEpochMsg> parse_group_epoch(const net::Chunk&);
+[[nodiscard]] std::optional<GroupReplicateMsg> parse_group_replicate(const net::Chunk&);
+[[nodiscard]] std::optional<GroupHandshakeMsg> parse_group_handshake(const net::Chunk&);
+
+/// Serializes epochs for CAN item storage (and back). The CAN payload is
+/// self-describing so a query hit can be merged without the authority.
+[[nodiscard]] ByteBuffer epoch_to_bytes(const GroupEpoch& epoch);
+[[nodiscard]] std::optional<GroupEpoch> epoch_from_bytes(std::span<const std::byte> b);
+
+// --- the per-frame gate -------------------------------------------------
+
+/// The interface the WAV-Switch consults on its data path. Implemented
+/// by vpg::GroupMember; kept abstract so wavnet/ depends only on this
+/// header. All checks are against the member's *adopted* epochs — the
+/// whole point is that isolation follows membership state, not wishes.
+class GroupGate {
+ public:
+  virtual ~GroupGate() = default;
+
+  /// May the local switch tunnel a group-`g` frame to `peer`? Requires a
+  /// live membership on both ends of the pair and a completed handshake.
+  [[nodiscard]] virtual bool egress_allowed(GroupId g, std::uint64_t peer) = 0;
+
+  /// Accept a group-`g` frame arriving from `peer`? Same membership
+  /// rules, judged by the receiver's own adopted epoch.
+  [[nodiscard]] virtual bool ingress_allowed(GroupId g, std::uint64_t peer) = 0;
+
+  /// Appends the groups a local broadcast/flood replicates into (the
+  /// member's active memberships), sorted ascending.
+  virtual void broadcast_groups(std::vector<GroupId>& out) = 0;
+
+  /// Tripwire, called after a frame is accepted and handed to the local
+  /// bridge: delivery across a membership the member has already adopted
+  /// as revoked is an invariant violation, counted independently of the
+  /// gate checks above so a gating bug cannot hide itself.
+  virtual void note_delivered(GroupId g, std::uint64_t peer) = 0;
+};
+
+// --- --groups-out event log --------------------------------------------
+
+/// Append-only collector behind the --groups-out export: membership
+/// epochs, handshakes and revocation teardowns as one JSON object per
+/// line, in event order (deterministic per seed — every timestamp is sim
+/// time). Pure recording: attaching or detaching a log must not change
+/// any behavior or any other export byte.
+class GroupLog {
+ public:
+  struct Event {
+    TimePoint at{};
+    std::string kind;    // "op", "epoch_adopted", "handshake", ...
+    std::string host;    // acting host/authority instance
+    GroupId group{0};
+    std::uint64_t version{0};
+    std::uint64_t peer{0};    // subject host id (0 when n/a)
+    std::string detail;       // kind-specific note ("revoke", "complete")
+    double latency_ms{-1.0};  // handshake/teardown latency (-1 = n/a)
+  };
+
+  void record(Event event) { events_.push_back(std::move(event)); }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  [[nodiscard]] std::string to_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace wav::vpg

@@ -42,13 +42,8 @@ void SoftwareBridge::detach(BridgePort& port) {
   port.bridge_ = nullptr;
   std::erase(ports_, &port);
   std::erase(monitors_, &port);
-  for (auto it = fdb_.begin(); it != fdb_.end();) {
-    if (it->second.port == &port) {
-      it = fdb_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  fdb_.erase_if(
+      [&port](const MacTable<BridgePort*>::Entry& e) { return e.value == &port; });
 }
 
 void SoftwareBridge::inject(BridgePort* from, const net::EthernetFrame& frame) {
@@ -72,7 +67,7 @@ void SoftwareBridge::forward_now(BridgePort* from, const net::EthernetFrame& fra
   // from a *different* port moves the entry — this is what makes the
   // gratuitous ARP after VM migration redirect traffic instantly.
   if (from != nullptr && !frame.src.is_multicast() && !frame.src.is_zero()) {
-    fdb_[frame.src] = FdbEntry{from, now};
+    fdb_.learn(frame.src, from, now);
   }
 
   // Flow-trace hop: the inject->forward_now gap is the bridge's queue delay.
@@ -86,11 +81,15 @@ void SoftwareBridge::forward_now(BridgePort* from, const net::EthernetFrame& fra
   };
 
   if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
-    const auto it = fdb_.find(frame.dst);
-    if (it != fdb_.end() && now - it->second.learned <= fdb_ttl_) {
-      c_forwarded_->inc();
-      deliver_to(it->second.port);
-      return;
+    if (const auto* e = fdb_.find(frame.dst); e != nullptr) {
+      if (now - e->learned <= fdb_ttl_) {
+        c_forwarded_->inc();
+        deliver_to(e->value);
+        return;
+      }
+      // Lazy TTL expiry: stale entries are erased on lookup so the table
+      // never accumulates dead MACs (same policy as the WAV-Switch FDB).
+      fdb_.erase(frame.dst);
     }
   }
   c_flooded_->inc();

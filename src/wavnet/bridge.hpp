@@ -7,11 +7,11 @@
 
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
+#include "wavnet/mac_table.hpp"
 
 namespace wav::wavnet {
 
@@ -71,11 +71,6 @@ class SoftwareBridge {
   }
 
  private:
-  struct FdbEntry {
-    BridgePort* port{nullptr};
-    TimePoint learned{};
-  };
-
   void forward_now(BridgePort* from, const net::EthernetFrame& frame);
 
   sim::Simulation& sim_;
@@ -84,7 +79,7 @@ class SoftwareBridge {
   std::string instance_;  // "bridge#N", also the flow-trace hop instance
   std::vector<BridgePort*> ports_;
   std::vector<BridgePort*> monitors_;
-  std::unordered_map<net::MacAddress, FdbEntry> fdb_;
+  MacTable<BridgePort*> fdb_;
   obs::Counter* c_forwarded_{nullptr};
   obs::Counter* c_flooded_{nullptr};
 };

@@ -1,12 +1,16 @@
-// Open-addressed MAC forwarding table for the WAV-Switch.
+// Open-addressed MAC forwarding table for the WAV-Switch and the local
+// software bridge.
 //
-// The remote FDB sits on the per-frame forwarding path: one lookup per
-// unicast frame out, one learn per frame in. A node-based unordered_map
-// pays a pointer chase and an allocation per learned MAC; this table is
-// a flat linear-probing array keyed on the 48-bit MAC (one cache line
-// per probe, no per-entry allocation) with backward-shift deletion, so
-// there are no tombstones and load stays honest after heavy churn
-// (link flaps purging whole peers, TTL expiry).
+// An FDB sits on the per-frame forwarding path: one lookup per unicast
+// frame out, one learn per frame in. A node-based unordered_map pays a
+// pointer chase and an allocation per learned MAC; this table is a flat
+// linear-probing array keyed on the 48-bit MAC (one cache line per
+// probe, no per-entry allocation) with backward-shift deletion, so there
+// are no tombstones and load stays honest after heavy churn (link flaps
+// purging whole peers, TTL expiry, group revocations).
+//
+// The table is generic over the learned value: the WAV-Switch stores the
+// owning (peer, group) pair, the SoftwareBridge stores the BridgePort*.
 #pragma once
 
 #include <cstddef>
@@ -18,17 +22,18 @@
 
 namespace wav::wavnet {
 
+template <class Value>
 class MacTable {
  public:
   struct Entry {
-    std::uint64_t peer{0};  // overlay::HostId
+    Value value{};
     TimePoint learned{};
   };
 
   MacTable() { rehash(kInitialCapacity); }
 
   /// Inserts or refreshes the entry for `mac`.
-  void learn(net::MacAddress mac, std::uint64_t peer, TimePoint now) {
+  void learn(net::MacAddress mac, Value value, TimePoint now) {
     if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
     Slot& slot = probe(mac.as_u64());
     if (!slot.used) {
@@ -36,11 +41,11 @@ class MacTable {
       slot.key = mac.as_u64();
       ++size_;
     }
-    slot.entry.peer = peer;
+    slot.entry.value = value;
     slot.entry.learned = now;
   }
 
-  /// Entry for `mac`, or nullptr. No TTL logic here — the switch decides
+  /// Entry for `mac`, or nullptr. No TTL logic here — the owner decides
   /// what "expired" means and erases explicitly.
   [[nodiscard]] const Entry* find(net::MacAddress mac) const {
     const Slot& slot = const_cast<MacTable*>(this)->probe(mac.as_u64());
@@ -56,7 +61,7 @@ class MacTable {
   }
 
   /// Removes every entry whose value matches `pred(entry)`; returns the
-  /// number removed. Used for link-down purges.
+  /// number removed. Used for link-down and group-revocation purges.
   template <class Pred>
   std::size_t erase_if(Pred pred) {
     std::size_t removed = 0;

@@ -17,6 +17,7 @@
 
 #include "net/frame_pool.hpp"
 #include "overlay/host_agent.hpp"
+#include "vpg/group.hpp"
 #include "wavnet/bridge.hpp"
 #include "wavnet/mac_table.hpp"
 #include "wavnet/processing.hpp"
@@ -72,13 +73,34 @@ class WavSwitch : public BridgePort {
   /// Number of egress batches currently open (tests/diagnostics).
   [[nodiscard]] std::size_t open_batches() const noexcept { return batches_.size(); }
 
+  /// Attaches the private-group gate (vpg::GroupMember), turning the
+  /// switch group-scoped: unicast honors the learned (peer, group) pair,
+  /// floods replicate once per active group, and frames crossing a
+  /// membership boundary drop with the typed group_isolation reason.
+  /// nullptr restores the legacy flat-LAN path. The group drop counters
+  /// register on first attach so ungrouped fleets' exports stay
+  /// byte-identical.
+  void attach_group_gate(vpg::GroupGate* gate);
+  [[nodiscard]] bool group_scoped() const noexcept { return gate_ != nullptr; }
+  /// Purges every FDB entry learned from `peer` within `group` (wired to
+  /// GroupMember::on_gate_closed, so a revocation can't leave unicast
+  /// pinned to a now-banned tunnel).
+  void purge_group_peer(vpg::GroupId group, overlay::HostId peer);
+
  private:
+  /// What the group-scoped FDB learns per remote MAC: the owning peer
+  /// and the isolation domain the frame arrived in.
+  struct FdbVal {
+    overlay::HostId peer{0};
+    vpg::GroupId group{0};
+  };
   /// One frame parked in an egress batch, with everything its eventual
   /// tunnel send and accounting need.
   struct BatchedFrame {
     net::FramePool::FrameRef frame;
     std::uint64_t wire_bytes{0};   // frame + encap (+ relay) header
     std::uint32_t header_bytes{0};
+    vpg::GroupId group{0};         // isolation tag riding the encap
     TimePoint submitted{};
   };
   struct EgressBatch {
@@ -89,9 +111,15 @@ class WavSwitch : public BridgePort {
 
   void on_wan_frame(overlay::HostId from, const net::EncapFrame& encap);
   void on_link_down(overlay::HostId peer);
-  void tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame);
+  void tunnel_to(overlay::HostId peer, const net::EthernetFrame& frame,
+                 vpg::GroupId group = 0);
+  /// Replicates an unknown-unicast/broadcast frame: to every connected
+  /// peer on the flat LAN, or once per (active group x admitted peer)
+  /// when a gate is attached.
+  void flood(const net::EthernetFrame& frame);
   void enqueue_batched(overlay::HostId peer, net::FramePool::FrameRef frame,
-                       std::uint64_t wire_bytes, std::uint32_t header_bytes);
+                       std::uint64_t wire_bytes, std::uint32_t header_bytes,
+                       vpg::GroupId group);
   void flush_batch(overlay::HostId peer);
   void flush_all_batches();
 
@@ -101,10 +129,11 @@ class WavSwitch : public BridgePort {
   ProcessingQueue egress_;
   ProcessingQueue ingress_;
 
-  /// Remote MACs -> owning peer, open-addressed (mac_table.hpp). Entries
-  /// expire lazily: a lookup that hits a stale entry erases it, so
-  /// learned_macs() never counts dead state.
-  MacTable remote_fdb_;
+  /// Remote MACs -> owning (peer, group), open-addressed (mac_table.hpp).
+  /// Entries expire lazily: a lookup that hits a stale entry erases it,
+  /// so learned_macs() never counts dead state.
+  MacTable<FdbVal> remote_fdb_;
+  vpg::GroupGate* gate_{nullptr};
   net::FramePool& frame_pool_;
   /// Open per-peer egress batches (only populated when batching is on).
   std::unordered_map<overlay::HostId, EgressBatch> batches_;
@@ -120,6 +149,10 @@ class WavSwitch : public BridgePort {
   /// configuration's metric export stays byte-identical.
   obs::Histogram* h_batch_size_{nullptr};
   obs::Counter* c_batches_flushed_{nullptr};
+  /// Registered only once a group gate attaches (same byte-identity
+  /// contract for ungrouped fleets).
+  obs::Counter* c_group_egress_dropped_{nullptr};
+  obs::Counter* c_group_ingress_dropped_{nullptr};
 };
 
 }  // namespace wav::wavnet

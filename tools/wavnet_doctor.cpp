@@ -15,6 +15,10 @@
 // The `prof` subcommand (wavnet-doctor prof --profile prof.jsonl
 // [--baseline other.jsonl]) ranks the wall-clock profiler's per-subsystem
 // hotspots and, with a baseline, diffs two profiles side by side.
+// The `groups` subcommand (wavnet-doctor groups --groups g.jsonl
+// [--metrics m.jsonl]) replays a private-group event log (--groups-out):
+// per-group membership timelines, revocation-to-teardown latency, and
+// the cross-group isolation verdict.
 // Exit 0 when every input parsed (diagnosis is reporting, not gating;
 // metrics_diff is the gate).
 #include <algorithm>
@@ -501,6 +505,134 @@ int report_churn(const std::string& metrics_path, const std::string& series_path
   return rc;
 }
 
+/// `wavnet-doctor groups`: the private-group view over a --groups-out
+/// event log (and optionally the matching --metrics-out file). Prints
+/// each group's membership timeline (ops in event order with epoch
+/// versions), the revocation-to-teardown latency distribution measured
+/// at the surviving members' gates, the handshake latency distribution,
+/// and the cross-group-drop verdict: frames stopped at the group gates
+/// with the typed group_isolation reason versus deliveries that crossed
+/// a revoked membership (which must be zero). Returns the exit code
+/// (0 = parsed, 2 = unreadable input).
+int report_groups(const std::string& groups_path, const std::string& metrics_path) {
+  const auto body = wav::obs::json::read_file(groups_path);
+  if (!body) {
+    std::printf("groups: cannot read %s\n", groups_path.c_str());
+    return 2;
+  }
+  const std::vector<Value> events = wav::obs::json::parse_jsonl(*body);
+
+  // Membership timeline, one block per group in first-seen order.
+  std::vector<double> group_order;
+  std::map<double, std::vector<const Value*>> ops;
+  std::vector<double> teardown_ms;
+  std::vector<double> handshake_ms;
+  std::size_t adoptions = 0;
+  std::size_t revoked_me = 0;
+  for (const Value& ev : events) {
+    const std::string kind = ev.str_or("kind", "");
+    const double group = ev.num_or("group", 0);
+    if (ops.find(group) == ops.end()) group_order.push_back(group);
+    if (kind == "op") ops[group].push_back(&ev);
+    if (kind == "epoch_adopted") {
+      ++adoptions;
+      if (ev.str_or("detail", "") == "revoked_me") ++revoked_me;
+    }
+    if (kind == "gate_closed" && ev.str_or("detail", "") == "revoke") {
+      if (const Value* lat = ev.find("latency_ms")) teardown_ms.push_back(lat->number);
+    }
+    if (kind == "handshake_done") {
+      if (const Value* lat = ev.find("latency_ms")) handshake_ms.push_back(lat->number);
+    }
+  }
+
+  std::printf("== membership timelines (%s): %zu events ==\n", groups_path.c_str(),
+              events.size());
+  for (const double group : group_order) {
+    auto& group_ops = ops[group];
+    if (group_ops.empty()) continue;
+    std::printf("  group %.0f (%zu ops):\n", group, group_ops.size());
+    for (const Value* op : group_ops) {
+      std::printf("    t=%8.1fs  v%-4.0f %-8s", ns_to_s(op->num_or("ns", 0)),
+                  op->num_or("version", 0), op->str_or("detail", "?").c_str());
+      if (const Value* peer = op->find("peer")) std::printf("  host %.0f", peer->number);
+      std::printf("\n");
+    }
+  }
+  std::printf("  epochs adopted across the fleet: %zu (%zu told \"revoked_me\")\n\n",
+              adoptions, revoked_me);
+
+  const auto print_dist = [](const char* label, std::vector<double>& v) {
+    if (v.empty()) {
+      std::printf("  %-26s none recorded\n", label);
+      return;
+    }
+    std::sort(v.begin(), v.end());
+    double sum = 0;
+    for (const double x : v) sum += x;
+    const auto at = [&v](double q) {
+      return v[std::min(v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(
+                                                                       v.size())))];
+    };
+    std::printf("  %-26s n=%-5zu mean=%8.1f p50=%8.1f p95=%8.1f max=%8.1f  (ms)\n",
+                label, v.size(), sum / static_cast<double>(v.size()), at(0.50),
+                at(0.95), v.back());
+  };
+  std::printf("== pairwise latencies ==\n");
+  print_dist("handshake (key agreement)", handshake_ms);
+  print_dist("revocation -> gate closed", teardown_ms);
+  std::printf("\n");
+
+  if (!metrics_path.empty()) {
+    const auto mbody = wav::obs::json::read_file(metrics_path);
+    if (!mbody) {
+      std::printf("metrics: cannot read %s\n", metrics_path.c_str());
+      return 2;
+    }
+    for (const Value& world : wav::obs::json::parse_jsonl(*mbody)) {
+      const Value* metrics = world.find("metrics");
+      if (metrics == nullptr) continue;
+      std::map<std::string, double> sums;
+      if (const Value* counters = metrics->find("counters"); counters != nullptr) {
+        for (const Value& c : counters->array) {
+          sums[c.str_or("name", "")] += c.num_or("value", 0);
+        }
+      }
+      const auto sum_of = [&sums](const char* name) {
+        const auto it = sums.find(name);
+        return it == sums.end() ? 0.0 : it->second;
+      };
+      std::printf("== isolation verdict [%s seed %.0f] ==\n",
+                  world.str_or("plane", "?").c_str(), world.num_or("seed", 0));
+      std::printf("  group gates: %.0f egress + %.0f ingress frames dropped "
+                  "(flow reason group_isolation)\n",
+                  sum_of("switch.group_egress_dropped"),
+                  sum_of("switch.group_ingress_dropped"));
+      std::printf("  gates closed: %.0f, handshakes: %.0f started / %.0f done\n",
+                  sum_of("vpg.gates_closed"), sum_of("vpg.handshakes_started"),
+                  sum_of("vpg.handshakes_completed"));
+      const double crossed = sum_of("vpg.revoked_deliveries");
+      double final_violations = 0;
+      if (const Value* gauges = metrics->find("gauges"); gauges != nullptr) {
+        for (const Value& g : gauges->array) {
+          if (g.str_or("name", "") == "vpg.final_violations") {
+            final_violations = g.num_or("value", 0);
+          }
+        }
+      }
+      if (crossed == 0 && final_violations == 0) {
+        std::printf("  verdict: no frame crossed a revoked membership — clean\n");
+      } else {
+        std::printf("  verdict: %.0f revoked-membership deliveries, %.0f final "
+                    "violation(s)  <-- REGRESSION\n",
+                    crossed, final_violations);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 /// `wavnet-doctor flows`: causal flow reconstruction. Returns the exit
 /// code (0 = parsed, 2 = unreadable input).
 int report_flows(const std::string& flows_path, const std::string& hops_path) {
@@ -659,9 +791,11 @@ int main(int argc, char** argv) {
   std::string hops;
   std::string profile;
   std::string prof_baseline;
+  std::string groups;
   bool flows_cmd = false;
   bool churn_cmd = false;
   bool prof_cmd = false;
+  bool groups_cmd = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&](const char* flag) -> const char* {
@@ -678,6 +812,10 @@ int main(int argc, char** argv) {
       churn_cmd = true;
     } else if (arg == "prof") {
       prof_cmd = true;
+    } else if (arg == "groups") {
+      groups_cmd = true;
+    } else if (const char* vg = value_of("--groups")) {
+      groups = vg;
     } else if (const char* vp = value_of("--profile")) {
       profile = vp;
     } else if (const char* vb = value_of("--baseline")) {
@@ -713,6 +851,15 @@ int main(int argc, char** argv) {
     std::printf("wavnet-doctor churn\n===================\n\n");
     return report_churn(metrics, series);
   }
+  if (groups_cmd) {
+    if (groups.empty()) {
+      std::printf(
+          "usage: wavnet-doctor groups --groups g.jsonl [--metrics m.jsonl]\n");
+      return 2;
+    }
+    std::printf("wavnet-doctor groups\n====================\n\n");
+    return report_groups(groups, metrics);
+  }
   if (prof_cmd) {
     if (profile.empty()) {
       std::printf(
@@ -730,6 +877,7 @@ int main(int argc, char** argv) {
         "                     [--flows f.jsonl [--hops h.jsonl]]\n"
         "       wavnet-doctor flows --flows f.jsonl [--hops h.jsonl]\n"
         "       wavnet-doctor churn [--metrics m.jsonl] [--series s.jsonl]\n"
+        "       wavnet-doctor groups --groups g.jsonl [--metrics m.jsonl]\n"
         "       wavnet-doctor prof --profile prof.jsonl [--baseline other.jsonl]\n");
     return 2;
   }
